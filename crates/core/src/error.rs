@@ -1,0 +1,118 @@
+//! Error type for the core crate.
+
+use std::fmt;
+
+use imars_device::DeviceError;
+use imars_fabric::FabricError;
+use imars_recsys::RecsysError;
+
+/// Errors surfaced by the iMARS system model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error bubbled up from the device-level models.
+    Device(DeviceError),
+    /// An error bubbled up from the fabric simulator.
+    Fabric(FabricError),
+    /// An error bubbled up from the recommendation-system algorithms.
+    Recsys(RecsysError),
+    /// A capacity or mapping constraint was violated.
+    Mapping {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An experiment was configured inconsistently.
+    InvalidExperiment {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Device(e) => write!(f, "device model error: {e}"),
+            CoreError::Fabric(e) => write!(f, "fabric model error: {e}"),
+            CoreError::Recsys(e) => write!(f, "recsys model error: {e}"),
+            CoreError::Mapping { reason } => write!(f, "mapping error: {reason}"),
+            CoreError::InvalidExperiment { reason } => write!(f, "invalid experiment: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Device(e) => Some(e),
+            CoreError::Fabric(e) => Some(e),
+            CoreError::Recsys(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for CoreError {
+    fn from(e: DeviceError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+impl From<FabricError> for CoreError {
+    fn from(e: FabricError) -> Self {
+        CoreError::Fabric(e)
+    }
+}
+
+impl From<RecsysError> for CoreError {
+    fn from(e: RecsysError) -> Self {
+        CoreError::Recsys(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let device: CoreError = DeviceError::InvalidParameter {
+            name: "vdd",
+            reason: "negative".to_string(),
+        }
+        .into();
+        assert!(device.to_string().contains("device model error"));
+
+        let fabric: CoreError = FabricError::RowOutOfRange { row: 3, rows: 2 }.into();
+        assert!(fabric.to_string().contains("fabric model error"));
+
+        let recsys: CoreError = RecsysError::InvalidConfig {
+            reason: "zero".to_string(),
+        }
+        .into();
+        assert!(recsys.to_string().contains("recsys model error"));
+
+        let mapping = CoreError::Mapping {
+            reason: "table too large".to_string(),
+        };
+        assert!(mapping.to_string().contains("table too large"));
+
+        let experiment = CoreError::InvalidExperiment {
+            reason: "zero users".to_string(),
+        };
+        assert!(experiment.to_string().contains("zero users"));
+    }
+
+    #[test]
+    fn source_points_at_inner_error() {
+        use std::error::Error;
+        let err: CoreError = FabricError::EmptySelection { operation: "pool" }.into();
+        assert!(err.source().is_some());
+        let err = CoreError::Mapping { reason: "x".into() };
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the device-level models.
+
+use std::fmt;
+
+/// Errors produced by device- and circuit-level model construction or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A physical or geometric parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An array geometry was requested that the model cannot represent.
+    InvalidGeometry {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A calibration step failed because the analytical model diverged too far from the
+    /// reference figures of merit.
+    CalibrationOutOfRange {
+        /// The quantity being calibrated.
+        quantity: String,
+        /// Ratio between reference and analytical value.
+        ratio: f64,
+        /// Maximum allowed ratio.
+        max_ratio: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DeviceError::InvalidGeometry { rows, cols, reason } => {
+                write!(f, "invalid array geometry {rows}x{cols}: {reason}")
+            }
+            DeviceError::CalibrationOutOfRange {
+                quantity,
+                ratio,
+                max_ratio,
+            } => write!(
+                f,
+                "calibration for `{quantity}` out of range: ratio {ratio:.3} exceeds {max_ratio:.3}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = DeviceError::InvalidParameter {
+            name: "vdd",
+            reason: "must be positive".to_string(),
+        };
+        assert!(err.to_string().contains("vdd"));
+        assert!(err.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn display_invalid_geometry() {
+        let err = DeviceError::InvalidGeometry {
+            rows: 0,
+            cols: 256,
+            reason: "rows must be nonzero".to_string(),
+        };
+        assert!(err.to_string().contains("0x256"));
+    }
+
+    #[test]
+    fn display_calibration() {
+        let err = DeviceError::CalibrationOutOfRange {
+            quantity: "cma read energy".to_string(),
+            ratio: 12.0,
+            max_ratio: 3.0,
+        };
+        let text = err.to_string();
+        assert!(text.contains("cma read energy"));
+        assert!(text.contains("12.0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,489 @@
+//! Functional + costed model of one configurable memory array (CMA).
+//!
+//! A CMA is a `rows × cols` FeFET array (256×256 at the paper's design point) that can be
+//! operated in three modes (Fig. 3(c)):
+//!
+//! * **RAM mode** — read or write one row through the wordline/bitline drivers and RAM
+//!   sense amplifiers. Rows store either packed int8 embeddings (32 dimensions × 8 bits)
+//!   or raw bit signatures (for LSH).
+//! * **TCAM mode** — search every valid row against a query in parallel; rows whose
+//!   Hamming distance to the query does not exceed the programmed threshold report a
+//!   match (fixed-radius near-neighbour search).
+//! * **GPCiM mode** — in-memory addition of rows, used for embedding pooling; the
+//!   accumulator next to the RAM sense amplifiers holds the running sum.
+//!
+//! Every operation returns an [`Outcome`] carrying both the functional result and the
+//! energy/latency charged from the array-level figures of merit.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use imars_device::characterization::ArrayFom;
+
+use crate::cost::{Cost, CostComponent, Outcome};
+use crate::error::FabricError;
+
+/// Pack a slice of int8 embedding elements into 64-bit words (little-endian bytes).
+pub fn pack_embedding(elements: &[i8]) -> Vec<u64> {
+    let mut words = vec![0u64; elements.len().div_ceil(8)];
+    for (i, &value) in elements.iter().enumerate() {
+        let byte = value as u8 as u64;
+        words[i / 8] |= byte << ((i % 8) * 8);
+    }
+    words
+}
+
+/// Unpack `dim` int8 embedding elements from 64-bit words produced by [`pack_embedding`].
+pub fn unpack_embedding(words: &[u64], dim: usize) -> Vec<i8> {
+    (0..dim)
+        .map(|i| {
+            let word = words.get(i / 8).copied().unwrap_or(0);
+            ((word >> ((i % 8) * 8)) & 0xFF) as u8 as i8
+        })
+        .collect()
+}
+
+/// Number of 64-bit words needed to hold `bits` bits.
+pub fn words_for_bits(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Hamming distance between two equal-length bit vectors stored as 64-bit words.
+pub fn hamming_distance(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// One stored row: the packed bits plus how many of them are valid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredRow {
+    bits: Vec<u64>,
+    valid_bits: usize,
+}
+
+/// A single configurable memory array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmaArray {
+    rows: usize,
+    cols: usize,
+    fom: ArrayFom,
+    /// Sparse row storage: only rows that have been written occupy memory.
+    data: BTreeMap<usize, StoredRow>,
+}
+
+impl CmaArray {
+    /// Create an empty array with the given geometry and figures of merit.
+    pub fn new(rows: usize, cols: usize, fom: ArrayFom) -> Self {
+        Self {
+            rows,
+            cols,
+            fom,
+            data: BTreeMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows that currently hold data.
+    pub fn occupied_rows(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The figures of merit this array charges its operations with.
+    pub fn fom(&self) -> &ArrayFom {
+        &self.fom
+    }
+
+    fn check_row(&self, row: usize) -> Result<(), FabricError> {
+        if row >= self.rows {
+            return Err(FabricError::RowOutOfRange { row, rows: self.rows });
+        }
+        Ok(())
+    }
+
+    /// RAM-mode write of raw bits into a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::RowOutOfRange`] if `row` is outside the array and
+    /// [`FabricError::DimensionMismatch`] if more bits are supplied than the row holds.
+    pub fn write_row_bits(
+        &mut self,
+        row: usize,
+        bits: &[u64],
+        valid_bits: usize,
+    ) -> Result<Outcome<()>, FabricError> {
+        self.check_row(row)?;
+        if valid_bits > self.cols {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.cols,
+                actual: valid_bits,
+                what: "row bits",
+            });
+        }
+        if bits.len() < words_for_bits(valid_bits) {
+            return Err(FabricError::DimensionMismatch {
+                expected: words_for_bits(valid_bits),
+                actual: bits.len(),
+                what: "bit words",
+            });
+        }
+        self.data.insert(
+            row,
+            StoredRow {
+                bits: bits.to_vec(),
+                valid_bits,
+            },
+        );
+        Ok(Outcome::single(
+            (),
+            CostComponent::CmaWrite,
+            Cost::from_fom(self.fom.cma.write),
+        ))
+    }
+
+    /// RAM-mode write of a packed int8 embedding into a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::DimensionMismatch`] if the embedding does not fit in the row
+    /// and [`FabricError::RowOutOfRange`] if the row is outside the array.
+    pub fn write_embedding(&mut self, row: usize, embedding: &[i8]) -> Result<Outcome<()>, FabricError> {
+        let bits_needed = embedding.len() * 8;
+        if bits_needed > self.cols {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.cols / 8,
+                actual: embedding.len(),
+                what: "embedding elements",
+            });
+        }
+        let packed = pack_embedding(embedding);
+        self.write_row_bits(row, &packed, bits_needed)
+    }
+
+    /// RAM-mode read of the raw bits of a row. Unwritten rows read as all zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::RowOutOfRange`] if the row is outside the array.
+    pub fn read_row_bits(&self, row: usize) -> Result<Outcome<Vec<u64>>, FabricError> {
+        self.check_row(row)?;
+        let bits = self
+            .data
+            .get(&row)
+            .map(|r| r.bits.clone())
+            .unwrap_or_else(|| vec![0u64; words_for_bits(self.cols)]);
+        Ok(Outcome::single(
+            bits,
+            CostComponent::CmaRead,
+            Cost::from_fom(self.fom.cma.read),
+        ))
+    }
+
+    /// RAM-mode read of an int8 embedding of `dim` elements from a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::RowOutOfRange`] if the row is outside the array and
+    /// [`FabricError::DimensionMismatch`] if `dim` elements do not fit in a row.
+    pub fn read_embedding(&self, row: usize, dim: usize) -> Result<Outcome<Vec<i8>>, FabricError> {
+        if dim * 8 > self.cols {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.cols / 8,
+                actual: dim,
+                what: "embedding elements",
+            });
+        }
+        Ok(self.read_row_bits(row)?.map(|bits| unpack_embedding(&bits, dim)))
+    }
+
+    /// GPCiM-mode pooling: element-wise saturating int8 sum of the selected rows.
+    ///
+    /// The hardware reads the first row into the accumulator and then performs one
+    /// in-memory addition per remaining row; the cost model charges exactly that
+    /// (`1 read + (n-1) additions`), matching the worst-case accounting of Sec. IV-C1
+    /// where all lookups of one embedding table land in the same array and serialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::EmptySelection`] when `rows` is empty,
+    /// [`FabricError::RowOutOfRange`] if any row is outside the array, or
+    /// [`FabricError::DimensionMismatch`] if `dim` elements do not fit in a row.
+    pub fn pool_rows(&self, rows: &[usize], dim: usize) -> Result<Outcome<Vec<i8>>, FabricError> {
+        if rows.is_empty() {
+            return Err(FabricError::EmptySelection { operation: "pool_rows" });
+        }
+        if dim * 8 > self.cols {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.cols / 8,
+                actual: dim,
+                what: "embedding elements",
+            });
+        }
+        for &row in rows {
+            self.check_row(row)?;
+        }
+        let mut sum = vec![0i8; dim];
+        for &row in rows {
+            let bits = self
+                .data
+                .get(&row)
+                .map(|r| r.bits.as_slice())
+                .unwrap_or(&[]);
+            let embedding = unpack_embedding(bits, dim);
+            for (acc, value) in sum.iter_mut().zip(embedding.iter()) {
+                *acc = acc.saturating_add(*value);
+            }
+        }
+        let cost = Cost::from_fom(self.fom.cma.read)
+            .serial(Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1));
+        let mut outcome = Outcome::single(sum, CostComponent::CmaRead, Cost::from_fom(self.fom.cma.read));
+        outcome.cost = cost;
+        outcome
+            .breakdown
+            .charge(CostComponent::CmaAdd, Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1));
+        Ok(outcome)
+    }
+
+    /// TCAM-mode threshold search: return the indices of all valid rows whose Hamming
+    /// distance to `query` (over the row's valid bits) is at most `threshold`.
+    ///
+    /// The whole-array search costs one search figure of merit regardless of the number
+    /// of stored rows — that O(1) behaviour is the core argument for using a CAM for the
+    /// nearest-neighbour search of the filtering stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::DimensionMismatch`] if the query is wider than the row.
+    pub fn search(&self, query: &[u64], threshold: u32) -> Result<Outcome<Vec<usize>>, FabricError> {
+        if query.len() > words_for_bits(self.cols) {
+            return Err(FabricError::DimensionMismatch {
+                expected: words_for_bits(self.cols),
+                actual: query.len(),
+                what: "query words",
+            });
+        }
+        let matches: Vec<usize> = self
+            .data
+            .iter()
+            .filter(|(_, stored)| {
+                let words = words_for_bits(stored.valid_bits);
+                let q = &query[..words.min(query.len())];
+                let s = &stored.bits[..words.min(stored.bits.len())];
+                hamming_distance(q, s) <= threshold
+            })
+            .map(|(&row, _)| row)
+            .collect();
+        Ok(Outcome::single(
+            matches,
+            CostComponent::CmaSearch,
+            Cost::from_fom(self.fom.cma.search),
+        ))
+    }
+
+    /// Hamming distances of every valid row to the query (software reference used by the
+    /// accuracy experiments and by tests to cross-check the TCAM threshold semantics).
+    pub fn distances(&self, query: &[u64]) -> Vec<(usize, u32)> {
+        self.data
+            .iter()
+            .map(|(&row, stored)| {
+                let words = words_for_bits(stored.valid_bits);
+                let q = &query[..words.min(query.len())];
+                let s = &stored.bits[..words.min(stored.bits.len())];
+                (row, hamming_distance(q, s))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imars_device::characterization::ArrayFom;
+
+    fn array() -> CmaArray {
+        CmaArray::new(256, 256, ArrayFom::paper_reference())
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let values: Vec<i8> = (-16..16).collect();
+        let packed = pack_embedding(&values);
+        assert_eq!(unpack_embedding(&packed, values.len()), values);
+    }
+
+    #[test]
+    fn pack_handles_negative_values() {
+        let values = vec![-128i8, 127, -1, 0];
+        let packed = pack_embedding(&values);
+        assert_eq!(unpack_embedding(&packed, 4), values);
+    }
+
+    #[test]
+    fn hamming_distance_basics() {
+        assert_eq!(hamming_distance(&[0], &[0]), 0);
+        assert_eq!(hamming_distance(&[0b1011], &[0b0001]), 2);
+        assert_eq!(hamming_distance(&[u64::MAX], &[0]), 64);
+    }
+
+    #[test]
+    fn write_and_read_embedding_round_trip() {
+        let mut cma = array();
+        let embedding: Vec<i8> = (0..32).map(|i| i as i8 - 16).collect();
+        let write = cma.write_embedding(3, &embedding).unwrap();
+        assert_eq!(write.cost, Cost::new(49.1, 10.0));
+        let read = cma.read_embedding(3, 32).unwrap();
+        assert_eq!(read.value, embedding);
+        assert_eq!(read.cost, Cost::new(3.2, 0.3));
+    }
+
+    #[test]
+    fn unwritten_row_reads_as_zeros() {
+        let cma = array();
+        let read = cma.read_embedding(17, 32).unwrap();
+        assert!(read.value.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn row_out_of_range_is_rejected() {
+        let mut cma = array();
+        assert!(matches!(
+            cma.write_embedding(256, &[1i8; 32]),
+            Err(FabricError::RowOutOfRange { .. })
+        ));
+        assert!(cma.read_row_bits(999).is_err());
+    }
+
+    #[test]
+    fn oversized_embedding_is_rejected() {
+        let mut cma = array();
+        let too_big = vec![1i8; 33];
+        assert!(matches!(
+            cma.write_embedding(0, &too_big),
+            Err(FabricError::DimensionMismatch { .. })
+        ));
+        assert!(cma.read_embedding(0, 33).is_err());
+    }
+
+    #[test]
+    fn pool_rows_sums_elementwise() {
+        let mut cma = array();
+        cma.write_embedding(0, &[1i8; 32]).unwrap();
+        cma.write_embedding(1, &[2i8; 32]).unwrap();
+        cma.write_embedding(2, &[3i8; 32]).unwrap();
+        let pooled = cma.pool_rows(&[0, 1, 2], 32).unwrap();
+        assert!(pooled.value.iter().all(|&v| v == 6));
+        // 1 read + 2 in-memory additions.
+        let expected = Cost::new(3.2 + 2.0 * 108.0, 0.3 + 2.0 * 8.1);
+        assert!((pooled.cost.energy_pj - expected.energy_pj).abs() < 1e-9);
+        assert!((pooled.cost.latency_ns - expected.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_rows_saturates() {
+        let mut cma = array();
+        cma.write_embedding(0, &[100i8; 32]).unwrap();
+        cma.write_embedding(1, &[100i8; 32]).unwrap();
+        let pooled = cma.pool_rows(&[0, 1], 32).unwrap();
+        assert!(pooled.value.iter().all(|&v| v == 127));
+        let mut negative = array();
+        negative.write_embedding(0, &[-100i8; 32]).unwrap();
+        negative.write_embedding(1, &[-100i8; 32]).unwrap();
+        let pooled = negative.pool_rows(&[0, 1], 32).unwrap();
+        assert!(pooled.value.iter().all(|&v| v == -128));
+    }
+
+    #[test]
+    fn pool_single_row_is_just_a_read() {
+        let mut cma = array();
+        cma.write_embedding(5, &[7i8; 32]).unwrap();
+        let pooled = cma.pool_rows(&[5], 32).unwrap();
+        assert!(pooled.value.iter().all(|&v| v == 7));
+        assert_eq!(pooled.cost, Cost::new(3.2, 0.3));
+    }
+
+    #[test]
+    fn pool_rows_rejects_empty_selection() {
+        let cma = array();
+        assert!(matches!(
+            cma.pool_rows(&[], 32),
+            Err(FabricError::EmptySelection { .. })
+        ));
+    }
+
+    #[test]
+    fn search_finds_rows_within_threshold() {
+        let mut cma = array();
+        cma.write_row_bits(0, &[0b0000_1111u64, 0, 0, 0], 256).unwrap();
+        cma.write_row_bits(1, &[0b0000_0111u64, 0, 0, 0], 256).unwrap();
+        cma.write_row_bits(2, &[0xFFFF_FFFFu64, 0, 0, 0], 256).unwrap();
+        let query = vec![0b0000_1111u64, 0, 0, 0];
+        let exact = cma.search(&query, 0).unwrap();
+        assert_eq!(exact.value, vec![0]);
+        let near = cma.search(&query, 1).unwrap();
+        assert_eq!(near.value, vec![0, 1]);
+        let far = cma.search(&query, 64).unwrap();
+        assert_eq!(far.value, vec![0, 1, 2]);
+        assert_eq!(exact.cost, Cost::new(13.8, 0.2));
+    }
+
+    #[test]
+    fn search_cost_does_not_depend_on_occupancy() {
+        let mut sparse = array();
+        sparse.write_row_bits(0, &[1, 0, 0, 0], 256).unwrap();
+        let mut dense = array();
+        for row in 0..200 {
+            dense.write_row_bits(row, &[row as u64, 0, 0, 0], 256).unwrap();
+        }
+        let query = vec![0u64, 0, 0, 0];
+        assert_eq!(
+            sparse.search(&query, 3).unwrap().cost,
+            dense.search(&query, 3).unwrap().cost
+        );
+    }
+
+    #[test]
+    fn search_matches_software_distances() {
+        let mut cma = array();
+        for row in 0..50 {
+            cma.write_row_bits(row, &[row as u64 * 0x9E37_79B9, 0, 0, 0], 256).unwrap();
+        }
+        let query = vec![0x1234_5678u64, 0, 0, 0];
+        let threshold = 20;
+        let matches = cma.search(&query, threshold).unwrap().value;
+        let reference: Vec<usize> = cma
+            .distances(&query)
+            .into_iter()
+            .filter(|(_, d)| *d <= threshold)
+            .map(|(row, _)| row)
+            .collect();
+        assert_eq!(matches, reference);
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut cma = array();
+        assert_eq!(cma.occupied_rows(), 0);
+        cma.write_embedding(0, &[1i8; 32]).unwrap();
+        cma.write_embedding(10, &[1i8; 32]).unwrap();
+        cma.write_embedding(0, &[2i8; 32]).unwrap();
+        assert_eq!(cma.occupied_rows(), 2);
+        assert_eq!(cma.rows(), 256);
+        assert_eq!(cma.cols(), 256);
+    }
+
+    #[test]
+    fn query_wider_than_row_rejected() {
+        let cma = array();
+        let query = vec![0u64; 10];
+        assert!(cma.search(&query, 0).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for the fabric-level simulator.
+
+use std::fmt;
+
+/// Errors produced by the architectural simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// A row index was outside the array.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// An embedding or query had the wrong number of elements for the array geometry.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+        /// What the length refers to.
+        what: &'static str,
+    },
+    /// A component index (bank, mat, CMA) was out of range.
+    ComponentOutOfRange {
+        /// Component kind ("bank", "mat", "cma").
+        kind: &'static str,
+        /// Requested index.
+        index: usize,
+        /// Number of components available.
+        count: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An operation was attempted on an empty selection (e.g. pooling zero rows).
+    EmptySelection {
+        /// Which operation was attempted.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for an array with {rows} rows")
+            }
+            FabricError::DimensionMismatch { expected, actual, what } => {
+                write!(f, "{what} length {actual} does not match expected {expected}")
+            }
+            FabricError::ComponentOutOfRange { kind, index, count } => {
+                write!(f, "{kind} index {index} out of range ({count} available)")
+            }
+            FabricError::InvalidConfig { reason } => write!(f, "invalid fabric configuration: {reason}"),
+            FabricError::EmptySelection { operation } => {
+                write!(f, "{operation} requires at least one element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        assert!(FabricError::RowOutOfRange { row: 7, rows: 4 }
+            .to_string()
+            .contains("7"));
+        assert!(FabricError::DimensionMismatch {
+            expected: 32,
+            actual: 16,
+            what: "embedding"
+        }
+        .to_string()
+        .contains("embedding"));
+        assert!(FabricError::ComponentOutOfRange {
+            kind: "bank",
+            index: 40,
+            count: 32
+        }
+        .to_string()
+        .contains("bank"));
+        assert!(FabricError::InvalidConfig {
+            reason: "zero mats".to_string()
+        }
+        .to_string()
+        .contains("zero mats"));
+        assert!(FabricError::EmptySelection { operation: "pooling" }
+            .to_string()
+            .contains("pooling"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricError>();
+    }
+}

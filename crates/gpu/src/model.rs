@@ -1,0 +1,433 @@
+//! Workload-level GPU baseline model.
+//!
+//! [`GpuModel`] assembles the kernel costs of [`crate::kernels`] into the exact
+//! measurement points the paper reports: the per-stage embedding-table lookup of
+//! Table III, the two nearest-neighbour searches of Sec. IV-C2, the DNN stacks, the
+//! per-stage operation breakdown of Fig. 2 and the end-to-end MovieLens / Criteo queries
+//! of Sec. IV-C3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::{self, GpuCost, TableAccess};
+use crate::specs::GpuSpecs;
+
+/// Workload description of one embedding-lookup stage: the tables it touches and how many
+/// rows it gathers from each for a single input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EtLookupWorkload {
+    /// Per-table access patterns.
+    pub tables: Vec<TableAccess>,
+    /// Embedding dimensionality.
+    pub dim: usize,
+}
+
+impl EtLookupWorkload {
+    /// The MovieLens filtering stage of Table I: 5 UIETs plus the ItET, with a multi-hot
+    /// watch history and genre list pooled into the first two tables.
+    pub fn movielens_filtering(history_len: usize, genre_len: usize) -> Self {
+        Self {
+            tables: vec![
+                TableAccess { rows: 3706, lookups: history_len.max(1) }, // watch history UIET
+                TableAccess { rows: 18, lookups: genre_len.max(1) },     // genre UIET
+                TableAccess { rows: 7, lookups: 1 },                     // age UIET
+                TableAccess { rows: 2, lookups: 1 },                     // gender UIET
+                TableAccess { rows: 21, lookups: 1 },                    // occupation UIET
+                TableAccess { rows: 3706, lookups: 1 },                  // ItET
+            ],
+            dim: 32,
+        }
+    }
+
+    /// The MovieLens ranking stage of Table I: the 5 shared UIETs, the ranking-only UIET
+    /// and the ItET lookup of the candidate item.
+    pub fn movielens_ranking(history_len: usize, genre_len: usize) -> Self {
+        let mut workload = Self::movielens_filtering(history_len, genre_len);
+        workload.tables.push(TableAccess { rows: 8, lookups: 1 }); // ranking-only UIET
+        workload
+    }
+
+    /// The Criteo Kaggle ranking stage of Table I: 26 single-valued categorical features.
+    pub fn criteo_ranking() -> Self {
+        Self {
+            tables: imars_recsys::dlrm::criteo_cardinalities()
+                .into_iter()
+                .map(|rows| TableAccess { rows, lookups: 1 })
+                .collect(),
+            dim: 32,
+        }
+    }
+
+    /// Total number of gathered rows.
+    pub fn total_lookups(&self) -> usize {
+        self.tables.iter().map(|t| t.lookups).sum()
+    }
+}
+
+/// Per-operation breakdown of one stage's run time (the data behind Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// `(operation name, latency in µs)` pairs.
+    pub operations: Vec<(String, f64)>,
+}
+
+impl StageBreakdown {
+    /// Total stage latency in µs.
+    pub fn total_us(&self) -> f64 {
+        self.operations.iter().map(|(_, t)| t).sum()
+    }
+
+    /// `(operation name, fraction of the stage run time)` pairs.
+    pub fn fractions(&self) -> Vec<(String, f64)> {
+        let total = self.total_us().max(f64::MIN_POSITIVE);
+        self.operations
+            .iter()
+            .map(|(name, t)| (name.clone(), t / total))
+            .collect()
+    }
+}
+
+/// The calibrated analytical GPU baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    specs: GpuSpecs,
+    /// Effective batching factor the baseline ranking implementation achieves when scoring
+    /// the filtered candidates of one query (fitted so the end-to-end throughput matches
+    /// the paper's reported 1311 queries/s; 1.0 would mean strictly sequential candidate
+    /// processing).
+    ranking_batch_factor: f64,
+}
+
+impl GpuModel {
+    /// The GTX 1080 baseline used throughout the paper's evaluation.
+    pub fn gtx_1080() -> Self {
+        Self {
+            specs: GpuSpecs::gtx_1080(),
+            ranking_batch_factor: 2.25,
+        }
+    }
+
+    /// The underlying hardware specification.
+    pub fn specs(&self) -> &GpuSpecs {
+        &self.specs
+    }
+
+    /// Embedding-table lookup + pooling cost for one input of the given workload
+    /// (Table III, GPU column).
+    pub fn et_lookup(&self, workload: &EtLookupWorkload) -> GpuCost {
+        kernels::embedding_lookup(&self.specs, &workload.tables, workload.dim)
+    }
+
+    /// Exact cosine nearest-neighbour search over `items` item embeddings (Sec. IV-C2).
+    pub fn nns_cosine(&self, items: usize, dim: usize) -> GpuCost {
+        kernels::nns_cosine(&self.specs, items, dim)
+    }
+
+    /// LSH Hamming nearest-neighbour search over `items` signatures (Sec. IV-C2).
+    pub fn nns_lsh(&self, items: usize, signature_bits: usize) -> GpuCost {
+        kernels::nns_lsh_hamming(&self.specs, items, signature_bits)
+    }
+
+    /// DNN-stack cost for the given layer shapes at the given batch size.
+    pub fn dnn_stack(&self, layer_shapes: &[(usize, usize)], batch: usize) -> GpuCost {
+        kernels::mlp_forward(&self.specs, layer_shapes, batch)
+    }
+
+    /// Top-k selection over `items` scores.
+    pub fn top_k(&self, items: usize) -> GpuCost {
+        kernels::top_k(&self.specs, items)
+    }
+
+    /// Operation breakdown of the MovieLens filtering stage for one query (Fig. 2(a)).
+    pub fn filtering_breakdown(
+        &self,
+        workload: &EtLookupWorkload,
+        dnn_layers: &[(usize, usize)],
+        items: usize,
+        signature_bits: usize,
+    ) -> StageBreakdown {
+        StageBreakdown {
+            operations: vec![
+                ("ET Lookup".to_string(), self.et_lookup(workload).latency_us),
+                ("DNN Stack".to_string(), self.dnn_stack(dnn_layers, 1).latency_us),
+                ("NNS".to_string(), self.nns_lsh(items, signature_bits).latency_us),
+            ],
+        }
+    }
+
+    /// Operation breakdown of the MovieLens ranking stage for one query scoring
+    /// `candidates` items (Fig. 2(b)).
+    pub fn ranking_breakdown(
+        &self,
+        workload: &EtLookupWorkload,
+        dnn_layers: &[(usize, usize)],
+        candidates: usize,
+    ) -> StageBreakdown {
+        let per_candidate = self
+            .et_lookup(workload)
+            .serial(self.dnn_stack(dnn_layers, 1));
+        let scaled = 1.0 / self.ranking_batch_factor.max(1.0);
+        StageBreakdown {
+            operations: vec![
+                (
+                    "ET Lookup".to_string(),
+                    self.et_lookup(workload).latency_us * candidates as f64 * scaled,
+                ),
+                (
+                    "DNN Stack".to_string(),
+                    self.dnn_stack(dnn_layers, 1).latency_us * candidates as f64 * scaled,
+                ),
+                ("TopK".to_string(), self.top_k(candidates).latency_us),
+            ],
+        }
+        .normalize_against(per_candidate)
+    }
+
+    /// End-to-end cost of one MovieLens query: filtering (ET lookup, DNN stack, NNS) plus
+    /// ranking of `candidates` items (ET lookup and DNN per candidate, partially batched)
+    /// plus the final top-k.
+    pub fn end_to_end_movielens(
+        &self,
+        filtering: &EtLookupWorkload,
+        ranking: &EtLookupWorkload,
+        filtering_dnn: &[(usize, usize)],
+        ranking_dnn: &[(usize, usize)],
+        items: usize,
+        signature_bits: usize,
+        candidates: usize,
+    ) -> GpuCost {
+        let filtering_cost = self
+            .et_lookup(filtering)
+            .serial(self.dnn_stack(filtering_dnn, 1))
+            .serial(self.nns_lsh(items, signature_bits));
+        let per_candidate = self
+            .et_lookup(ranking)
+            .serial(self.dnn_stack(ranking_dnn, 1));
+        let ranking_cost = GpuCost {
+            latency_us: per_candidate.latency_us * candidates as f64 / self.ranking_batch_factor,
+            energy_uj: per_candidate.energy_uj * candidates as f64 / self.ranking_batch_factor,
+        };
+        filtering_cost.serial(ranking_cost).serial(self.top_k(candidates))
+    }
+
+    /// End-to-end cost of one Criteo ranking query scoring `candidates` items.
+    pub fn end_to_end_criteo(
+        &self,
+        ranking: &EtLookupWorkload,
+        bottom_dnn: &[(usize, usize)],
+        top_dnn: &[(usize, usize)],
+        candidates: usize,
+    ) -> GpuCost {
+        let mut dnn_layers = bottom_dnn.to_vec();
+        dnn_layers.extend_from_slice(top_dnn);
+        let per_candidate = self.et_lookup(ranking).serial(self.dnn_stack(&dnn_layers, 1));
+        GpuCost {
+            latency_us: per_candidate.latency_us * candidates as f64 / self.ranking_batch_factor,
+            energy_uj: per_candidate.energy_uj * candidates as f64 / self.ranking_batch_factor,
+        }
+        .serial(self.top_k(candidates))
+    }
+
+    /// Queries per second implied by a per-query cost.
+    pub fn queries_per_second(cost: GpuCost) -> f64 {
+        if cost.latency_us <= 0.0 {
+            0.0
+        } else {
+            1.0e6 / cost.latency_us
+        }
+    }
+}
+
+impl StageBreakdown {
+    /// Keep only the relative mix (used by the ranking breakdown where the per-candidate
+    /// amortization cancels in the fractions anyway). No-op if the total is zero.
+    fn normalize_against(self, _reference: GpuCost) -> Self {
+        self
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::gtx_1080()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    /// Relative tolerance used when comparing the analytical model against the paper's
+    /// reported GPU measurements.
+    const TOLERANCE: f64 = 0.15;
+
+    fn assert_close(name: &str, measured: f64, reported: f64) {
+        let relative = (measured - reported).abs() / reported;
+        assert!(
+            relative <= TOLERANCE,
+            "{name}: measured {measured:.2} vs reported {reported:.2} ({:.1} % off)",
+            relative * 100.0
+        );
+    }
+
+    fn model() -> GpuModel {
+        GpuModel::gtx_1080()
+    }
+
+    /// The paper's MovieLens users have on the order of a hundred rated movies; the
+    /// lookup-heavy multi-hot fields use these representative pooling counts.
+    fn movielens_filtering_workload() -> EtLookupWorkload {
+        EtLookupWorkload::movielens_filtering(50, 5)
+    }
+
+    fn movielens_ranking_workload() -> EtLookupWorkload {
+        EtLookupWorkload::movielens_ranking(50, 5)
+    }
+
+    #[test]
+    fn et_lookup_matches_table_iii_movielens_filtering() {
+        let cost = model().et_lookup(&movielens_filtering_workload());
+        assert_close(
+            "filtering latency",
+            cost.latency_us,
+            reference::ET_LOOKUP_MOVIELENS_FILTERING.latency_us,
+        );
+        assert_close(
+            "filtering energy",
+            cost.energy_uj,
+            reference::ET_LOOKUP_MOVIELENS_FILTERING.energy_uj,
+        );
+    }
+
+    #[test]
+    fn et_lookup_matches_table_iii_movielens_ranking() {
+        let cost = model().et_lookup(&movielens_ranking_workload());
+        assert_close(
+            "ranking latency",
+            cost.latency_us,
+            reference::ET_LOOKUP_MOVIELENS_RANKING.latency_us,
+        );
+        assert_close(
+            "ranking energy",
+            cost.energy_uj,
+            reference::ET_LOOKUP_MOVIELENS_RANKING.energy_uj,
+        );
+    }
+
+    #[test]
+    fn et_lookup_matches_table_iii_criteo() {
+        let cost = model().et_lookup(&EtLookupWorkload::criteo_ranking());
+        assert_close(
+            "criteo latency",
+            cost.latency_us,
+            reference::ET_LOOKUP_CRITEO_RANKING.latency_us,
+        );
+        assert_close(
+            "criteo energy",
+            cost.energy_uj,
+            reference::ET_LOOKUP_CRITEO_RANKING.energy_uj,
+        );
+    }
+
+    #[test]
+    fn et_lookup_ordering_matches_paper() {
+        let filtering = model().et_lookup(&movielens_filtering_workload());
+        let ranking = model().et_lookup(&movielens_ranking_workload());
+        let criteo = model().et_lookup(&EtLookupWorkload::criteo_ranking());
+        assert!(ranking.latency_us > filtering.latency_us);
+        assert!(criteo.latency_us > ranking.latency_us);
+    }
+
+    #[test]
+    fn nns_costs_match_section_iv_c2() {
+        let cosine = model().nns_cosine(3706, 32);
+        assert_close("cosine latency", cosine.latency_us, reference::NNS_COSINE_MOVIELENS.latency_us);
+        // The paper's cosine-NNS energy implies ~25 W; our single-power model sits at 22 W,
+        // so allow a wider margin on the energy side.
+        let relative =
+            (cosine.energy_uj - reference::NNS_COSINE_MOVIELENS.energy_uj).abs() / reference::NNS_COSINE_MOVIELENS.energy_uj;
+        assert!(relative < 0.25, "cosine energy off by {:.1} %", relative * 100.0);
+
+        let lsh = model().nns_lsh(3706, 256);
+        assert_close("lsh latency", lsh.latency_us, reference::NNS_LSH_MOVIELENS.latency_us);
+        assert_close("lsh energy", lsh.energy_uj, reference::NNS_LSH_MOVIELENS.energy_uj);
+        assert!(cosine.latency_us > lsh.latency_us);
+    }
+
+    #[test]
+    fn end_to_end_movielens_matches_reported_qps() {
+        let cost = model().end_to_end_movielens(
+            &movielens_filtering_workload(),
+            &movielens_ranking_workload(),
+            &[(160, 128), (128, 64), (64, 32)],
+            &[(224, 128), (128, 1)],
+            3706,
+            256,
+            100,
+        );
+        let qps = GpuModel::queries_per_second(cost);
+        assert_close("end-to-end QPS", qps, reference::END_TO_END_MOVIELENS_QPS);
+    }
+
+    #[test]
+    fn end_to_end_criteo_is_costlier_per_candidate_than_movielens() {
+        let movielens = model().end_to_end_movielens(
+            &movielens_filtering_workload(),
+            &movielens_ranking_workload(),
+            &[(160, 128), (128, 64), (64, 32)],
+            &[(224, 128), (128, 1)],
+            3706,
+            256,
+            100,
+        );
+        let criteo = model().end_to_end_criteo(
+            &EtLookupWorkload::criteo_ranking(),
+            &[(13, 256), (256, 128), (128, 32)],
+            &[(383, 256), (256, 64), (64, 1)],
+            100,
+        );
+        // Criteo touches 26 tables and a bigger DNN per candidate; without the filtering
+        // stage it still ends up in the same few-hundred-microsecond class per query.
+        assert!(criteo.latency_us > 0.5 * movielens.latency_us);
+    }
+
+    #[test]
+    fn filtering_breakdown_is_dominated_by_lookup_and_dnn() {
+        let breakdown = model().filtering_breakdown(
+            &movielens_filtering_workload(),
+            &[(160, 128), (128, 64), (64, 32)],
+            3706,
+            256,
+        );
+        let fractions = breakdown.fractions();
+        assert_eq!(fractions.len(), 3);
+        let total: f64 = fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let lookup = fractions[0].1;
+        let nns = fractions[2].1;
+        // Same qualitative shape as Fig. 2(a): the ET lookup is the largest single
+        // contributor and the NNS the smallest.
+        assert!(lookup > nns);
+        assert!(breakdown.total_us() > 0.0);
+    }
+
+    #[test]
+    fn ranking_breakdown_has_three_components() {
+        let breakdown = model().ranking_breakdown(
+            &movielens_ranking_workload(),
+            &[(224, 128), (128, 1)],
+            100,
+        );
+        let fractions = breakdown.fractions();
+        assert_eq!(fractions.len(), 3);
+        // TopK runs once per query and is therefore the smallest slice, as in Fig. 2(b).
+        assert!(fractions[2].1 < fractions[0].1);
+        assert!(fractions[2].1 < fractions[1].1);
+    }
+
+    #[test]
+    fn queries_per_second_handles_degenerate_cost() {
+        assert_eq!(GpuModel::queries_per_second(GpuCost::default()), 0.0);
+        let qps = GpuModel::queries_per_second(GpuCost { latency_us: 1000.0, energy_uj: 0.0 });
+        assert!((qps - 1000.0).abs() < 1e-9);
+    }
+}

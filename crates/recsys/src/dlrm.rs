@@ -1,0 +1,450 @@
+//! The DLRM ranking model (Naumov et al., 2019) as evaluated by the paper on the Criteo
+//! Kaggle click-through-rate dataset.
+//!
+//! DLRM combines:
+//!
+//! * a **bottom MLP** over the continuous (dense) features — hidden sizes 256-128-32 in
+//!   Table I, producing a 32-dimension dense embedding;
+//! * one **embedding table per categorical feature** (26 for Criteo Kaggle, int8-mapped
+//!   onto the CMA banks by iMARS);
+//! * a **feature interaction** layer taking the pairwise dot products of all embedding
+//!   vectors (dense embedding included);
+//! * a **top MLP** over the concatenation of the dense embedding and the interactions —
+//!   hidden sizes 256-64-1 in Table I — ending in a sigmoid CTR output.
+
+use serde::{Deserialize, Serialize};
+
+use crate::embedding::EmbeddingTable;
+use crate::error::RecsysError;
+use crate::mlp::{Activation, Mlp};
+use crate::nns::dot;
+
+/// Structural configuration of the DLRM model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Number of dense (continuous) features (13 for Criteo Kaggle).
+    pub num_dense_features: usize,
+    /// Cardinality of each categorical feature (26 entries for Criteo Kaggle).
+    pub sparse_cardinalities: Vec<usize>,
+    /// Embedding dimensionality (32 in the paper).
+    pub embedding_dim: usize,
+    /// Hidden sizes of the bottom MLP (the paper's 256-128-32; the last entry must equal
+    /// `embedding_dim`).
+    pub bottom_hidden: Vec<usize>,
+    /// Hidden sizes of the top MLP (the paper's 256-64-1; the last entry must be 1).
+    pub top_hidden: Vec<usize>,
+    /// RNG seed for parameter initialization.
+    pub seed: u64,
+}
+
+impl DlrmConfig {
+    /// The Criteo Kaggle configuration of Table I: 13 dense features, 26 categorical
+    /// features capped at 30,000 values each, 32-dimension embeddings, bottom MLP
+    /// 256-128-32, top MLP 256-64-1.
+    pub fn criteo_kaggle() -> Self {
+        Self {
+            num_dense_features: 13,
+            sparse_cardinalities: criteo_cardinalities(),
+            embedding_dim: 32,
+            bottom_hidden: vec![256, 128, 32],
+            top_hidden: vec![256, 64, 1],
+            seed: 42,
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_dense_features: 4,
+            sparse_cardinalities: vec![10, 20, 5],
+            embedding_dim: 8,
+            bottom_hidden: vec![16, 8],
+            top_hidden: vec![16, 1],
+            seed: 3,
+        }
+    }
+
+    fn validate(&self) -> Result<(), RecsysError> {
+        if self.num_dense_features == 0 {
+            return Err(RecsysError::InvalidConfig {
+                reason: "DLRM needs at least one dense feature".to_string(),
+            });
+        }
+        if self.sparse_cardinalities.is_empty() {
+            return Err(RecsysError::InvalidConfig {
+                reason: "DLRM needs at least one categorical feature".to_string(),
+            });
+        }
+        if self.sparse_cardinalities.iter().any(|&c| c == 0) {
+            return Err(RecsysError::InvalidConfig {
+                reason: "categorical feature cardinalities must be nonzero".to_string(),
+            });
+        }
+        if self.embedding_dim == 0 {
+            return Err(RecsysError::InvalidConfig {
+                reason: "embedding dimensionality must be nonzero".to_string(),
+            });
+        }
+        match self.bottom_hidden.last() {
+            Some(&last) if last == self.embedding_dim => {}
+            _ => {
+                return Err(RecsysError::InvalidConfig {
+                    reason: "the bottom MLP must end in the embedding dimensionality".to_string(),
+                })
+            }
+        }
+        match self.top_hidden.last() {
+            Some(&1) => {}
+            _ => {
+                return Err(RecsysError::InvalidConfig {
+                    reason: "the top MLP must end in a single CTR output".to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of interaction terms: pairwise dot products among the categorical embeddings
+    /// plus the dense embedding.
+    pub fn interaction_count(&self) -> usize {
+        let vectors = self.sparse_cardinalities.len() + 1;
+        vectors * (vectors - 1) / 2
+    }
+
+    /// Width of the top MLP input: the dense embedding concatenated with the interactions.
+    pub fn top_input_width(&self) -> usize {
+        self.embedding_dim + self.interaction_count()
+    }
+}
+
+/// Per-feature value cardinalities representative of the Criteo Kaggle dataset, with the
+/// 30,000-entry cap the paper applies when dimensioning the CMA banks ("the maximum size
+/// of the ETs in the Criteo Kaggle is 30,000 entries").
+pub fn criteo_cardinalities() -> Vec<usize> {
+    vec![
+        1460, 583, 30_000, 30_000, 305, 24, 12_517, 633, 3, 30_000, 5_683, 30_000, 3_194, 27,
+        14_992, 30_000, 10, 5_652, 2_173, 4, 30_000, 18, 15, 30_000, 105, 30_000,
+    ]
+}
+
+/// One Criteo-style sample: 13 normalized dense features and one categorical value per
+/// sparse field.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DlrmSample {
+    /// Normalized dense feature values.
+    pub dense: Vec<f32>,
+    /// One categorical index per sparse field.
+    pub sparse: Vec<usize>,
+}
+
+/// The DLRM model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dlrm {
+    config: DlrmConfig,
+    bottom_mlp: Mlp,
+    embedding_tables: Vec<EmbeddingTable>,
+    top_mlp: Mlp,
+}
+
+impl Dlrm {
+    /// Build the model with randomly initialized parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::InvalidConfig`] if the configuration is structurally
+    /// invalid.
+    pub fn new(config: DlrmConfig) -> Result<Self, RecsysError> {
+        config.validate()?;
+        let mut bottom_sizes = vec![config.num_dense_features];
+        bottom_sizes.extend_from_slice(&config.bottom_hidden);
+        let mut top_sizes = vec![config.top_input_width()];
+        top_sizes.extend_from_slice(&config.top_hidden);
+        let embedding_tables = config
+            .sparse_cardinalities
+            .iter()
+            .enumerate()
+            .map(|(index, &cardinality)| {
+                EmbeddingTable::new(cardinality, config.embedding_dim, config.seed.wrapping_add(index as u64))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            bottom_mlp: Mlp::new(&bottom_sizes, Activation::Linear, config.seed.wrapping_add(1000))?,
+            top_mlp: Mlp::new(&top_sizes, Activation::Sigmoid, config.seed.wrapping_add(2000))?,
+            embedding_tables,
+            config,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// The categorical embedding tables, one per sparse field.
+    pub fn embedding_tables(&self) -> &[EmbeddingTable] {
+        &self.embedding_tables
+    }
+
+    /// Layer shapes of the bottom MLP.
+    pub fn bottom_layer_shapes(&self) -> Vec<(usize, usize)> {
+        self.bottom_mlp.layer_shapes()
+    }
+
+    /// Layer shapes of the top MLP.
+    pub fn top_layer_shapes(&self) -> Vec<(usize, usize)> {
+        self.top_mlp.layer_shapes()
+    }
+
+    /// Number of embedding-table lookups per inference (one per categorical field).
+    pub fn lookups_per_inference(&self) -> usize {
+        self.embedding_tables.len()
+    }
+
+    fn validate_sample(&self, sample: &DlrmSample) -> Result<(), RecsysError> {
+        if sample.dense.len() != self.config.num_dense_features {
+            return Err(RecsysError::ShapeMismatch {
+                what: "dense features",
+                expected: self.config.num_dense_features,
+                actual: sample.dense.len(),
+            });
+        }
+        if sample.sparse.len() != self.embedding_tables.len() {
+            return Err(RecsysError::ShapeMismatch {
+                what: "sparse features",
+                expected: self.embedding_tables.len(),
+                actual: sample.sparse.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Gather the per-field embedding vectors plus the dense embedding, and their pairwise
+    /// interactions.
+    fn forward_features(&self, sample: &DlrmSample) -> Result<(Vec<f32>, Vec<Vec<f32>>, Vec<f32>), RecsysError> {
+        self.validate_sample(sample)?;
+        let dense_embedding = self.bottom_mlp.forward(&sample.dense)?;
+        let mut vectors: Vec<Vec<f32>> = Vec::with_capacity(self.embedding_tables.len() + 1);
+        vectors.push(dense_embedding.clone());
+        for (table, &index) in self.embedding_tables.iter().zip(sample.sparse.iter()) {
+            vectors.push(table.lookup(index)?.to_vec());
+        }
+        let mut interactions = Vec::with_capacity(self.config.interaction_count());
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                interactions.push(dot(&vectors[i], &vectors[j]));
+            }
+        }
+        Ok((dense_embedding, vectors, interactions))
+    }
+
+    /// Forward pass: the predicted click-through rate for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample's shape is wrong or any categorical index is out of
+    /// range.
+    pub fn predict(&self, sample: &DlrmSample) -> Result<f32, RecsysError> {
+        let (dense_embedding, _, interactions) = self.forward_features(sample)?;
+        let mut top_input = dense_embedding;
+        top_input.extend(interactions);
+        Ok(self.top_mlp.forward(&top_input)?[0])
+    }
+
+    /// One binary-cross-entropy SGD step on a labelled sample (`label` 1.0 = click).
+    ///
+    /// Gradients flow through the top MLP, the interaction layer (into the embedding
+    /// tables) and the bottom MLP. Returns the BCE loss before the update.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample's shape is wrong or any categorical index is out of
+    /// range.
+    pub fn train_step(&mut self, sample: &DlrmSample, label: f32, learning_rate: f32) -> Result<f32, RecsysError> {
+        let (dense_embedding, vectors, interactions) = self.forward_features(sample)?;
+        let mut top_input = dense_embedding.clone();
+        top_input.extend(interactions.iter().copied());
+        let prediction = self.top_mlp.forward(&top_input)?[0];
+        let clamped = prediction.clamp(1e-6, 1.0 - 1e-6);
+        let loss = -(label * clamped.ln() + (1.0 - label) * (1.0 - clamped).ln());
+        let grad_output = (clamped - label) / (clamped * (1.0 - clamped));
+        let grad_top_input = self.top_mlp.backward(&top_input, &[grad_output], learning_rate)?;
+
+        let dim = self.config.embedding_dim;
+        // Gradient with respect to every feature vector (dense embedding = index 0).
+        let mut grad_vectors = vec![vec![0.0f32; dim]; vectors.len()];
+        // Dense-embedding part of the top input.
+        grad_vectors[0].copy_from_slice(&grad_top_input[..dim]);
+        // Interaction part: d dot(v_i, v_j)/dv_i = v_j.
+        let mut offset = dim;
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let g = grad_top_input[offset];
+                for d in 0..dim {
+                    grad_vectors[i][d] += g * vectors[j][d];
+                    grad_vectors[j][d] += g * vectors[i][d];
+                }
+                offset += 1;
+            }
+        }
+
+        // Update the embedding tables.
+        for (field, &index) in sample.sparse.iter().enumerate() {
+            self.embedding_tables[field].sgd_update(index, &grad_vectors[field + 1], learning_rate)?;
+        }
+        // Propagate the dense-embedding gradient through the bottom MLP.
+        self.bottom_mlp.backward(&sample.dense, &grad_vectors[0], learning_rate)?;
+        Ok(loss)
+    }
+
+    /// Total parameter count across embeddings and both MLPs.
+    pub fn parameter_count(&self) -> usize {
+        self.embedding_tables.iter().map(EmbeddingTable::parameter_count).sum::<usize>()
+            + self.bottom_mlp.parameter_count()
+            + self.top_mlp.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_sample() -> DlrmSample {
+        DlrmSample {
+            dense: vec![0.1, -0.3, 0.5, 0.9],
+            sparse: vec![1, 15, 4],
+        }
+    }
+
+    #[test]
+    fn criteo_config_matches_table_i() {
+        let config = DlrmConfig::criteo_kaggle();
+        assert_eq!(config.num_dense_features, 13);
+        assert_eq!(config.sparse_cardinalities.len(), 26);
+        assert_eq!(config.embedding_dim, 32);
+        assert_eq!(config.bottom_hidden, vec![256, 128, 32]);
+        assert_eq!(config.top_hidden, vec![256, 64, 1]);
+        assert_eq!(*config.sparse_cardinalities.iter().max().unwrap(), 30_000);
+        // 27 vectors (26 categorical + dense) -> 351 pairwise interactions.
+        assert_eq!(config.interaction_count(), 351);
+        assert_eq!(config.top_input_width(), 32 + 351);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut config = DlrmConfig::tiny();
+        config.bottom_hidden = vec![16, 4];
+        assert!(Dlrm::new(config).is_err());
+        let mut config = DlrmConfig::tiny();
+        config.top_hidden = vec![16, 2];
+        assert!(Dlrm::new(config).is_err());
+        let mut config = DlrmConfig::tiny();
+        config.sparse_cardinalities.clear();
+        assert!(Dlrm::new(config).is_err());
+        let mut config = DlrmConfig::tiny();
+        config.sparse_cardinalities[0] = 0;
+        assert!(Dlrm::new(config).is_err());
+        let mut config = DlrmConfig::tiny();
+        config.num_dense_features = 0;
+        assert!(Dlrm::new(config).is_err());
+    }
+
+    #[test]
+    fn predict_returns_probability() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let p = model.predict(&tiny_sample()).unwrap();
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn sample_shape_is_validated() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let mut bad = tiny_sample();
+        bad.dense.pop();
+        assert!(model.predict(&bad).is_err());
+        let mut bad = tiny_sample();
+        bad.sparse.pop();
+        assert!(model.predict(&bad).is_err());
+        let mut bad = tiny_sample();
+        bad.sparse[1] = 999;
+        assert!(model.predict(&bad).is_err());
+    }
+
+    #[test]
+    fn layer_shapes_follow_config() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        assert_eq!(model.bottom_layer_shapes(), vec![(4, 16), (16, 8)]);
+        // Top input = 8 (dense embedding) + 6 interactions (4 vectors choose 2).
+        assert_eq!(model.top_layer_shapes(), vec![(14, 16), (16, 1)]);
+        assert_eq!(model.lookups_per_inference(), 3);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_learnable_rule() {
+        // Click iff sparse field 0 has value < 5: the model must fit this quickly.
+        let mut model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples: Vec<(DlrmSample, f32)> = (0..300)
+            .map(|_| {
+                let sample = DlrmSample {
+                    dense: (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                    sparse: vec![
+                        rng.gen_range(0..10),
+                        rng.gen_range(0..20),
+                        rng.gen_range(0..5),
+                    ],
+                };
+                let label = if sample.sparse[0] < 5 { 1.0 } else { 0.0 };
+                (sample, label)
+            })
+            .collect();
+        let mean_loss = |model: &Dlrm| -> f32 {
+            samples
+                .iter()
+                .map(|(s, y)| {
+                    let p = model.predict(s).unwrap().clamp(1e-6, 1.0 - 1e-6);
+                    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+                })
+                .sum::<f32>()
+                / samples.len() as f32
+        };
+        let before = mean_loss(&model);
+        for _ in 0..10 {
+            for (sample, label) in &samples {
+                model.train_step(sample, *label, 0.05).unwrap();
+            }
+        }
+        let after = mean_loss(&model);
+        assert!(after < before * 0.7, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn training_improves_discrimination() {
+        let mut model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let positive = DlrmSample {
+            dense: vec![0.5, 0.5, 0.5, 0.5],
+            sparse: vec![1, 1, 1],
+        };
+        let negative = DlrmSample {
+            dense: vec![-0.5, -0.5, -0.5, -0.5],
+            sparse: vec![8, 15, 4],
+        };
+        for _ in 0..100 {
+            model.train_step(&positive, 1.0, 0.05).unwrap();
+            model.train_step(&negative, 0.0, 0.05).unwrap();
+        }
+        assert!(model.predict(&positive).unwrap() > model.predict(&negative).unwrap());
+    }
+
+    #[test]
+    fn parameter_count_includes_all_tables() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let embedding_params: usize = DlrmConfig::tiny()
+            .sparse_cardinalities
+            .iter()
+            .map(|c| c * 8)
+            .sum();
+        assert!(model.parameter_count() > embedding_params);
+    }
+}

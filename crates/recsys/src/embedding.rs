@@ -1,0 +1,251 @@
+//! Embedding tables: the data structure at the heart of both RecSys stages.
+//!
+//! An embedding table maps a categorical (sparse) feature value to a dense vector of
+//! `dim` learned parameters. The operations the paper accelerates are:
+//!
+//! * **lookup** — fetch the row of one feature value;
+//! * **pooling** — element-wise sum of the rows of a multi-hot feature (e.g. the list of
+//!   movies a user watched);
+//! * **update** — SGD gradient step on the looked-up rows during training.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::RecsysError;
+
+/// A dense embedding table of `rows × dim` 32-bit floating-point parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    rows: usize,
+    dim: usize,
+    /// Row-major storage.
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Create a table initialized with small random values drawn from
+    /// `U(-1/sqrt(dim), 1/sqrt(dim))`, the conventional initialization for embedding
+    /// layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::InvalidConfig`] if `rows` or `dim` is zero.
+    pub fn new(rows: usize, dim: usize, seed: u64) -> Result<Self, RecsysError> {
+        if rows == 0 || dim == 0 {
+            return Err(RecsysError::InvalidConfig {
+                reason: format!("embedding table must have nonzero shape, got {rows}x{dim}"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = 1.0 / (dim as f32).sqrt();
+        let data = (0..rows * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Ok(Self { rows, dim, data })
+    }
+
+    /// Create a table with all parameters zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::InvalidConfig`] if `rows` or `dim` is zero.
+    pub fn zeros(rows: usize, dim: usize) -> Result<Self, RecsysError> {
+        if rows == 0 || dim == 0 {
+            return Err(RecsysError::InvalidConfig {
+                reason: format!("embedding table must have nonzero shape, got {rows}x{dim}"),
+            });
+        }
+        Ok(Self {
+            rows,
+            dim,
+            data: vec![0.0; rows * dim],
+        })
+    }
+
+    /// Number of rows (distinct feature values).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the row of one feature value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::IndexOutOfRange`] if `index` is not a valid row.
+    pub fn lookup(&self, index: usize) -> Result<&[f32], RecsysError> {
+        if index >= self.rows {
+            return Err(RecsysError::IndexOutOfRange {
+                what: "embedding row",
+                index,
+                len: self.rows,
+            });
+        }
+        Ok(&self.data[index * self.dim..(index + 1) * self.dim])
+    }
+
+    /// Mutably borrow the row of one feature value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::IndexOutOfRange`] if `index` is not a valid row.
+    pub fn lookup_mut(&mut self, index: usize) -> Result<&mut [f32], RecsysError> {
+        if index >= self.rows {
+            return Err(RecsysError::IndexOutOfRange {
+                what: "embedding row",
+                index,
+                len: self.rows,
+            });
+        }
+        Ok(&mut self.data[index * self.dim..(index + 1) * self.dim])
+    }
+
+    /// Sum-pool the rows of a multi-hot feature. An empty index list pools to the zero
+    /// vector (the behaviour of an absent feature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::IndexOutOfRange`] if any index is out of range.
+    pub fn pool(&self, indices: &[usize]) -> Result<Vec<f32>, RecsysError> {
+        let mut pooled = vec![0.0f32; self.dim];
+        for &index in indices {
+            let row = self.lookup(index)?;
+            for (acc, value) in pooled.iter_mut().zip(row.iter()) {
+                *acc += value;
+            }
+        }
+        Ok(pooled)
+    }
+
+    /// Mean-pool the rows of a multi-hot feature (sum divided by the number of indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::IndexOutOfRange`] if any index is out of range.
+    pub fn pool_mean(&self, indices: &[usize]) -> Result<Vec<f32>, RecsysError> {
+        let mut pooled = self.pool(indices)?;
+        if !indices.is_empty() {
+            let inv = 1.0 / indices.len() as f32;
+            for value in &mut pooled {
+                *value *= inv;
+            }
+        }
+        Ok(pooled)
+    }
+
+    /// Apply one SGD step to a row: `row -= learning_rate * gradient`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::IndexOutOfRange`] if `index` is out of range or
+    /// [`RecsysError::ShapeMismatch`] if the gradient has the wrong length.
+    pub fn sgd_update(
+        &mut self,
+        index: usize,
+        gradient: &[f32],
+        learning_rate: f32,
+    ) -> Result<(), RecsysError> {
+        if gradient.len() != self.dim {
+            return Err(RecsysError::ShapeMismatch {
+                what: "embedding gradient",
+                expected: self.dim,
+                actual: gradient.len(),
+            });
+        }
+        let row = self.lookup_mut(index)?;
+        for (weight, grad) in row.iter_mut().zip(gradient.iter()) {
+            *weight -= learning_rate * grad;
+        }
+        Ok(())
+    }
+
+    /// Iterate over all rows in index order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The full parameter count of the table.
+    pub fn parameter_count(&self) -> usize {
+        self.rows * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_table_has_bounded_values() {
+        let table = EmbeddingTable::new(100, 16, 7).unwrap();
+        let bound = 1.0 / 4.0;
+        assert!(table.iter_rows().flatten().all(|&v| v.abs() <= bound));
+        assert_eq!(table.rows(), 100);
+        assert_eq!(table.dim(), 16);
+        assert_eq!(table.parameter_count(), 1600);
+    }
+
+    #[test]
+    fn same_seed_same_table() {
+        let a = EmbeddingTable::new(10, 8, 3).unwrap();
+        let b = EmbeddingTable::new(10, 8, 3).unwrap();
+        assert_eq!(a, b);
+        let c = EmbeddingTable::new(10, 8, 4).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_shape_rejected() {
+        assert!(EmbeddingTable::new(0, 8, 0).is_err());
+        assert!(EmbeddingTable::new(8, 0, 0).is_err());
+        assert!(EmbeddingTable::zeros(0, 8).is_err());
+    }
+
+    #[test]
+    fn lookup_returns_the_row() {
+        let mut table = EmbeddingTable::zeros(4, 3).unwrap();
+        table.lookup_mut(2).unwrap().copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(table.lookup(2).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(table.lookup(0).unwrap(), &[0.0, 0.0, 0.0]);
+        assert!(table.lookup(4).is_err());
+    }
+
+    #[test]
+    fn pooling_sums_rows() {
+        let mut table = EmbeddingTable::zeros(3, 2).unwrap();
+        table.lookup_mut(0).unwrap().copy_from_slice(&[1.0, 1.0]);
+        table.lookup_mut(1).unwrap().copy_from_slice(&[2.0, -1.0]);
+        table.lookup_mut(2).unwrap().copy_from_slice(&[0.5, 0.5]);
+        assert_eq!(table.pool(&[0, 1]).unwrap(), vec![3.0, 0.0]);
+        assert_eq!(table.pool(&[0, 1, 2]).unwrap(), vec![3.5, 0.5]);
+        assert_eq!(table.pool(&[]).unwrap(), vec![0.0, 0.0]);
+        assert!(table.pool(&[7]).is_err());
+    }
+
+    #[test]
+    fn mean_pooling_divides_by_count() {
+        let mut table = EmbeddingTable::zeros(2, 2).unwrap();
+        table.lookup_mut(0).unwrap().copy_from_slice(&[2.0, 4.0]);
+        table.lookup_mut(1).unwrap().copy_from_slice(&[4.0, 0.0]);
+        assert_eq!(table.pool_mean(&[0, 1]).unwrap(), vec![3.0, 2.0]);
+        assert_eq!(table.pool_mean(&[]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn repeated_indices_count_twice_in_pooling() {
+        let mut table = EmbeddingTable::zeros(1, 2).unwrap();
+        table.lookup_mut(0).unwrap().copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(table.pool(&[0, 0]).unwrap(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn sgd_update_moves_against_gradient() {
+        let mut table = EmbeddingTable::zeros(2, 2).unwrap();
+        table.sgd_update(1, &[1.0, -2.0], 0.1).unwrap();
+        assert_eq!(table.lookup(1).unwrap(), &[-0.1, 0.2]);
+        assert!(table.sgd_update(1, &[1.0], 0.1).is_err());
+        assert!(table.sgd_update(9, &[1.0, 1.0], 0.1).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the recommendation-system algorithms.
+
+use std::fmt;
+
+/// Errors produced by model construction, lookup or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecsysError {
+    /// An index was out of range for a table or feature field.
+    IndexOutOfRange {
+        /// What was being indexed ("embedding row", "sparse field", ...).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of valid entries.
+        len: usize,
+    },
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// What the shapes describe.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A configuration or hyper-parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RecsysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecsysError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            RecsysError::ShapeMismatch { what, expected, actual } => {
+                write!(f, "{what} shape mismatch: expected {expected}, got {actual}")
+            }
+            RecsysError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RecsysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        let e = RecsysError::IndexOutOfRange {
+            what: "embedding row",
+            index: 10,
+            len: 5,
+        };
+        assert!(e.to_string().contains("embedding row"));
+        assert!(e.to_string().contains("10"));
+        let e = RecsysError::ShapeMismatch {
+            what: "dense input",
+            expected: 13,
+            actual: 12,
+        };
+        assert!(e.to_string().contains("13"));
+        let e = RecsysError::InvalidConfig {
+            reason: "zero dimensions".into(),
+        };
+        assert!(e.to_string().contains("zero dimensions"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RecsysError>();
+    }
+}

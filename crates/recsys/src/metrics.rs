@@ -1,0 +1,111 @@
+//! Accuracy metrics for the algorithm-level evaluation.
+//!
+//! The paper's accuracy experiment (Sec. IV-B) measures the **hit rate** of the filtering
+//! stage: the fraction of test users whose held-out item appears in the retrieved
+//! candidate set. This module provides the hit-rate computation plus a couple of standard
+//! companions (recall@k over multi-item ground truth, and mean reciprocal rank) used by
+//! the extended experiments.
+
+/// Whether the held-out item appears in the candidate list (one user's hit).
+pub fn is_hit(candidates: &[usize], held_out: usize) -> bool {
+    candidates.contains(&held_out)
+}
+
+/// Hit rate over a set of users: `#hits / #users`.
+///
+/// `results` pairs each user's candidate list with that user's held-out item. Returns 0
+/// for an empty input.
+pub fn hit_rate(results: &[(Vec<usize>, usize)]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let hits = results
+        .iter()
+        .filter(|(candidates, held_out)| is_hit(candidates, *held_out))
+        .count();
+    hits as f64 / results.len() as f64
+}
+
+/// Recall@k over multi-item ground truth: the mean over users of
+/// `|candidates ∩ relevant| / |relevant|` (users with no relevant items are skipped).
+pub fn recall(results: &[(Vec<usize>, Vec<usize>)]) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (candidates, relevant) in results {
+        if relevant.is_empty() {
+            continue;
+        }
+        let found = relevant.iter().filter(|item| candidates.contains(item)).count();
+        total += found as f64 / relevant.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Mean reciprocal rank of the held-out item in the candidate list (0 when absent).
+pub fn mean_reciprocal_rank(results: &[(Vec<usize>, usize)]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = results
+        .iter()
+        .map(|(candidates, held_out)| {
+            candidates
+                .iter()
+                .position(|item| item == held_out)
+                .map_or(0.0, |rank| 1.0 / (rank as f64 + 1.0))
+        })
+        .sum();
+    total / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_detection() {
+        assert!(is_hit(&[1, 2, 3], 2));
+        assert!(!is_hit(&[1, 2, 3], 4));
+        assert!(!is_hit(&[], 0));
+    }
+
+    #[test]
+    fn hit_rate_counts_fraction_of_users() {
+        let results = vec![
+            (vec![1, 2, 3], 2),  // hit
+            (vec![4, 5], 9),     // miss
+            (vec![7], 7),        // hit
+            (vec![], 1),         // miss
+        ];
+        assert!((hit_rate(&results) - 0.5).abs() < 1e-12);
+        assert_eq!(hit_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn recall_averages_per_user_fractions() {
+        let results = vec![
+            (vec![1, 2, 3], vec![1, 9]),    // 1/2
+            (vec![4], vec![4]),             // 1
+            (vec![5], vec![]),              // skipped
+        ];
+        assert!((recall(&results) - 0.75).abs() < 1e-12);
+        assert_eq!(recall(&[]), 0.0);
+    }
+
+    #[test]
+    fn mrr_rewards_early_ranks() {
+        let results = vec![
+            (vec![2, 1, 3], 2), // rank 1 -> 1.0
+            (vec![5, 9, 7], 7), // rank 3 -> 1/3
+            (vec![4, 5], 6),    // absent -> 0
+        ];
+        let expected = (1.0 + 1.0 / 3.0 + 0.0) / 3.0;
+        assert!((mean_reciprocal_rank(&results) - expected).abs() < 1e-12);
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Multi-layer perceptrons with backpropagation.
+//!
+//! Both paper models are built from small fully connected stacks (YouTubeDNN filtering:
+//! 128-64-32; YouTubeDNN ranking: 128-1; DLRM bottom MLP: 256-128-32; DLRM top MLP:
+//! 256-64-1). This module implements exactly what those stacks need: dense layers with
+//! ReLU hidden activations, an optional sigmoid output, forward inference and SGD
+//! backpropagation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::RecsysError;
+
+/// Activation applied to a layer's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (no activation).
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed in terms of the
+    /// post-activation output `y`.
+    fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// One dense layer: `outputs = activation(W x + b)` with `W` of shape `out × in`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DenseLayer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs` weights.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+impl DenseLayer {
+    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let bound = (6.0 / (inputs + outputs) as f32).sqrt();
+        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            bias: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let mut output = vec![0.0f32; self.outputs];
+        for (o, out) in output.iter_mut().enumerate() {
+            let mut sum = self.bias[o];
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            for (w, x) in row.iter().zip(input.iter()) {
+                sum += w * x;
+            }
+            *out = self.activation.apply(sum);
+        }
+        output
+    }
+
+    /// Backward pass: given the gradient w.r.t. this layer's output, update the weights
+    /// and return the gradient w.r.t. this layer's input.
+    fn backward(
+        &mut self,
+        input: &[f32],
+        output: &[f32],
+        grad_output: &[f32],
+        learning_rate: f32,
+    ) -> Vec<f32> {
+        let mut grad_input = vec![0.0f32; self.inputs];
+        for o in 0..self.outputs {
+            let delta = grad_output[o] * self.activation.derivative_from_output(output[o]);
+            if delta == 0.0 {
+                continue;
+            }
+            let row = &mut self.weights[o * self.inputs..(o + 1) * self.inputs];
+            for (i, weight) in row.iter_mut().enumerate() {
+                grad_input[i] += *weight * delta;
+                *weight -= learning_rate * delta * input[i];
+            }
+            self.bias[o] -= learning_rate * delta;
+        }
+        grad_input
+    }
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes. `sizes[0]` is the input width; every
+    /// hidden layer uses ReLU; the output layer uses `output_activation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::InvalidConfig`] if fewer than two sizes are given or any
+    /// size is zero.
+    pub fn new(sizes: &[usize], output_activation: Activation, seed: u64) -> Result<Self, RecsysError> {
+        if sizes.len() < 2 {
+            return Err(RecsysError::InvalidConfig {
+                reason: format!("an MLP needs at least input and output sizes, got {}", sizes.len()),
+            });
+        }
+        if sizes.iter().any(|&s| s == 0) {
+            return Err(RecsysError::InvalidConfig {
+                reason: "layer sizes must be nonzero".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(index, pair)| {
+                let activation = if index + 2 == sizes.len() {
+                    output_activation
+                } else {
+                    Activation::Relu
+                };
+                DenseLayer::new(pair[0], pair[1], activation, &mut rng)
+            })
+            .collect();
+        Ok(Self { layers })
+    }
+
+    /// Input width expected by the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output width produced by the last layer.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Number of dense layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The `(inputs, outputs)` shape of every layer, in order. This is what the hardware
+    /// mapper uses to tile the stack over crossbar arrays.
+    pub fn layer_shapes(&self) -> Vec<(usize, usize)> {
+        self.layers.iter().map(|l| (l.inputs, l.outputs)).collect()
+    }
+
+    /// Total trainable parameter count (weights plus biases).
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+    }
+
+    /// Forward inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::ShapeMismatch`] if the input width is wrong.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, RecsysError> {
+        if input.len() != self.input_dim() {
+            return Err(RecsysError::ShapeMismatch {
+                what: "mlp input",
+                expected: self.input_dim(),
+                actual: input.len(),
+            });
+        }
+        let mut activations = input.to_vec();
+        for layer in &self.layers {
+            activations = layer.forward(&activations);
+        }
+        Ok(activations)
+    }
+
+    /// Forward pass keeping every intermediate activation (needed for backpropagation).
+    fn forward_trace(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(trace.last().expect("trace starts with the input"));
+            trace.push(next);
+        }
+        trace
+    }
+
+    /// One SGD training step. `grad_output` is the gradient of the loss with respect to
+    /// the network output; the method updates every layer in place and returns the
+    /// gradient with respect to the input (useful for propagating into embeddings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::ShapeMismatch`] if `input` or `grad_output` have the wrong
+    /// width.
+    pub fn backward(
+        &mut self,
+        input: &[f32],
+        grad_output: &[f32],
+        learning_rate: f32,
+    ) -> Result<Vec<f32>, RecsysError> {
+        if input.len() != self.input_dim() {
+            return Err(RecsysError::ShapeMismatch {
+                what: "mlp input",
+                expected: self.input_dim(),
+                actual: input.len(),
+            });
+        }
+        if grad_output.len() != self.output_dim() {
+            return Err(RecsysError::ShapeMismatch {
+                what: "mlp output gradient",
+                expected: self.output_dim(),
+                actual: grad_output.len(),
+            });
+        }
+        let trace = self.forward_trace(input);
+        let mut grad = grad_output.to_vec();
+        for (index, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&trace[index], &trace[index + 1], &grad, learning_rate);
+        }
+        Ok(grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_sizes() {
+        assert!(Mlp::new(&[4], Activation::Linear, 0).is_err());
+        assert!(Mlp::new(&[4, 0], Activation::Linear, 0).is_err());
+        let mlp = Mlp::new(&[128, 64, 32], Activation::Linear, 0).unwrap();
+        assert_eq!(mlp.input_dim(), 128);
+        assert_eq!(mlp.output_dim(), 32);
+        assert_eq!(mlp.layer_count(), 2);
+        assert_eq!(mlp.layer_shapes(), vec![(128, 64), (64, 32)]);
+        assert_eq!(mlp.parameter_count(), 128 * 64 + 64 + 64 * 32 + 32);
+    }
+
+    #[test]
+    fn forward_validates_input_width() {
+        let mlp = Mlp::new(&[4, 2], Activation::Linear, 0).unwrap();
+        assert!(mlp.forward(&[1.0; 3]).is_err());
+        assert!(mlp.forward(&[1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn sigmoid_output_is_a_probability() {
+        let mlp = Mlp::new(&[8, 4, 1], Activation::Sigmoid, 1).unwrap();
+        let out = mlp.forward(&[0.5; 8]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0] > 0.0 && out[0] < 1.0);
+    }
+
+    #[test]
+    fn relu_hidden_layers_clamp_negative_values() {
+        // With a linear output and ReLU hidden layers, an input of zeros produces the
+        // output biases (zero at init).
+        let mlp = Mlp::new(&[4, 4, 2], Activation::Linear, 2).unwrap();
+        let out = mlp.forward(&[0.0; 4]).unwrap();
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = Mlp::new(&[8, 4, 2], Activation::Linear, 9).unwrap();
+        let b = Mlp::new(&[8, 4, 2], Activation::Linear, 9).unwrap();
+        assert_eq!(a.forward(&[0.3; 8]).unwrap(), b.forward(&[0.3; 8]).unwrap());
+    }
+
+    #[test]
+    fn training_reduces_regression_loss() {
+        // Learn y = sum(x) on random inputs; squared-error loss must drop substantially.
+        let mut mlp = Mlp::new(&[4, 16, 1], Activation::Linear, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples: Vec<(Vec<f32>, f32)> = (0..200)
+            .map(|_| {
+                let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let y = x.iter().sum::<f32>();
+                (x, y)
+            })
+            .collect();
+        let loss = |mlp: &Mlp| -> f32 {
+            samples
+                .iter()
+                .map(|(x, y)| {
+                    let p = mlp.forward(x).unwrap()[0];
+                    (p - y) * (p - y)
+                })
+                .sum::<f32>()
+                / samples.len() as f32
+        };
+        let before = loss(&mlp);
+        for _ in 0..30 {
+            for (x, y) in &samples {
+                let p = mlp.forward(x).unwrap()[0];
+                // d(MSE)/dp = 2 (p - y)
+                mlp.backward(x, &[2.0 * (p - y)], 0.01).unwrap();
+            }
+        }
+        let after = loss(&mlp);
+        assert!(after < before * 0.2, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn training_learns_binary_classification() {
+        // Separate points by the sign of the first coordinate with a sigmoid output.
+        let mut mlp = Mlp::new(&[2, 8, 1], Activation::Sigmoid, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let samples: Vec<(Vec<f32>, f32)> = (0..200)
+            .map(|_| {
+                let x = vec![rng.gen_range(-1.0..1.0f32), rng.gen_range(-1.0..1.0)];
+                let label = if x[0] > 0.0 { 1.0 } else { 0.0 };
+                (x, label)
+            })
+            .collect();
+        for _ in 0..40 {
+            for (x, y) in &samples {
+                let p = mlp.forward(x).unwrap()[0];
+                // For BCE with sigmoid output, dL/d(output) simplifies via the backward's
+                // sigmoid derivative; using (p - y)/(p(1-p)) keeps the composition exact,
+                // but the standard shortcut dL/dz = p - y works through the chain rule if
+                // we divide out the derivative; here we pass dL/dp directly.
+                let eps = 1e-4;
+                let grad = (p - y) / (p * (1.0 - p) + eps);
+                mlp.backward(x, &[grad], 0.05).unwrap();
+            }
+        }
+        let accuracy = samples
+            .iter()
+            .filter(|(x, y)| {
+                let p = mlp.forward(x).unwrap()[0];
+                (p > 0.5) == (*y > 0.5)
+            })
+            .count() as f32
+            / samples.len() as f32;
+        assert!(accuracy > 0.9, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn backward_validates_shapes() {
+        let mut mlp = Mlp::new(&[3, 2], Activation::Linear, 0).unwrap();
+        assert!(mlp.backward(&[1.0; 3], &[1.0; 2], 0.1).is_ok());
+        assert!(mlp.backward(&[1.0; 2], &[1.0; 2], 0.1).is_err());
+        assert!(mlp.backward(&[1.0; 3], &[1.0; 3], 0.1).is_err());
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_of_right_size() {
+        let mut mlp = Mlp::new(&[5, 4, 2], Activation::Linear, 0).unwrap();
+        let grad = mlp.backward(&[0.1; 5], &[1.0, -1.0], 0.0).unwrap();
+        assert_eq!(grad.len(), 5);
+    }
+}
