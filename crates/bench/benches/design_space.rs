@@ -1,1 +1,2 @@
+//! Placeholder bench — reserved for the design_space reproduction study (see ROADMAP).
 fn main() {}

@@ -1,1 +1,58 @@
-fn main() {}
+//! End-to-end DLRM serving: one-at-a-time `predict` (the seed's only path) versus the
+//! zero-allocation `predict_batch` hot path, on a small Criteo-shaped model.
+
+use imars_bench::{black_box, Harness};
+use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BATCH: usize = 128;
+
+/// A Criteo-shaped but bench-sized DLRM: the paper's layer widths with the per-field
+/// cardinalities capped so model construction stays fast.
+fn bench_config() -> DlrmConfig {
+    DlrmConfig {
+        num_dense_features: 13,
+        sparse_cardinalities: vec![1000; 26],
+        embedding_dim: 32,
+        bottom_hidden: vec![256, 128, 32],
+        top_hidden: vec![256, 64, 1],
+        seed: 42,
+    }
+}
+
+fn main() {
+    let mut harness = Harness::from_args("end_to_end");
+
+    let config = bench_config();
+    let model = Dlrm::new(config.clone()).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(11);
+    let samples: Vec<DlrmSample> = (0..BATCH)
+        .map(|_| DlrmSample {
+            dense: (0..config.num_dense_features).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+            sparse: config
+                .sparse_cardinalities
+                .iter()
+                .map(|&cardinality| rng.gen_range(0..cardinality))
+                .collect(),
+        })
+        .collect();
+
+    let single_ns = harness.bench("dlrm/predict_one_at_a_time", || {
+        for sample in &samples {
+            black_box(model.predict(sample).expect("valid sample"));
+        }
+    });
+
+    let batched_ns = harness.bench("dlrm/predict_batch", || {
+        black_box(model.predict_batch(&samples).expect("valid samples"));
+    });
+
+    harness.metric("batch_speedup", single_ns / batched_ns.max(f64::MIN_POSITIVE), "x");
+    harness.metric(
+        "batched_inference_throughput",
+        BATCH as f64 / batched_ns * 1e9,
+        "inferences/s",
+    );
+    harness.finish();
+}

@@ -1,1 +1,2 @@
+//! Placeholder bench — reserved for the fig2_breakdown reproduction study (see ROADMAP).
 fn main() {}

@@ -1,1 +1,2 @@
+//! Placeholder bench — reserved for the nns_comparison reproduction study (see ROADMAP).
 fn main() {}

@@ -1,1 +1,2 @@
+//! Placeholder bench — reserved for the table2_array_level reproduction study (see ROADMAP).
 fn main() {}

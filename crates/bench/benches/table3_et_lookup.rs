@@ -1,1 +1,2 @@
+//! Placeholder bench — reserved for the table3_et_lookup reproduction study (see ROADMAP).
 fn main() {}

@@ -1,0 +1,123 @@
+//! Cross-crate equivalence properties of the pooling hot path:
+//!
+//! * the batched f32 path matches the naive per-request path **bit-for-bit**;
+//! * the int8 packed (SWAR/GPCiM) path matches the naive scalar saturating path
+//!   bit-for-bit, and the f32 path within quantization error while unsaturated;
+//! * `pack_embedding` / `unpack_embedding` round-trip on random rows of every width.
+
+use imars_fabric::cma::{pack_embedding, unpack_embedding, PackedTable};
+use imars_recsys::batch::{PoolingBatch, PoolingMode};
+use imars_recsys::quantization::QuantizedTable;
+use imars_recsys::EmbeddingTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn pack_unpack_round_trip_property() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..200 {
+        let dim = rng.gen_range(1..=64usize);
+        let row: Vec<i8> = (0..dim).map(|_| rng.gen_range(-128..=127i32) as i8).collect();
+        let packed = pack_embedding(&row);
+        assert_eq!(packed.len(), dim.div_ceil(8));
+        assert_eq!(unpack_embedding(&packed, dim), row);
+    }
+}
+
+#[test]
+fn batched_f32_pooling_matches_naive_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for &dim in &[8usize, 32, 33] {
+        let table = EmbeddingTable::new(500, dim, 3).unwrap();
+        let requests: Vec<Vec<u32>> = (0..64)
+            .map(|_| {
+                (0..rng.gen_range(0..40usize))
+                    .map(|_| rng.gen_range(0..500u32))
+                    .collect()
+            })
+            .collect();
+        let batch = PoolingBatch::from_requests(&requests);
+        let mut out = vec![0.0f32; batch.len() * dim];
+        table.gather_pool_batch(&batch, PoolingMode::Sum, &mut out).unwrap();
+        for (request, chunk) in requests.iter().zip(out.chunks(dim)) {
+            let naive: Vec<usize> = request.iter().map(|&i| i as usize).collect();
+            assert_eq!(chunk, table.pool(&naive).unwrap().as_slice());
+        }
+    }
+}
+
+#[test]
+fn int8_packed_pooling_matches_naive_scalar_saturating_path() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let dim = 32;
+    let rows: Vec<Vec<i8>> = (0..300)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-128..=127i32) as i8).collect())
+        .collect();
+    let packed = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), dim).unwrap();
+    for _ in 0..100 {
+        let indices: Vec<u32> = (0..rng.gen_range(1..30usize))
+            .map(|_| rng.gen_range(0..300u32))
+            .collect();
+        // Naive scalar reference: sequential per-element saturating adds.
+        let mut expected = vec![0i8; dim];
+        for &index in &indices {
+            for (acc, &value) in expected.iter_mut().zip(rows[index as usize].iter()) {
+                *acc = acc.saturating_add(value);
+            }
+        }
+        assert_eq!(packed.pool(&indices).unwrap(), expected);
+    }
+}
+
+#[test]
+fn int8_packed_pooling_tracks_f32_within_quantization_error() {
+    // One large-magnitude row pins the quantization scale; the pooled rows are small
+    // enough that the int8 accumulator cannot saturate, so the int8 sum must stay within
+    // the accumulated half-step quantization error of the f32 sum.
+    let mut rng = StdRng::seed_from_u64(5);
+    let dim = 32;
+    let pooling_factor = 16;
+    let mut table = EmbeddingTable::zeros(101, dim).unwrap();
+    table.lookup_mut(100).unwrap().fill(1.0); // scale anchor: quantizes to 127
+    for row in 0..100 {
+        let values: Vec<f32> = (0..dim).map(|_| rng.gen_range(-0.05..0.05f32)).collect();
+        table.lookup_mut(row).unwrap().copy_from_slice(&values);
+    }
+    let quantized = QuantizedTable::from_table(&table);
+    let scale = quantized.params().scale;
+    let packed = PackedTable::from_rows(quantized.iter_rows(), dim).unwrap();
+
+    for _ in 0..50 {
+        let indices: Vec<u32> = (0..pooling_factor).map(|_| rng.gen_range(0..100u32)).collect();
+        let int8_sum = packed.pool(&indices).unwrap();
+        let f32_sum = table
+            .pool(&indices.iter().map(|&i| i as usize).collect::<Vec<usize>>())
+            .unwrap();
+        // Worst case |q·scale − v| per row is scale/2; errors add across the pool.
+        let tolerance = scale * 0.5 * pooling_factor as f32 + 1e-5;
+        for (&q, &v) in int8_sum.iter().zip(f32_sum.iter()) {
+            assert!(
+                (q as f32 * scale - v).abs() <= tolerance,
+                "int8 {} (dequant {}) vs f32 {} exceeds tolerance {}",
+                q,
+                q as f32 * scale,
+                v,
+                tolerance
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_rows_feed_the_packed_table_unchanged() {
+    let table = EmbeddingTable::new(50, 16, 9).unwrap();
+    let quantized = QuantizedTable::from_table(&table);
+    let packed = PackedTable::from_rows(quantized.iter_rows(), 16).unwrap();
+    assert_eq!(packed.rows(), 50);
+    for i in 0..50 {
+        assert_eq!(
+            unpack_embedding(packed.row_words(i), 16).as_slice(),
+            quantized.row(i).unwrap()
+        );
+    }
+}

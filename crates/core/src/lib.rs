@@ -1,54 +1,23 @@
 //! iMARS: an in-memory-computing accelerator architecture for recommendation systems.
 //!
-//! This is the core crate of the reproduction of *"iMARS: An In-Memory-Computing
-//! Architecture for Recommendation Systems"* (Li et al., DAC 2022). It assembles the
-//! lower-level crates into the paper's system and its evaluation:
+//! This is the system-assembly crate of the reproduction of *"iMARS: An In-Memory-
+//! Computing Architecture for Recommendation Systems"* (Li et al., DAC 2022). It glues
+//! the lower-level crates together:
 //!
 //! * [`et_mapping`] — maps every embedding table of a RecSys model onto the CMA
 //!   bank/mat/array hierarchy (Table I of the paper);
-//! * [`et_lookup`] — the embedding-table lookup cost model of Sec. IV-C1 (Table III),
-//!   including the worst-case serialization inside one CMA and the RSC/IBC communication
-//!   overhead, compared against the calibrated GPU baseline;
-//! * [`nns_eval`] — the nearest-neighbour-search comparison of Sec. IV-C2 (TCAM threshold
-//!   search vs. GPU cosine and GPU LSH);
-//! * [`dnn_eval`] — the crossbar DNN-stack evaluation;
-//! * [`end_to_end`] — the end-to-end latency/energy/throughput comparison of Sec. IV-C3;
-//! * [`breakdown`] — the operation breakdown of Fig. 2;
-//! * [`accuracy`] — the hit-rate study of Sec. IV-B (FP32 cosine vs. int8 cosine vs.
-//!   int8 LSH-Hamming retrieval);
-//! * [`pipeline`] — a functional iMARS pipeline running on the fabric simulator,
-//!   demonstrating numerical equivalence between the in-memory operations and their
-//!   software references;
-//! * [`design_space`] — parameter sweeps around the paper's design point (adder-tree
-//!   fan-in, CMAs per mat, LSH signature length, NNS threshold).
+//! * [`workloads`] — the paper's two evaluation workloads (YouTubeDNN on MovieLens-1M,
+//!   DLRM on Criteo Kaggle) expressed as embedding-lookup traffic;
+//! * [`error`] — the unified error type wrapping the device/fabric/recsys layers.
 //!
-//! # Quick start
-//!
-//! ```
-//! use imars_core::system::ImarsSystem;
-//!
-//! // Build the paper's design point (B = 32, M = 4, C = 32, 256x256 CMAs).
-//! let system = ImarsSystem::paper_design_point();
-//! // Reproduce the MovieLens filtering-stage ET-lookup row of Table III.
-//! let comparison = system.et_lookup_comparison();
-//! let filtering = &comparison.rows[0];
-//! assert!(filtering.latency_speedup > 10.0);
-//! ```
+//! Higher-level evaluation drivers (ET-lookup cost comparison, NNS comparison,
+//! end-to-end latency/energy, accuracy studies) are tracked as open roadmap items; the
+//! benchmark crate (`imars-bench`) currently provides the measured-performance view.
 
-pub mod accuracy;
-pub mod breakdown;
-pub mod design_space;
-pub mod dnn_eval;
-pub mod end_to_end;
 pub mod error;
-pub mod et_lookup;
 pub mod et_mapping;
-pub mod nns_eval;
-pub mod pipeline;
-pub mod system;
 pub mod workloads;
 
 pub use error::CoreError;
 pub use et_mapping::{EtMapping, EtSpec, MappingSummary};
-pub use system::ImarsSystem;
 pub use workloads::{RecsysWorkload, WorkloadKind};

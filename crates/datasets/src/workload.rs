@@ -119,7 +119,7 @@ mod tests {
     fn users_are_spread_across_the_population() {
         let config = WorkloadConfig::paper_serving(50, 2000);
         let workload = InferenceWorkload::generate(config);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for query in workload.queries() {
             seen[query.user_index] = true;
         }

@@ -73,7 +73,7 @@ fn calibrate_scalar(
     reference: f64,
     report: &mut CalibrationReport,
 ) -> Result<f64, DeviceError> {
-    if !(analytical > 0.0) || !analytical.is_finite() {
+    if analytical <= 0.0 || !analytical.is_finite() {
         return Err(DeviceError::CalibrationOutOfRange {
             quantity: quantity.to_string(),
             ratio: f64::INFINITY,

@@ -145,7 +145,7 @@ impl TechnologyParams {
             ("decoder_delay_ns", self.decoder_delay_ns),
         ];
         for (name, value) in positives {
-            if !(value > 0.0) || !value.is_finite() {
+            if value <= 0.0 || !value.is_finite() {
                 return Err(DeviceError::InvalidParameter {
                     name,
                     reason: format!("must be a positive finite number, got {value}"),

@@ -36,12 +36,174 @@ pub fn pack_embedding(elements: &[i8]) -> Vec<u64> {
 
 /// Unpack `dim` int8 embedding elements from 64-bit words produced by [`pack_embedding`].
 pub fn unpack_embedding(words: &[u64], dim: usize) -> Vec<i8> {
-    (0..dim)
-        .map(|i| {
-            let word = words.get(i / 8).copied().unwrap_or(0);
-            ((word >> ((i % 8) * 8)) & 0xFF) as u8 as i8
+    let mut out = vec![0i8; dim];
+    unpack_embedding_into(words, &mut out);
+    out
+}
+
+/// Unpack int8 embedding elements into a caller-provided buffer (one element per output
+/// slot), with no allocation. Words beyond the input read as zero.
+pub fn unpack_embedding_into(words: &[u64], out: &mut [i8]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let word = words.get(i / 8).copied().unwrap_or(0);
+        *slot = ((word >> ((i % 8) * 8)) & 0xFF) as u8 as i8;
+    }
+}
+
+/// Lane-wise saturating int8 addition of two packed words: each of the 8 bytes is treated
+/// as an `i8` and added with saturation at ±(2⁷−1)/−2⁷, exactly like the GPCiM
+/// accumulator next to the RAM sense amplifiers. Branch-free SWAR, so the software
+/// baseline and the functional simulator share one quantized pooling kernel.
+#[inline]
+pub fn saturating_add_packed_i8(a: u64, b: u64) -> u64 {
+    const SIGN: u64 = 0x8080_8080_8080_8080;
+    const LOW: u64 = !SIGN;
+    // Per-lane wrapping add: sum the low 7 bits, then restore the sign bits with xor so
+    // no carry crosses a lane boundary.
+    let wrapped = ((a & LOW) + (b & LOW)) ^ ((a ^ b) & SIGN);
+    // Signed overflow per lane: operands share a sign that differs from the result's.
+    let overflow = !(a ^ b) & (a ^ wrapped) & SIGN;
+    // Spread each lane's overflow bit to the full byte, and build the saturated value
+    // from the operand sign: negative lanes clamp to 0x80 (−128), positive to 0x7F (127).
+    let mask = (overflow >> 7).wrapping_mul(0xFF);
+    let saturated = LOW ^ ((a & SIGN) >> 7).wrapping_mul(0xFF);
+    (wrapped & !mask) | (saturated & mask)
+}
+
+/// Accumulate one packed row into a packed accumulator with lane-wise saturating int8
+/// adds. Rows shorter than the accumulator contribute zero to the remaining words.
+#[inline]
+pub fn saturating_accumulate_packed(acc: &mut [u64], row: &[u64]) {
+    for (a, &r) in acc.iter_mut().zip(row.iter()) {
+        *a = saturating_add_packed_i8(*a, r);
+    }
+}
+
+/// A dense int8 embedding table stored in the packed row format of the CMA (8 elements
+/// per 64-bit word, little-endian bytes) — the software twin of a bank of RAM-mode rows.
+///
+/// Pooling over a `PackedTable` runs the same [`saturating_add_packed_i8`] kernel the
+/// functional CMA simulator uses, so the two produce bit-identical int8 sums; it serves
+/// as the int8 software baseline in the benchmark suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedTable {
+    rows: usize,
+    dim: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl PackedTable {
+    /// Pack a sequence of int8 rows, all of length `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::DimensionMismatch`] if any row is not `dim` long.
+    pub fn from_rows<'a, I>(rows: I, dim: usize) -> Result<Self, FabricError>
+    where
+        I: IntoIterator<Item = &'a [i8]>,
+    {
+        let words_per_row = dim.div_ceil(8).max(1);
+        let mut data = Vec::new();
+        let mut count = 0usize;
+        for row in rows {
+            if row.len() != dim {
+                return Err(FabricError::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                    what: "packed table row",
+                });
+            }
+            let start = data.len();
+            data.resize(start + words_per_row, 0);
+            for (i, &value) in row.iter().enumerate() {
+                data[start + i / 8] |= (value as u8 as u64) << ((i % 8) * 8);
+            }
+            count += 1;
+        }
+        Ok(Self {
+            rows: count,
+            dim,
+            words_per_row,
+            data,
         })
-        .collect()
+    }
+
+    /// Number of packed rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Elements per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// 64-bit words per packed row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of one row. Panics if `index` is out of range.
+    #[inline]
+    pub fn row_words(&self, index: usize) -> &[u64] {
+        &self.data[index * self.words_per_row..(index + 1) * self.words_per_row]
+    }
+
+    /// Pool the selected rows with lane-wise saturating int8 addition, writing the
+    /// unpacked sum into `out` and using `acc` as the packed accumulator — no allocation.
+    /// An empty selection pools to the zero vector.
+    ///
+    /// The accumulation order is the index order, matching the serialized in-CMA GPCiM
+    /// additions, so the result is bit-identical to [`CmaArray::pool_rows`] over the same
+    /// rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::DimensionMismatch`] if `acc` is not `words_per_row` long or
+    /// `out` is not `dim` long, and [`FabricError::RowOutOfRange`] for a bad row index.
+    pub fn pool_into(&self, indices: &[u32], acc: &mut [u64], out: &mut [i8]) -> Result<(), FabricError> {
+        if acc.len() != self.words_per_row {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.words_per_row,
+                actual: acc.len(),
+                what: "packed accumulator words",
+            });
+        }
+        if out.len() != self.dim {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.dim,
+                actual: out.len(),
+                what: "pooling output elements",
+            });
+        }
+        for &index in indices {
+            if index as usize >= self.rows {
+                return Err(FabricError::RowOutOfRange {
+                    row: index as usize,
+                    rows: self.rows,
+                });
+            }
+        }
+        acc.fill(0);
+        for &index in indices {
+            saturating_accumulate_packed(acc, self.row_words(index as usize));
+        }
+        unpack_embedding_into(acc, out);
+        Ok(())
+    }
+
+    /// Convenience allocating wrapper around [`PackedTable::pool_into`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`PackedTable::pool_into`].
+    pub fn pool(&self, indices: &[u32]) -> Result<Vec<i8>, FabricError> {
+        let mut acc = vec![0u64; self.words_per_row];
+        let mut out = vec![0i8; self.dim];
+        self.pool_into(indices, &mut acc, &mut out)?;
+        Ok(out)
+    }
 }
 
 /// Number of 64-bit words needed to hold `bits` bits.
@@ -231,18 +393,17 @@ impl CmaArray {
         for &row in rows {
             self.check_row(row)?;
         }
-        let mut sum = vec![0i8; dim];
+        // Shared quantized pooling kernel: lane-wise saturating adds on the packed words
+        // (identical per-element semantics to unpacking and saturating_add-ing one row at
+        // a time, since no carry crosses a lane). Unwritten rows contribute zero.
+        let mut acc = vec![0u64; words_for_bits(dim * 8)];
         for &row in rows {
-            let bits = self
-                .data
-                .get(&row)
-                .map(|r| r.bits.as_slice())
-                .unwrap_or(&[]);
-            let embedding = unpack_embedding(bits, dim);
-            for (acc, value) in sum.iter_mut().zip(embedding.iter()) {
-                *acc = acc.saturating_add(*value);
+            if let Some(stored) = self.data.get(&row) {
+                saturating_accumulate_packed(&mut acc, &stored.bits);
             }
         }
+        let mut sum = vec![0i8; dim];
+        unpack_embedding_into(&acc, &mut sum);
         let cost = Cost::from_fom(self.fom.cma.read)
             .serial(Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1));
         let mut outcome = Outcome::single(sum, CostComponent::CmaRead, Cost::from_fom(self.fom.cma.read));
@@ -325,6 +486,110 @@ mod tests {
         let values = vec![-128i8, 127, -1, 0];
         let packed = pack_embedding(&values);
         assert_eq!(unpack_embedding(&packed, 4), values);
+    }
+
+    #[test]
+    fn swar_saturating_add_matches_scalar_for_all_pairs() {
+        // Exhaustive over every (i8, i8) pair, packed 8 pairs per word.
+        let mut pairs: Vec<(i8, i8)> = Vec::with_capacity(1 << 16);
+        for a in i8::MIN..=i8::MAX {
+            for b in i8::MIN..=i8::MAX {
+                pairs.push((a, b));
+            }
+        }
+        for chunk in pairs.chunks(8) {
+            let a: Vec<i8> = chunk.iter().map(|p| p.0).collect();
+            let b: Vec<i8> = chunk.iter().map(|p| p.1).collect();
+            let packed = saturating_add_packed_i8(pack_embedding(&a)[0], pack_embedding(&b)[0]);
+            let result = unpack_embedding(&[packed], chunk.len());
+            let expected: Vec<i8> = chunk.iter().map(|p| p.0.saturating_add(p.1)).collect();
+            assert_eq!(result, expected, "lanes {a:?} + {b:?}");
+        }
+    }
+
+    #[test]
+    fn unpack_into_matches_allocating_unpack() {
+        let values: Vec<i8> = (-60..60).step_by(7).collect();
+        let packed = pack_embedding(&values);
+        let mut out = vec![0i8; values.len()];
+        unpack_embedding_into(&packed, &mut out);
+        assert_eq!(out, unpack_embedding(&packed, values.len()));
+    }
+
+    #[test]
+    fn packed_table_round_trips_rows() {
+        let rows: Vec<Vec<i8>> = (0..5)
+            .map(|r| (0..13).map(|i| (r * 17 + i * 3 - 40) as i8).collect())
+            .collect();
+        let table = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 13).unwrap();
+        assert_eq!(table.rows(), 5);
+        assert_eq!(table.dim(), 13);
+        assert_eq!(table.words_per_row(), 2);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&unpack_embedding(table.row_words(i), 13), row);
+        }
+    }
+
+    #[test]
+    fn packed_table_rejects_ragged_rows() {
+        let a = [1i8; 8];
+        let b = [1i8; 7];
+        let result = PackedTable::from_rows([a.as_slice(), b.as_slice()], 8);
+        assert!(matches!(result, Err(FabricError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn packed_table_pool_matches_scalar_saturating_reference() {
+        let rows: Vec<Vec<i8>> = vec![
+            vec![100i8; 32],
+            vec![50i8; 32],
+            vec![-128i8; 32],
+            (0..32).map(|i| (i as i8) - 16).collect(),
+        ];
+        let table = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32).unwrap();
+        let selections: Vec<Vec<u32>> = vec![vec![], vec![3], vec![0, 1], vec![0, 1, 2, 3], vec![2, 2, 0]];
+        for indices in &selections {
+            let mut expected = vec![0i8; 32];
+            for &index in indices {
+                for (acc, &v) in expected.iter_mut().zip(rows[index as usize].iter()) {
+                    *acc = acc.saturating_add(v);
+                }
+            }
+            assert_eq!(table.pool(indices).unwrap(), expected, "selection {indices:?}");
+        }
+    }
+
+    #[test]
+    fn packed_table_pool_matches_cma_pool_rows() {
+        let rows: Vec<Vec<i8>> = (0..6)
+            .map(|r| (0..32).map(|i| ((r * 31 + i * 13) % 255 - 127) as i8).collect())
+            .collect();
+        let table = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32).unwrap();
+        let mut cma = array();
+        for (i, row) in rows.iter().enumerate() {
+            cma.write_embedding(i, row).unwrap();
+        }
+        let indices: Vec<u32> = vec![0, 2, 3, 5, 2];
+        let rows_usize: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+        assert_eq!(
+            table.pool(&indices).unwrap(),
+            cma.pool_rows(&rows_usize, 32).unwrap().value
+        );
+    }
+
+    #[test]
+    fn packed_table_pool_into_validates() {
+        let rows = [[1i8; 8]];
+        let table = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 8).unwrap();
+        let mut acc = vec![0u64; 1];
+        let mut out = vec![0i8; 8];
+        assert!(table.pool_into(&[5], &mut acc, &mut out).is_err());
+        let mut bad_acc = vec![0u64; 2];
+        assert!(table.pool_into(&[0], &mut bad_acc, &mut out).is_err());
+        let mut bad_out = vec![0i8; 4];
+        assert!(table.pool_into(&[0], &mut acc, &mut bad_out).is_err());
+        assert!(table.pool_into(&[0], &mut acc, &mut out).is_ok());
+        assert_eq!(out, vec![1i8; 8]);
     }
 
     #[test]

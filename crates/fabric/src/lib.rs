@@ -46,7 +46,7 @@ pub mod interconnect;
 pub mod mat;
 
 pub use bank::CmaBank;
-pub use cma::CmaArray;
+pub use cma::{CmaArray, PackedTable};
 pub use config::FabricConfig;
 pub use cost::{Cost, CostBreakdown, CostComponent, Outcome};
 pub use crossbar::{CrossbarArray, CrossbarBank};

@@ -185,6 +185,7 @@ impl GpuModel {
     /// End-to-end cost of one MovieLens query: filtering (ET lookup, DNN stack, NNS) plus
     /// ranking of `candidates` items (ET lookup and DNN per candidate, partially batched)
     /// plus the final top-k.
+    #[allow(clippy::too_many_arguments)]
     pub fn end_to_end_movielens(
         &self,
         filtering: &EtLookupWorkload,

@@ -164,12 +164,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn hit_rates_are_ordered() {
         assert!(REPORTED_HIT_RATES.fp32_cosine >= REPORTED_HIT_RATES.int8_cosine);
         assert!(REPORTED_HIT_RATES.int8_cosine > REPORTED_HIT_RATES.int8_lsh_hamming);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn speedups_are_greater_than_one() {
         for speedup in [
             SPEEDUP_ET_MOVIELENS_FILTERING,

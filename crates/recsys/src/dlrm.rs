@@ -14,9 +14,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::par_runs;
 use crate::embedding::EmbeddingTable;
 use crate::error::RecsysError;
-use crate::mlp::{Activation, Mlp};
+use crate::mlp::{Activation, Mlp, MlpScratch};
 use crate::nns::dot;
 
 /// Structural configuration of the DLRM model.
@@ -75,7 +76,7 @@ impl DlrmConfig {
                 reason: "DLRM needs at least one categorical feature".to_string(),
             });
         }
-        if self.sparse_cardinalities.iter().any(|&c| c == 0) {
+        if self.sparse_cardinalities.contains(&0) {
             return Err(RecsysError::InvalidConfig {
                 reason: "categorical feature cardinalities must be nonzero".to_string(),
             });
@@ -144,6 +145,19 @@ pub struct Dlrm {
     bottom_mlp: Mlp,
     embedding_tables: Vec<EmbeddingTable>,
     top_mlp: Mlp,
+}
+
+/// The single-sample forward intermediates: the dense embedding, every feature vector
+/// (dense first), and the pairwise interactions.
+type ForwardFeatures = (Vec<f32>, Vec<Vec<f32>>, Vec<f32>);
+
+/// Per-worker buffers for allocation-free batched DLRM inference.
+#[derive(Debug, Clone)]
+struct DlrmScratch {
+    bottom: MlpScratch,
+    top: MlpScratch,
+    dense_embedding: Vec<f32>,
+    top_input: Vec<f32>,
 }
 
 impl Dlrm {
@@ -220,7 +234,7 @@ impl Dlrm {
 
     /// Gather the per-field embedding vectors plus the dense embedding, and their pairwise
     /// interactions.
-    fn forward_features(&self, sample: &DlrmSample) -> Result<(Vec<f32>, Vec<Vec<f32>>, Vec<f32>), RecsysError> {
+    fn forward_features(&self, sample: &DlrmSample) -> Result<ForwardFeatures, RecsysError> {
         self.validate_sample(sample)?;
         let dense_embedding = self.bottom_mlp.forward(&sample.dense)?;
         let mut vectors: Vec<Vec<f32>> = Vec::with_capacity(self.embedding_tables.len() + 1);
@@ -248,6 +262,80 @@ impl Dlrm {
         let mut top_input = dense_embedding;
         top_input.extend(interactions);
         Ok(self.top_mlp.forward(&top_input)?[0])
+    }
+
+    /// Build per-worker scratch buffers for batched inference.
+    fn inference_scratch(&self) -> DlrmScratch {
+        DlrmScratch {
+            bottom: self.bottom_mlp.scratch(),
+            top: self.top_mlp.scratch(),
+            dense_embedding: vec![0.0; self.config.embedding_dim],
+            top_input: vec![0.0; self.config.top_input_width()],
+        }
+    }
+
+    /// The feature vector with interaction index `i` (0 = the dense embedding, `i > 0` =
+    /// the embedding row of sparse field `i - 1`). Indices must already be validated.
+    #[inline]
+    fn feature_vector<'a>(&'a self, sample: &DlrmSample, dense_embedding: &'a [f32], i: usize) -> &'a [f32] {
+        if i == 0 {
+            dense_embedding
+        } else {
+            self.embedding_tables[i - 1].row(sample.sparse[i - 1])
+        }
+    }
+
+    /// Score one pre-validated sample using only the scratch buffers (no allocation, no
+    /// error path). Arithmetic is identical to [`Dlrm::predict`], so results match
+    /// bit-for-bit.
+    fn predict_validated(&self, sample: &DlrmSample, scratch: &mut DlrmScratch) -> f32 {
+        let dim = self.config.embedding_dim;
+        let dense = self
+            .bottom_mlp
+            .forward_into(&sample.dense, &mut scratch.bottom)
+            .expect("sample validated before batch dispatch");
+        scratch.dense_embedding.copy_from_slice(dense);
+        scratch.top_input[..dim].copy_from_slice(&scratch.dense_embedding);
+        let vectors = self.embedding_tables.len() + 1;
+        let mut offset = dim;
+        for i in 0..vectors {
+            let vi = self.feature_vector(sample, &scratch.dense_embedding, i);
+            for j in (i + 1)..vectors {
+                let vj = self.feature_vector(sample, &scratch.dense_embedding, j);
+                scratch.top_input[offset] = dot(vi, vj);
+                offset += 1;
+            }
+        }
+        self.top_mlp
+            .forward_into(&scratch.top_input, &mut scratch.top)
+            .expect("top input width is fixed by the config")[0]
+    }
+
+    /// Batched forward pass: the predicted click-through rate for every sample, with zero
+    /// per-lookup allocation (embedding rows are gathered as slices, activations live in
+    /// per-worker scratch buffers) and the samples fanned out across CPU cores.
+    ///
+    /// Per sample the result is bit-identical to [`Dlrm::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sample's shape is wrong or any categorical index is out of
+    /// range; validation happens before any inference work.
+    pub fn predict_batch(&self, samples: &[DlrmSample]) -> Result<Vec<f32>, RecsysError> {
+        for sample in samples {
+            self.validate_sample(sample)?;
+            for (table, index) in self.embedding_tables.iter().zip(sample.sparse.iter()) {
+                table.check_indices(std::slice::from_ref(index))?;
+            }
+        }
+        let mut out = vec![0.0f32; samples.len()];
+        par_runs(&mut out, |first, run| {
+            let mut scratch = self.inference_scratch();
+            for (i, slot) in run.iter_mut().enumerate() {
+                *slot = self.predict_validated(&samples[first + i], &mut scratch);
+            }
+        });
+        Ok(out)
     }
 
     /// One binary-cross-entropy SGD step on a labelled sample (`label` 1.0 = click).
@@ -435,6 +523,38 @@ mod tests {
             model.train_step(&negative, 0.0, 0.05).unwrap();
         }
         assert!(model.predict(&positive).unwrap() > model.predict(&negative).unwrap());
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bit_for_bit() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let samples: Vec<DlrmSample> = (0..137)
+            .map(|_| DlrmSample {
+                dense: (0..4).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+                sparse: vec![rng.gen_range(0..10), rng.gen_range(0..20), rng.gen_range(0..5)],
+            })
+            .collect();
+        let batch = model.predict_batch(&samples).unwrap();
+        assert_eq!(batch.len(), samples.len());
+        for (sample, &score) in samples.iter().zip(batch.iter()) {
+            assert_eq!(score, model.predict(sample).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_batch_validates_before_scoring() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let mut bad = tiny_sample();
+        bad.sparse[0] = 999;
+        assert!(matches!(
+            model.predict_batch(&[tiny_sample(), bad]),
+            Err(RecsysError::IndexOutOfRange { .. })
+        ));
+        let mut bad = tiny_sample();
+        bad.dense.pop();
+        assert!(model.predict_batch(&[bad]).is_err());
+        assert!(model.predict_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! This crate implements those models from scratch, together with every algorithmic
 //! ingredient the hardware mapping relies on:
 //!
-//! * [`embedding`] — embedding tables with lookup, sum-pooling and SGD updates;
+//! * [`embedding`] — embedding tables with lookup, sum-pooling and SGD updates, plus the
+//!   zero-allocation batched gather/pool hot path;
+//! * [`batch`] — CSR pooling batches and the scoped-thread fan-out helpers;
 //! * [`mlp`] — fully connected networks with ReLU/sigmoid activations and backpropagation;
 //! * [`youtube_dnn`] / [`dlrm`] — the two paper models;
 //! * [`quantization`] — int8 symmetric quantization of embeddings (the format stored in
@@ -23,6 +25,7 @@
 //! * [`training`] — sampled-softmax / logistic-loss training loops used by the accuracy
 //!   experiments.
 
+pub mod batch;
 pub mod dlrm;
 pub mod embedding;
 pub mod error;
@@ -36,11 +39,12 @@ pub mod topk;
 pub mod training;
 pub mod youtube_dnn;
 
+pub use batch::{PoolingBatch, PoolingMode};
 pub use dlrm::{Dlrm, DlrmConfig};
 pub use embedding::EmbeddingTable;
 pub use error::RecsysError;
 pub use features::{DenseFeatures, SparseFeatures, SparseFieldSpec};
 pub use lsh::RandomHyperplaneLsh;
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpScratch};
 pub use quantization::{QuantizationParams, QuantizedTable};
 pub use youtube_dnn::{YoutubeDnn, YoutubeDnnConfig};

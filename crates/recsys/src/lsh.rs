@@ -174,7 +174,7 @@ mod tests {
         let lsh = RandomHyperplaneLsh::new(32, 256, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let base: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
-        let nearby: Vec<f32> = base.iter().map(|x| x + rng.gen_range(-0.05..0.05)).collect();
+        let nearby: Vec<f32> = base.iter().map(|x| x + rng.gen_range(-0.05..0.05f32)).collect();
         let orthogonalish: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
         let s_base = lsh.signature(&base).unwrap();
         let s_near = lsh.signature(&nearby).unwrap();
@@ -211,9 +211,9 @@ mod tests {
         for &index in &within {
             assert!(RandomHyperplaneLsh::hamming(&query, &signatures[index]) <= radius);
         }
-        for index in 0..signatures.len() {
+        for (index, signature) in signatures.iter().enumerate() {
             if !within.contains(&index) {
-                assert!(RandomHyperplaneLsh::hamming(&query, &signatures[index]) > radius);
+                assert!(RandomHyperplaneLsh::hamming(&query, signature) > radius);
             }
         }
     }

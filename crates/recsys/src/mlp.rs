@@ -76,6 +76,12 @@ impl DenseLayer {
 
     fn forward(&self, input: &[f32]) -> Vec<f32> {
         let mut output = vec![0.0f32; self.outputs];
+        self.forward_into(input, &mut output);
+        output
+    }
+
+    /// Forward pass into a caller-provided output buffer of exactly `outputs` elements.
+    fn forward_into(&self, input: &[f32], output: &mut [f32]) {
         for (o, out) in output.iter_mut().enumerate() {
             let mut sum = self.bias[o];
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
@@ -84,7 +90,6 @@ impl DenseLayer {
             }
             *out = self.activation.apply(sum);
         }
-        output
     }
 
     /// Backward pass: given the gradient w.r.t. this layer's output, update the weights
@@ -119,6 +124,14 @@ pub struct Mlp {
     layers: Vec<DenseLayer>,
 }
 
+/// Reusable ping-pong activation buffers for allocation-free forward passes. Create one
+/// per worker with [`Mlp::scratch`] and reuse it across every sample the worker serves.
+#[derive(Debug, Clone)]
+pub struct MlpScratch {
+    front: Vec<f32>,
+    back: Vec<f32>,
+}
+
 impl Mlp {
     /// Build an MLP with the given layer sizes. `sizes[0]` is the input width; every
     /// hidden layer uses ReLU; the output layer uses `output_activation`.
@@ -133,7 +146,7 @@ impl Mlp {
                 reason: format!("an MLP needs at least input and output sizes, got {}", sizes.len()),
             });
         }
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Err(RecsysError::InvalidConfig {
                 reason: "layer sizes must be nonzero".to_string(),
             });
@@ -180,12 +193,42 @@ impl Mlp {
         self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
     }
 
+    /// Build scratch buffers sized for this network, for use with [`Mlp::forward_into`].
+    pub fn scratch(&self) -> MlpScratch {
+        let width = self
+            .layers
+            .iter()
+            .map(|l| l.inputs.max(l.outputs))
+            .max()
+            .unwrap_or(0);
+        MlpScratch {
+            front: vec![0.0; width],
+            back: vec![0.0; width],
+        }
+    }
+
     /// Forward inference.
     ///
     /// # Errors
     ///
     /// Returns [`RecsysError::ShapeMismatch`] if the input width is wrong.
     pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, RecsysError> {
+        let mut scratch = self.scratch();
+        Ok(self.forward_into(input, &mut scratch)?.to_vec())
+    }
+
+    /// Allocation-free forward inference into reusable scratch buffers: the batched
+    /// serving hot path. Returns the output activations as a borrow of the scratch.
+    /// Bit-identical to [`Mlp::forward`] (same per-layer arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::ShapeMismatch`] if the input width is wrong.
+    pub fn forward_into<'s>(
+        &self,
+        input: &[f32],
+        scratch: &'s mut MlpScratch,
+    ) -> Result<&'s [f32], RecsysError> {
         if input.len() != self.input_dim() {
             return Err(RecsysError::ShapeMismatch {
                 what: "mlp input",
@@ -193,11 +236,16 @@ impl Mlp {
                 actual: input.len(),
             });
         }
-        let mut activations = input.to_vec();
+        let mut src: &mut Vec<f32> = &mut scratch.front;
+        let mut dst: &mut Vec<f32> = &mut scratch.back;
+        src[..input.len()].copy_from_slice(input);
+        let mut width = input.len();
         for layer in &self.layers {
-            activations = layer.forward(&activations);
+            layer.forward_into(&src[..width], &mut dst[..layer.outputs]);
+            width = layer.outputs;
+            std::mem::swap(&mut src, &mut dst);
         }
-        Ok(activations)
+        Ok(&src[..width])
     }
 
     /// Forward pass keeping every intermediate activation (needed for backpropagation).
@@ -293,6 +341,20 @@ mod tests {
         let a = Mlp::new(&[8, 4, 2], Activation::Linear, 9).unwrap();
         let b = Mlp::new(&[8, 4, 2], Activation::Linear, 9).unwrap();
         assert_eq!(a.forward(&[0.3; 8]).unwrap(), b.forward(&[0.3; 8]).unwrap());
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bit_for_bit() {
+        let mlp = Mlp::new(&[6, 16, 4, 2], Activation::Sigmoid, 77).unwrap();
+        let mut scratch = mlp.scratch();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let input: Vec<f32> = (0..6).map(|_| rng.gen_range(-2.0..2.0f32)).collect();
+            let expected = mlp.forward(&input).unwrap();
+            let got = mlp.forward_into(&input, &mut scratch).unwrap();
+            assert_eq!(got, expected.as_slice());
+        }
+        assert!(mlp.forward_into(&[0.0; 5], &mut scratch).is_err());
     }
 
     #[test]

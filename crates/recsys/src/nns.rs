@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::par_runs;
 use crate::error::RecsysError;
 use crate::topk::top_k_by_score;
 
@@ -147,6 +148,46 @@ impl ExactIndex {
         Ok(top_k_by_score(&scored, k))
     }
 
+    /// Batched exact top-k search over `queries.len() / dim` queries packed row-major
+    /// into one flat slice, fanned out across CPU cores with one reusable score buffer
+    /// per worker. Per query the result is identical to [`ExactIndex::top_k`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecsysError::ShapeMismatch`] if `queries` is not a whole number of
+    /// `dim`-wide rows.
+    pub fn top_k_batch(
+        &self,
+        queries: &[f32],
+        k: usize,
+        metric: Metric,
+    ) -> Result<Vec<Vec<usize>>, RecsysError> {
+        if !queries.len().is_multiple_of(self.dim) {
+            return Err(RecsysError::ShapeMismatch {
+                what: "query batch",
+                expected: self.dim,
+                actual: queries.len() % self.dim,
+            });
+        }
+        let mut results: Vec<Vec<usize>> = vec![Vec::new(); queries.len() / self.dim];
+        par_runs(&mut results, |first, run| {
+            let mut scored: Vec<(usize, f32)> = Vec::with_capacity(self.items.len());
+            for (i, slot) in run.iter_mut().enumerate() {
+                let query = &queries[(first + i) * self.dim..][..self.dim];
+                scored.clear();
+                scored.extend(self.items.iter().enumerate().map(|(index, item)| {
+                    let score = match metric {
+                        Metric::Cosine => cosine_similarity(query, item),
+                        Metric::DotProduct => dot(query, item),
+                    };
+                    (index, score)
+                }));
+                *slot = top_k_by_score(&scored, k);
+            }
+        });
+        Ok(results)
+    }
+
     /// All items whose similarity to the query is at least `threshold` (the exact-search
     /// analogue of the fixed-radius TCAM search).
     ///
@@ -240,6 +281,28 @@ mod tests {
         let index = ExactIndex::new(2, items).unwrap();
         let hits = index.within_threshold(&[1.0, 0.0], 0.8, Metric::Cosine).unwrap();
         assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_batch_matches_single_query_top_k() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(44);
+        let items: Vec<Vec<f32>> = (0..40)
+            .map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+            .collect();
+        let index = ExactIndex::new(8, items).unwrap();
+        let queries: Vec<f32> = (0..60 * 8).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        for metric in [Metric::Cosine, Metric::DotProduct] {
+            let batch = index.top_k_batch(&queries, 5, metric).unwrap();
+            assert_eq!(batch.len(), 60);
+            for (i, result) in batch.iter().enumerate() {
+                let query = &queries[i * 8..(i + 1) * 8];
+                assert_eq!(result, &index.top_k(query, 5, metric).unwrap());
+            }
+        }
+        assert!(index.top_k_batch(&queries[..7], 5, Metric::Cosine).is_err());
+        assert!(index.top_k_batch(&[], 5, Metric::Cosine).unwrap().is_empty());
     }
 
     #[test]

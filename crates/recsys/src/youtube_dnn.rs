@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{par_chunks, par_runs};
 use crate::embedding::EmbeddingTable;
 use crate::error::RecsysError;
 use crate::mlp::{Activation, Mlp};
@@ -242,13 +243,32 @@ impl YoutubeDnn {
         profile.history.len() + profile.genres.len() + 3 + 1 + 1
     }
 
+    /// Validate every index a filtering-stage forward pass will touch.
+    fn validate_filtering_profile(&self, profile: &UserProfile) -> Result<(), RecsysError> {
+        self.history_table.check_indices(&profile.history)?;
+        self.genre_table.check_indices(&profile.genres)?;
+        self.age_table.check_indices(std::slice::from_ref(&profile.age_group))?;
+        self.gender_table.check_indices(std::slice::from_ref(&profile.gender))?;
+        self.occupation_table
+            .check_indices(std::slice::from_ref(&profile.occupation))?;
+        Ok(())
+    }
+
+    /// Fill the concatenated filtering input into a caller-provided `5 × dim` buffer with
+    /// no per-field allocation.
+    fn filtering_input_into(&self, profile: &UserProfile, out: &mut [f32]) -> Result<(), RecsysError> {
+        let dim = self.config.embedding_dim;
+        self.history_table.pool_mean_into(&profile.history, &mut out[..dim])?;
+        self.genre_table.pool_mean_into(&profile.genres, &mut out[dim..2 * dim])?;
+        out[2 * dim..3 * dim].copy_from_slice(self.age_table.lookup(profile.age_group)?);
+        out[3 * dim..4 * dim].copy_from_slice(self.gender_table.lookup(profile.gender)?);
+        out[4 * dim..5 * dim].copy_from_slice(self.occupation_table.lookup(profile.occupation)?);
+        Ok(())
+    }
+
     fn filtering_input(&self, profile: &UserProfile) -> Result<Vec<f32>, RecsysError> {
-        let mut input = Vec::with_capacity(Self::FILTERING_UIETS * self.config.embedding_dim);
-        input.extend(self.history_table.pool_mean(&profile.history)?);
-        input.extend(self.genre_table.pool_mean(&profile.genres)?);
-        input.extend(self.age_table.lookup(profile.age_group)?);
-        input.extend(self.gender_table.lookup(profile.gender)?);
-        input.extend(self.occupation_table.lookup(profile.occupation)?);
+        let mut input = vec![0.0; Self::FILTERING_UIETS * self.config.embedding_dim];
+        self.filtering_input_into(profile, &mut input)?;
         Ok(input)
     }
 
@@ -262,6 +282,53 @@ impl YoutubeDnn {
         self.filtering_mlp.forward(&input)
     }
 
+    /// Batched filtering-stage forward pass: the user embeddings of every profile packed
+    /// row-major into one flat buffer, computed with per-worker scratch (no per-profile
+    /// field allocation) and the profiles fanned out across CPU cores.
+    ///
+    /// Per profile the result is bit-identical to [`YoutubeDnn::user_embedding`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any profile index is out of range; validation happens before
+    /// any inference work.
+    pub fn user_embedding_batch(&self, profiles: &[UserProfile]) -> Result<Vec<f32>, RecsysError> {
+        for profile in profiles {
+            self.validate_filtering_profile(profile)?;
+        }
+        let out_dim = self.filtering_mlp.output_dim();
+        let mut out = vec![0.0f32; profiles.len() * out_dim];
+        par_chunks(&mut out, out_dim, |first, run| {
+            let mut input = vec![0.0f32; Self::FILTERING_UIETS * self.config.embedding_dim];
+            let mut scratch = self.filtering_mlp.scratch();
+            for (i, slot) in run.chunks_mut(out_dim).enumerate() {
+                self.filtering_input_into(&profiles[first + i], &mut input)
+                    .expect("profile validated before batch dispatch");
+                let user = self
+                    .filtering_mlp
+                    .forward_into(&input, &mut scratch)
+                    .expect("input width is fixed by the config");
+                slot.copy_from_slice(user);
+            }
+        });
+        Ok(out)
+    }
+
+    /// An exact-search index over the item embedding table (the FAISS-style software
+    /// baseline). Build it once and reuse it across queries — constructing it copies the
+    /// whole ItET.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table is structurally invalid (cannot happen for a table
+    /// built by [`YoutubeDnn::new`]).
+    pub fn item_index(&self) -> Result<ExactIndex, RecsysError> {
+        ExactIndex::new(
+            self.config.embedding_dim,
+            self.item_table.iter_rows().map(|row| row.to_vec()).collect(),
+        )
+    }
+
     /// Retrieve the `k` candidate items whose embeddings are nearest (cosine) to the
     /// user embedding — the exact-search (FAISS-style) filtering baseline.
     ///
@@ -270,22 +337,46 @@ impl YoutubeDnn {
     /// Returns an error if any profile index is out of range.
     pub fn filtering_candidates(&self, profile: &UserProfile, k: usize) -> Result<Vec<usize>, RecsysError> {
         let user = self.user_embedding(profile)?;
-        let index = ExactIndex::new(
-            self.config.embedding_dim,
-            self.item_table.iter_rows().map(|row| row.to_vec()).collect(),
-        )?;
-        index.top_k(&user, k, Metric::Cosine)
+        self.item_index()?.top_k(&user, k, Metric::Cosine)
+    }
+
+    /// Batched candidate retrieval: one ItET index build serves the whole batch, user
+    /// embeddings and searches are computed batch-at-a-time across CPU cores. Per profile
+    /// the result is identical to [`YoutubeDnn::filtering_candidates`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any profile index is out of range.
+    pub fn filtering_candidates_batch(
+        &self,
+        profiles: &[UserProfile],
+        k: usize,
+    ) -> Result<Vec<Vec<usize>>, RecsysError> {
+        if self.filtering_mlp.output_dim() != self.config.embedding_dim {
+            return Err(RecsysError::ShapeMismatch {
+                what: "user embedding",
+                expected: self.config.embedding_dim,
+                actual: self.filtering_mlp.output_dim(),
+            });
+        }
+        let users = self.user_embedding_batch(profiles)?;
+        self.item_index()?.top_k_batch(&users, k, Metric::Cosine)
+    }
+
+    /// Fill the shared (item-independent) prefix of the ranking input: the six UIET
+    /// segments. The final `dim` slots are left for the per-item embedding.
+    fn ranking_prefix_into(&self, profile: &UserProfile, out: &mut [f32]) -> Result<(), RecsysError> {
+        let dim = self.config.embedding_dim;
+        self.filtering_input_into(profile, &mut out[..Self::FILTERING_UIETS * dim])?;
+        out[5 * dim..6 * dim].copy_from_slice(self.ranking_context_table.lookup(profile.ranking_context)?);
+        Ok(())
     }
 
     fn ranking_input(&self, profile: &UserProfile, item: usize) -> Result<Vec<f32>, RecsysError> {
-        let mut input = Vec::with_capacity((Self::RANKING_UIETS + 1) * self.config.embedding_dim);
-        input.extend(self.history_table.pool_mean(&profile.history)?);
-        input.extend(self.genre_table.pool_mean(&profile.genres)?);
-        input.extend(self.age_table.lookup(profile.age_group)?);
-        input.extend(self.gender_table.lookup(profile.gender)?);
-        input.extend(self.occupation_table.lookup(profile.occupation)?);
-        input.extend(self.ranking_context_table.lookup(profile.ranking_context)?);
-        input.extend(self.item_table.lookup(item)?);
+        let dim = self.config.embedding_dim;
+        let mut input = vec![0.0; (Self::RANKING_UIETS + 1) * dim];
+        self.ranking_prefix_into(profile, &mut input)?;
+        input[Self::RANKING_UIETS * dim..].copy_from_slice(self.item_table.lookup(item)?);
         Ok(input)
     }
 
@@ -299,7 +390,47 @@ impl YoutubeDnn {
         Ok(self.ranking_mlp.forward(&input)?[0])
     }
 
+    /// Score a batch of candidate items for one user. The six item-independent UIET
+    /// segments are pooled once for the whole batch (instead of once per item), the
+    /// per-item tail is gathered as a slice, and the items are fanned out across CPU
+    /// cores with per-worker scratch. Per item the score is bit-identical to
+    /// [`YoutubeDnn::ranking_score`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range; validation happens before any
+    /// scoring work.
+    pub fn ranking_scores_batch(
+        &self,
+        profile: &UserProfile,
+        items: &[usize],
+    ) -> Result<Vec<f32>, RecsysError> {
+        self.validate_filtering_profile(profile)?;
+        self.ranking_context_table
+            .check_indices(std::slice::from_ref(&profile.ranking_context))?;
+        self.item_table.check_indices(items)?;
+        let dim = self.config.embedding_dim;
+        let mut prefix = vec![0.0f32; (Self::RANKING_UIETS + 1) * dim];
+        self.ranking_prefix_into(profile, &mut prefix)
+            .expect("profile validated above");
+        let mut out = vec![0.0f32; items.len()];
+        par_runs(&mut out, |first, run| {
+            let mut input = prefix.clone();
+            let mut scratch = self.ranking_mlp.scratch();
+            for (i, slot) in run.iter_mut().enumerate() {
+                input[Self::RANKING_UIETS * dim..]
+                    .copy_from_slice(self.item_table.row(items[first + i]));
+                *slot = self
+                    .ranking_mlp
+                    .forward_into(&input, &mut scratch)
+                    .expect("input width is fixed by the config")[0];
+            }
+        });
+        Ok(out)
+    }
+
     /// Score every candidate and return them ordered by decreasing CTR, truncated to `k`.
+    /// Candidates are scored batch-at-a-time via [`YoutubeDnn::ranking_scores_batch`].
     ///
     /// # Errors
     ///
@@ -310,11 +441,9 @@ impl YoutubeDnn {
         candidates: &[usize],
         k: usize,
     ) -> Result<Vec<usize>, RecsysError> {
-        let scored: Result<Vec<(usize, f32)>, RecsysError> = candidates
-            .iter()
-            .map(|&item| self.ranking_score(profile, item).map(|score| (item, score)))
-            .collect();
-        Ok(crate::topk::top_k_by_score(&scored?, k))
+        let scores = self.ranking_scores_batch(profile, candidates)?;
+        let scored: Vec<(usize, f32)> = candidates.iter().copied().zip(scores).collect();
+        Ok(crate::topk::top_k_by_score(&scored, k))
     }
 
     /// One BPR (Bayesian personalized ranking) training step on the filtering tower: push
@@ -334,18 +463,26 @@ impl YoutubeDnn {
     ) -> Result<f32, RecsysError> {
         let input = self.filtering_input(profile)?;
         let user = self.filtering_mlp.forward(&input)?;
-        let positive = self.item_table.lookup(positive_item)?.to_vec();
-        let negative = self.item_table.lookup(negative_item)?.to_vec();
-        let margin = dot(&user, &positive) - dot(&user, &negative);
+        self.item_table.check_indices(&[positive_item, negative_item])?;
+        // Borrow the item rows in place (no copies); the borrows end before the updates.
+        let margin = {
+            let positive = self.item_table.row(positive_item);
+            let negative = self.item_table.row(negative_item);
+            dot(&user, positive) - dot(&user, negative)
+        };
         let sigmoid = 1.0 / (1.0 + (-margin).exp());
         let loss = -(sigmoid.max(1e-12)).ln();
         // dL/dmargin = -(1 - sigmoid); dmargin/du = v+ - v-; dmargin/dv+ = u; dmargin/dv- = -u.
         let coeff = -(1.0 - sigmoid);
-        let grad_user: Vec<f32> = positive
-            .iter()
-            .zip(negative.iter())
-            .map(|(p, n)| coeff * (p - n))
-            .collect();
+        let grad_user: Vec<f32> = {
+            let positive = self.item_table.row(positive_item);
+            let negative = self.item_table.row(negative_item);
+            positive
+                .iter()
+                .zip(negative.iter())
+                .map(|(p, n)| coeff * (p - n))
+                .collect()
+        };
         let grad_positive: Vec<f32> = user.iter().map(|u| coeff * u).collect();
         let grad_negative: Vec<f32> = user.iter().map(|u| -coeff * u).collect();
 
@@ -521,6 +658,69 @@ mod tests {
         for pair in scores.windows(2) {
             assert!(pair[0] >= pair[1]);
         }
+    }
+
+    fn random_profiles(count: usize, seed: u64) -> Vec<UserProfile> {
+        let config = YoutubeDnnConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| UserProfile {
+                history: (0..rng.gen_range(0..6usize))
+                    .map(|_| rng.gen_range(0..config.num_items))
+                    .collect(),
+                genres: (0..rng.gen_range(0..3usize))
+                    .map(|_| rng.gen_range(0..config.num_genres))
+                    .collect(),
+                age_group: rng.gen_range(0..config.num_age_groups),
+                gender: rng.gen_range(0..config.num_genders),
+                occupation: rng.gen_range(0..config.num_occupations),
+                ranking_context: rng.gen_range(0..config.num_ranking_contexts),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn user_embedding_batch_matches_single_profile_path() {
+        let model = YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap();
+        let profiles = random_profiles(90, 6);
+        let batch = model.user_embedding_batch(&profiles).unwrap();
+        let dim = model.config().embedding_dim;
+        assert_eq!(batch.len(), profiles.len() * dim);
+        for (i, profile) in profiles.iter().enumerate() {
+            let single = model.user_embedding(profile).unwrap();
+            assert_eq!(&batch[i * dim..(i + 1) * dim], single.as_slice());
+        }
+    }
+
+    #[test]
+    fn user_embedding_batch_validates_before_running() {
+        let model = YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap();
+        let mut profiles = random_profiles(3, 7);
+        profiles[2].history.push(999);
+        assert!(model.user_embedding_batch(&profiles).is_err());
+    }
+
+    #[test]
+    fn filtering_candidates_batch_matches_single_profile_path() {
+        let model = YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap();
+        let profiles = random_profiles(25, 8);
+        let batch = model.filtering_candidates_batch(&profiles, 7).unwrap();
+        assert_eq!(batch.len(), profiles.len());
+        for (profile, candidates) in profiles.iter().zip(batch.iter()) {
+            assert_eq!(candidates, &model.filtering_candidates(profile, 7).unwrap());
+        }
+    }
+
+    #[test]
+    fn ranking_scores_batch_matches_single_item_path() {
+        let model = YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap();
+        let user = profile();
+        let items: Vec<usize> = (0..50).collect();
+        let scores = model.ranking_scores_batch(&user, &items).unwrap();
+        for (&item, &score) in items.iter().zip(scores.iter()) {
+            assert_eq!(score, model.ranking_score(&user, item).unwrap());
+        }
+        assert!(model.ranking_scores_batch(&user, &[999]).is_err());
     }
 
     #[test]

@@ -1,1 +1,97 @@
-fn main() {}
+//! Quickstart: map a RecSys workload's embedding tables onto the iMARS fabric, run one
+//! batched DLRM inference over the zero-allocation hot path, and show the in-memory
+//! pooling cost model in action.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::time::Instant;
+
+use imars::core::et_mapping::EtMapping;
+use imars::core::workloads::RecsysWorkload;
+use imars::fabric::cma::{CmaArray, PackedTable};
+use imars::fabric::FabricConfig;
+use imars::device::characterization::ArrayFom;
+use imars::recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
+use imars::recsys::quantization::QuantizedTable;
+
+fn main() {
+    // 1. Map the Criteo ranking workload's 26 embedding tables onto the paper's fabric
+    //    design point (B = 32 banks, M = 4 mats, C = 32 CMAs of 256 x 256).
+    let fabric = FabricConfig::paper_design_point();
+    let workload = RecsysWorkload::criteo_ranking();
+    let mapping = EtMapping::map(&workload.et_specs(), &fabric).expect("workload fits the fabric");
+    let summary = mapping.summary();
+    println!("== ET mapping ({}) ==", workload.kind.label());
+    println!(
+        "  {} tables -> {} banks, {} mats, {} CMAs ({:.1}% of the fabric)",
+        summary.tables,
+        summary.banks,
+        summary.mats,
+        summary.cmas,
+        mapping.utilization() * 100.0
+    );
+
+    // 2. Build a small Criteo-shaped DLRM (the paper's layer widths, capped cardinalities
+    //    so the example starts instantly) and run one batched inference.
+    let config = DlrmConfig {
+        num_dense_features: 13,
+        sparse_cardinalities: vec![1000; 26],
+        embedding_dim: 32,
+        bottom_hidden: vec![256, 128, 32],
+        top_hidden: vec![256, 64, 1],
+        seed: 42,
+    };
+    let model = Dlrm::new(config.clone()).expect("valid config");
+    let batch_size = 64;
+    let samples: Vec<DlrmSample> = (0..batch_size)
+        .map(|i| DlrmSample {
+            dense: (0..config.num_dense_features)
+                .map(|d| ((i * 13 + d) % 100) as f32 / 100.0 - 0.5)
+                .collect(),
+            sparse: config
+                .sparse_cardinalities
+                .iter()
+                .enumerate()
+                .map(|(f, &cardinality)| (i * 31 + f * 7) % cardinality)
+                .collect(),
+        })
+        .collect();
+    let start = Instant::now();
+    let scores = model.predict_batch(&samples).expect("valid samples");
+    let elapsed = start.elapsed();
+    println!("== Batched DLRM inference ==");
+    println!(
+        "  {} samples in {:.2?} ({:.1} us/sample), first CTRs: {:.4} {:.4} {:.4}",
+        batch_size,
+        elapsed,
+        elapsed.as_secs_f64() * 1e6 / batch_size as f64,
+        scores[0],
+        scores[1],
+        scores[2]
+    );
+
+    // 3. Pool one multi-hot lookup through the functional CMA simulator and through the
+    //    shared SWAR software kernel: same int8 result, plus the hardware energy/latency
+    //    charge for the in-memory version.
+    let table = &model.embedding_tables()[0];
+    let quantized = QuantizedTable::from_table(table);
+    let mut cma = CmaArray::new(fabric.cma_rows, fabric.cma_cols, ArrayFom::paper_reference());
+    let lookup_rows: Vec<usize> = vec![3, 17, 95, 200];
+    for &row in &lookup_rows {
+        cma.write_embedding(row, quantized.row(row).expect("in range"))
+            .expect("fits the array");
+    }
+    let outcome = cma.pool_rows(&lookup_rows, config.embedding_dim).expect("valid rows");
+    let packed = PackedTable::from_rows(quantized.iter_rows(), config.embedding_dim).expect("uniform rows");
+    let software = packed
+        .pool(&lookup_rows.iter().map(|&r| r as u32).collect::<Vec<u32>>())
+        .expect("valid rows");
+    assert_eq!(outcome.value, software, "CMA and software kernels agree");
+    println!("== GPCiM pooling cost (one {}-way lookup) ==", lookup_rows.len());
+    println!(
+        "  energy {:.1} pJ, latency {:.1} ns, int8 sum[0..4] = {:?}",
+        outcome.cost.energy_pj,
+        outcome.cost.latency_ns,
+        &outcome.value[..4]
+    );
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros from the local `serde_derive` stub so that
+//! `use serde::{Deserialize, Serialize};` + `#[derive(Serialize, Deserialize)]` compile
+//! without network access. No runtime (de)serialization is provided — nothing in this
+//! workspace performs any.
+
+pub use serde_derive::{Deserialize, Serialize};
