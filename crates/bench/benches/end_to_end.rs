@@ -1,12 +1,20 @@
 //! End-to-end DLRM serving: one-at-a-time `predict` (the seed's only path) versus the
-//! zero-allocation `predict_batch` hot path, on a small Criteo-shaped model.
+//! zero-allocation `predict_batch` hot path, plus a full `imars-serve` Zipf traffic
+//! replay through the sharded + cached engine (dynamic batching, TCAM candidate
+//! filtering, telemetry).
 
 use imars_bench::{black_box, Harness};
 use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
+use imars_recsys::EmbeddingTable;
+use imars_serve::{ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const BATCH: usize = 128;
+/// Serve-replay shape: a catalogue of items, ~12 % of it cacheable, Zipf-1.2 traffic.
+const NUM_ITEMS: usize = 8192;
+const CACHE_ROWS: usize = 1024;
+const ZIPF_EXPONENT: f64 = 1.2;
 
 /// A Criteo-shaped but bench-sized DLRM: the paper's layer widths with the per-field
 /// cardinalities capped so model construction stays fast.
@@ -19,6 +27,54 @@ fn bench_config() -> DlrmConfig {
         top_hidden: vec![256, 64, 1],
         seed: 42,
     }
+}
+
+/// The serve-replay DLRM: same widths, but the dense input is the pooled 32-d item
+/// profile (the serving engine derives dense features from the user's history).
+fn serve_model_config() -> DlrmConfig {
+    DlrmConfig {
+        num_dense_features: 32,
+        ..bench_config()
+    }
+}
+
+fn serve_replay(harness: &mut Harness) {
+    let queries = if harness.is_smoke() { 512 } else { 10_000 };
+    let items = EmbeddingTable::new(NUM_ITEMS, 32, 77).expect("valid table");
+    let model = Dlrm::new(serve_model_config()).expect("valid config");
+    let config = ServeConfig::paper_serving(CACHE_ROWS).expect("valid config");
+    let workload = ReplayWorkload::generate(&ReplayConfig {
+        queries,
+        num_users: 4096,
+        num_items: NUM_ITEMS,
+        zipf_exponent: ZIPF_EXPONENT,
+        history_len: 32,
+        offered_qps: 4_000.0,
+        candidates_per_query: 100,
+        top_k: 10,
+        sparse_cardinalities: serve_model_config().sparse_cardinalities,
+        seed: 11,
+    })
+    .expect("valid replay config");
+
+    let mut engine = ServeEngine::new(model, &items, config).expect("valid engine");
+    let outcome = engine.replay(&workload).expect("replay succeeds");
+    let mut report = outcome.report;
+    report.name = "end_to_end_serve".to_string();
+    println!("{}", report.summary());
+    match report.write_json() {
+        Ok(path) => println!("serve telemetry written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write serve telemetry: {error}"),
+    }
+
+    let telemetry = &report.telemetry;
+    harness.metric("serve/p50_latency_us", telemetry.latency.quantile_us(0.50), "us");
+    harness.metric("serve/p95_latency_us", telemetry.latency.quantile_us(0.95), "us");
+    harness.metric("serve/p99_latency_us", telemetry.latency.quantile_us(0.99), "us");
+    harness.metric("serve/served_throughput", telemetry.served_qps(), "qps");
+    harness.metric("serve/mean_batch_size", telemetry.mean_batch_size(), "requests");
+    harness.metric("serve/cache_hit_rate", report.cache.hit_rate(), "fraction");
+    harness.metric("serve/gpcim_energy_per_query", telemetry.energy_pj_per_query(), "pJ");
 }
 
 fn main() {
@@ -54,5 +110,7 @@ fn main() {
         BATCH as f64 / batched_ns * 1e9,
         "inferences/s",
     );
+
+    serve_replay(&mut harness);
     harness.finish();
 }

@@ -3,12 +3,18 @@
 //! * the batched f32 path matches the naive per-request path **bit-for-bit**;
 //! * the int8 packed (SWAR/GPCiM) path matches the naive scalar saturating path
 //!   bit-for-bit, and the f32 path within quantization error while unsaturated;
-//! * `pack_embedding` / `unpack_embedding` round-trip on random rows of every width.
+//! * `pack_embedding` / `unpack_embedding` round-trip on random rows of every width;
+//! * the full `imars-serve` pipeline (batcher + shards + cache + TCAM filter + ranking)
+//!   matches a query-at-a-time pipeline built directly from the primitive APIs.
 
-use imars_fabric::cma::{pack_embedding, unpack_embedding, PackedTable};
+use imars_device::characterization::ArrayFom;
+use imars_fabric::cma::{pack_embedding, unpack_embedding, CmaArray, PackedTable};
 use imars_recsys::batch::{PoolingBatch, PoolingMode};
+use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
+use imars_recsys::lsh::RandomHyperplaneLsh;
 use imars_recsys::quantization::QuantizedTable;
 use imars_recsys::EmbeddingTable;
+use imars_serve::{BatchPolicy, ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine, ServePrecision};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +111,77 @@ fn int8_packed_pooling_tracks_f32_within_quantization_error() {
                 tolerance
             );
         }
+    }
+}
+
+#[test]
+fn serve_engine_matches_the_unbatched_primitive_pipeline() {
+    // The engine coalesces queries into batches, shards the catalogue, routes lookups
+    // through the hot-row cache and filters in TCAM mode — none of which may change a
+    // single bit versus serving each query alone from the primitive APIs.
+    let items = EmbeddingTable::new(256, 4, 21).unwrap();
+    let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+    let signature_bits = 64;
+    let search_radius = 26;
+    let lsh_seed = 5;
+    let mut engine = ServeEngine::new(
+        model.clone(),
+        &items,
+        ServeConfig {
+            shards: 3,
+            cache_capacity: 32,
+            precision: ServePrecision::Fp32,
+            policy: BatchPolicy::new(16, 200.0).unwrap(),
+            signature_bits,
+            search_radius,
+            lsh_seed,
+        },
+    )
+    .unwrap();
+    let workload = ReplayWorkload::generate(&ReplayConfig {
+        queries: 300,
+        num_users: 50,
+        num_items: 256,
+        zipf_exponent: 1.1,
+        history_len: 10,
+        offered_qps: 30_000.0,
+        candidates_per_query: 40,
+        top_k: 10,
+        sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
+        seed: 9,
+    })
+    .unwrap();
+    let outcome = engine.replay(&workload).unwrap();
+    assert_eq!(outcome.responses.len(), 300);
+
+    // Query-at-a-time reference from the primitives.
+    let lsh = RandomHyperplaneLsh::new(4, signature_bits, lsh_seed).unwrap();
+    let mut tcam = CmaArray::new(256, signature_bits, ArrayFom::paper_reference());
+    for row in 0..256 {
+        let signature = lsh.signature(items.lookup(row).unwrap()).unwrap();
+        tcam.write_row_bits(row, &signature, signature_bits).unwrap();
+    }
+    for response in &outcome.responses {
+        let request = &workload.requests()[response.id as usize];
+        let history: Vec<usize> = request.history.iter().map(|&row| row as usize).collect();
+        let profile = items.pool(&history).unwrap();
+        let matches = tcam
+            .search(&lsh.signature(&profile).unwrap(), search_radius)
+            .unwrap()
+            .value;
+        let score = model
+            .predict(&DlrmSample {
+                dense: profile,
+                sparse: request.sparse.clone(),
+            })
+            .unwrap();
+        assert_eq!(response.score.to_bits(), score.to_bits(), "query {}", response.id);
+        assert_eq!(
+            response.candidates,
+            matches.len().min(request.query.candidates),
+            "query {}",
+            response.id
+        );
     }
 }
 

@@ -4,7 +4,6 @@
 //! set of head items receives most interactions. A Zipf distribution with exponent close
 //! to 1 is the standard model for that skew and is what the synthetic generators use.
 
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A Zipf sampler over `0..n` using inverse-CDF sampling on precomputed weights.
@@ -51,13 +50,30 @@ impl ZipfSampler {
         self.cumulative.is_empty()
     }
 
-    /// Draw one rank in `0..n` (0 = most popular).
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    /// Draw one rank in `0..n` (0 = most popular). Works with any [`Rng`], so replay
+    /// loops and tests are not tied to `StdRng`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
         match self.cumulative.binary_search_by(|probe| probe.partial_cmp(&u).expect("finite")) {
             Ok(index) => index,
             Err(index) => index.min(self.cumulative.len() - 1),
         }
+    }
+
+    /// Fill `out` with ranks drawn from the distribution — the bulk variant traffic
+    /// replay loops use. Draw `i` is identical to the `i`-th serial
+    /// [`ZipfSampler::sample`] call on the same RNG.
+    pub fn sample_many_into<R: Rng>(&self, rng: &mut R, out: &mut [usize]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Allocating convenience wrapper around [`ZipfSampler::sample_many_into`].
+    pub fn sample_many<R: Rng>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        let mut out = vec![0usize; count];
+        self.sample_many_into(rng, &mut out);
+        out
     }
 
     /// Probability mass of a rank.
@@ -73,6 +89,7 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
@@ -127,5 +144,36 @@ mod tests {
     #[should_panic(expected = "at least one element")]
     fn zero_elements_panics() {
         let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn sample_many_matches_serial_sampling() {
+        let zipf = ZipfSampler::new(200, 1.2);
+        let mut serial_rng = StdRng::seed_from_u64(23);
+        let serial: Vec<usize> = (0..500).map(|_| zipf.sample(&mut serial_rng)).collect();
+        let mut bulk_rng = StdRng::seed_from_u64(23);
+        let bulk = zipf.sample_many(&mut bulk_rng, 500);
+        assert_eq!(serial, bulk);
+        let mut into_rng = StdRng::seed_from_u64(23);
+        let mut out = vec![0usize; 500];
+        zipf.sample_many_into(&mut into_rng, &mut out);
+        assert_eq!(serial, out);
+    }
+
+    #[test]
+    fn sample_accepts_any_rng() {
+        // A non-StdRng generator: the generic bound must accept it.
+        struct Counter(u64);
+        impl rand::RngCore for Counter {
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(1);
+                self.0
+            }
+        }
+        let zipf = ZipfSampler::new(64, 1.0);
+        let mut rng = Counter(9);
+        for _ in 0..100 {
+            assert!(zipf.sample(&mut rng) < 64);
+        }
     }
 }

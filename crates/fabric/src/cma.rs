@@ -414,6 +414,32 @@ impl CmaArray {
         Ok(outcome)
     }
 
+    fn check_query_width(&self, query: &[u64]) -> Result<(), FabricError> {
+        if query.len() > words_for_bits(self.cols) {
+            return Err(FabricError::DimensionMismatch {
+                expected: words_for_bits(self.cols),
+                actual: query.len(),
+                what: "query words",
+            });
+        }
+        Ok(())
+    }
+
+    /// The functional core of a TCAM search: indices of all valid rows within `threshold`
+    /// Hamming distance of `query`. Query width must already be validated.
+    fn matches_within(&self, query: &[u64], threshold: u32) -> Vec<usize> {
+        self.data
+            .iter()
+            .filter(|(_, stored)| {
+                let words = words_for_bits(stored.valid_bits);
+                let q = &query[..words.min(query.len())];
+                let s = &stored.bits[..words.min(stored.bits.len())];
+                hamming_distance(q, s) <= threshold
+            })
+            .map(|(&row, _)| row)
+            .collect()
+    }
+
     /// TCAM-mode threshold search: return the indices of all valid rows whose Hamming
     /// distance to `query` (over the row's valid bits) is at most `threshold`.
     ///
@@ -425,28 +451,43 @@ impl CmaArray {
     ///
     /// Returns [`FabricError::DimensionMismatch`] if the query is wider than the row.
     pub fn search(&self, query: &[u64], threshold: u32) -> Result<Outcome<Vec<usize>>, FabricError> {
-        if query.len() > words_for_bits(self.cols) {
-            return Err(FabricError::DimensionMismatch {
-                expected: words_for_bits(self.cols),
-                actual: query.len(),
-                what: "query words",
-            });
+        self.check_query_width(query)?;
+        Ok(Outcome::single(
+            self.matches_within(query, threshold),
+            CostComponent::CmaSearch,
+            Cost::from_fom(self.fom.cma.search),
+        ))
+    }
+
+    /// Batched TCAM-mode threshold search: one [`CmaArray::search`] per query, with the
+    /// per-query results in query order.
+    ///
+    /// One physical array holds a single match-line per row, so the searches serialize on
+    /// the array: the batch is charged `queries.len()` search figures of merit composed
+    /// serially. (Spreading a batch across arrays, which would parallelize the latency, is
+    /// the interconnect layer's job, not the array's.) The functional result of each query
+    /// is identical to a one-at-a-time [`CmaArray::search`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::DimensionMismatch`] if any query is wider than the row;
+    /// validation happens before any search work.
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<u64>],
+        threshold: u32,
+    ) -> Result<Outcome<Vec<Vec<usize>>>, FabricError> {
+        for query in queries {
+            self.check_query_width(query)?;
         }
-        let matches: Vec<usize> = self
-            .data
+        let matches: Vec<Vec<usize>> = queries
             .iter()
-            .filter(|(_, stored)| {
-                let words = words_for_bits(stored.valid_bits);
-                let q = &query[..words.min(query.len())];
-                let s = &stored.bits[..words.min(stored.bits.len())];
-                hamming_distance(q, s) <= threshold
-            })
-            .map(|(&row, _)| row)
+            .map(|query| self.matches_within(query, threshold))
             .collect();
         Ok(Outcome::single(
             matches,
             CostComponent::CmaSearch,
-            Cost::from_fom(self.fom.cma.search),
+            Cost::from_fom(self.fom.cma.search).repeat(queries.len()),
         ))
     }
 
@@ -731,6 +772,43 @@ mod tests {
             .map(|(row, _)| row)
             .collect();
         assert_eq!(matches, reference);
+    }
+
+    #[test]
+    fn search_batch_matches_per_query_search() {
+        let mut cma = array();
+        for row in 0..60 {
+            cma.write_row_bits(row, &[row as u64 * 0x0101_0101_0101, 0, 0, 0], 256).unwrap();
+        }
+        let queries: Vec<Vec<u64>> = (0..7)
+            .map(|q| vec![q as u64 * 0x1111_2222, 0, 0, 0])
+            .collect();
+        let threshold = 18;
+        let batch = cma.search_batch(&queries, threshold).unwrap();
+        assert_eq!(batch.value.len(), queries.len());
+        let mut serial_cost = Cost::ZERO;
+        for (query, matches) in queries.iter().zip(batch.value.iter()) {
+            let single = cma.search(query, threshold).unwrap();
+            assert_eq!(matches, &single.value);
+            serial_cost += single.cost;
+        }
+        // The batch serializes on the one match-line per row: n searches charged serially.
+        assert!((batch.cost.energy_pj - serial_cost.energy_pj).abs() < 1e-9);
+        assert!((batch.cost.latency_ns - serial_cost.latency_ns).abs() < 1e-9);
+        assert_eq!(batch.breakdown.component(CostComponent::CmaSearch), batch.cost);
+    }
+
+    #[test]
+    fn search_batch_handles_empty_and_validates_widths() {
+        let cma = array();
+        let empty = cma.search_batch(&[], 5).unwrap();
+        assert!(empty.value.is_empty());
+        assert_eq!(empty.cost, Cost::ZERO);
+        let bad = vec![vec![0u64; 1], vec![0u64; 10]];
+        assert!(matches!(
+            cma.search_batch(&bad, 5),
+            Err(FabricError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

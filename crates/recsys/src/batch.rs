@@ -107,6 +107,13 @@ impl PoolingBatch {
         &self.indices
     }
 
+    /// The CSR offsets (`len() + 1` entries): request `i` owns the flat index range
+    /// `offsets()[i]..offsets()[i + 1]`. Lets consumers that stage per-lookup data
+    /// address a request's run without recomputing prefix sums.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// The largest index referenced by any request (`None` for an all-empty batch).
     pub fn max_index(&self) -> Option<u32> {
         self.indices.iter().copied().max()

@@ -1,0 +1,300 @@
+//! Hot-row cache over embedding-table row ids.
+//!
+//! Zipf-skewed query streams concentrate most lookups on a small head of hot rows
+//! (MovieLens/Criteo popularity follows a Zipf law with exponent near 1). A small cache
+//! in front of the embedding shards therefore absorbs the bulk of the row fetches — the
+//! effect MARM-style cache-augmented serving exploits, and the one the iMARS cost model
+//! makes measurable: every hit skips one CMA RAM-mode row read.
+//!
+//! The replacement policy is CLOCK (second chance): a circular hand sweeps the slots,
+//! clearing reference bits until it finds an unreferenced victim. CLOCK approximates LRU
+//! with O(1) state per slot and no per-access reordering, which is what a hardware
+//! serving buffer would implement. Hit/miss/eviction counters are kept so a replay run
+//! can report its hit rate.
+
+use std::collections::HashMap;
+
+/// Lookup and replacement counters of a [`HotRowCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the row resident.
+    pub hits: u64,
+    /// Lookups coalesced onto a fetch already in flight for the same batch (no second
+    /// fetch performed, so they count as hits for the hit rate).
+    pub coalesced: u64,
+    /// Lookups that missed and triggered a fetch.
+    pub misses: u64,
+    /// Rows inserted (first-time placements, not refreshes of resident rows).
+    pub insertions: u64,
+    /// Rows evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.coalesced + self.misses
+    }
+
+    /// Fraction of lookups served without a row fetch — resident hits plus in-flight
+    /// coalescing (0.0 for an unused cache).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / lookups as f64
+        }
+    }
+}
+
+/// A fixed-capacity cache of embedding rows keyed by row id, with CLOCK replacement.
+///
+/// `T` is the row element type (`f32` for full-precision rows, `i8` for the packed int8
+/// format the CMA banks store). A capacity of zero disables the cache: every lookup
+/// misses and inserts are ignored, which gives an "uncached" engine with identical code
+/// paths.
+#[derive(Debug, Clone)]
+pub struct HotRowCache<T> {
+    dim: usize,
+    capacity: usize,
+    /// Row id stored in each occupied slot.
+    slot_rows: Vec<u32>,
+    /// CLOCK reference bit per occupied slot.
+    referenced: Vec<bool>,
+    /// Row data, `capacity × dim`, slot-major.
+    data: Vec<T>,
+    /// Row id → slot index.
+    index: HashMap<u32, usize>,
+    /// CLOCK hand: next slot to consider for eviction.
+    hand: usize,
+    stats: CacheStats,
+}
+
+impl<T: Copy + Default> HotRowCache<T> {
+    /// Create a cache holding up to `capacity` rows of `dim` elements each.
+    pub fn new(capacity: usize, dim: usize) -> Self {
+        Self {
+            dim,
+            capacity,
+            slot_rows: Vec::with_capacity(capacity),
+            referenced: Vec::with_capacity(capacity),
+            data: vec![T::default(); capacity * dim],
+            index: HashMap::with_capacity(capacity),
+            hand: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of resident rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows currently resident.
+    pub fn len(&self) -> usize {
+        self.slot_rows.len()
+    }
+
+    /// Whether no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slot_rows.is_empty()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the counters (resident rows are kept — a warm cache with fresh statistics).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Whether a row is resident, without touching counters or reference bits.
+    pub fn contains(&self, row: u32) -> bool {
+        self.index.contains_key(&row)
+    }
+
+    /// Count `lookups` cache-bypassing lookups as misses. Used by the disabled-cache
+    /// fast path so hit-rate reporting stays comparable across configurations.
+    pub fn record_misses(&mut self, lookups: u64) {
+        self.stats.misses += lookups;
+    }
+
+    /// Reclassify the most recent miss as coalesced: the caller found the row already
+    /// being fetched for the same batch, so no second fetch happens. Serving-buffer
+    /// accounting treats it as a hit.
+    pub fn coalesce_last_miss(&mut self) {
+        debug_assert!(self.stats.misses > 0, "no miss to coalesce");
+        self.stats.misses -= 1;
+        self.stats.coalesced += 1;
+    }
+
+    /// Look a row up: on a hit, set its reference bit and return its data; on a miss
+    /// return `None`. Both outcomes are counted.
+    pub fn lookup(&mut self, row: u32) -> Option<&[T]> {
+        match self.index.get(&row) {
+            Some(&slot) => {
+                self.stats.hits += 1;
+                self.referenced[slot] = true;
+                Some(&self.data[slot * self.dim..(slot + 1) * self.dim])
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a row, evicting via CLOCK if the cache is full. Re-inserting a resident row
+    /// refreshes its data and reference bit without counting as an insertion. A
+    /// zero-capacity cache ignores inserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not exactly `dim` long.
+    pub fn insert(&mut self, row: u32, values: &[T]) {
+        assert_eq!(
+            values.len(),
+            self.dim,
+            "cache row must be {} elements, got {}",
+            self.dim,
+            values.len()
+        );
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.index.get(&row) {
+            self.data[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(values);
+            self.referenced[slot] = true;
+            return;
+        }
+        let slot = if self.slot_rows.len() < self.capacity {
+            self.slot_rows.push(row);
+            self.referenced.push(true);
+            self.slot_rows.len() - 1
+        } else {
+            // CLOCK sweep: clear reference bits until an unreferenced victim appears.
+            // Terminates within two laps (a cleared bit stays cleared until re-hit).
+            loop {
+                let candidate = self.hand;
+                self.hand = (self.hand + 1) % self.capacity;
+                if self.referenced[candidate] {
+                    self.referenced[candidate] = false;
+                } else {
+                    self.index.remove(&self.slot_rows[candidate]);
+                    self.stats.evictions += 1;
+                    self.slot_rows[candidate] = row;
+                    self.referenced[candidate] = true;
+                    break candidate;
+                }
+            }
+        };
+        self.data[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(values);
+        self.index.insert(row, slot);
+        self.stats.insertions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses_and_returns_data() {
+        let mut cache = HotRowCache::<f32>::new(4, 3);
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, &[1.0, 2.0, 3.0]);
+        assert_eq!(cache.lookup(7), Some(&[1.0f32, 2.0, 3.0][..]));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert!(cache.contains(7));
+        assert!(!cache.contains(8));
+    }
+
+    #[test]
+    fn capacity_is_respected_under_pressure() {
+        let mut cache = HotRowCache::<i8>::new(8, 2);
+        for row in 0..1000u32 {
+            cache.insert(row, &[row as i8, 1]);
+            assert!(cache.len() <= 8, "cache exceeded capacity at row {row}");
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.stats().insertions, 1000);
+        assert_eq!(cache.stats().evictions, 992);
+    }
+
+    #[test]
+    fn clock_gives_referenced_rows_a_second_chance() {
+        let mut cache = HotRowCache::<f32>::new(2, 1);
+        cache.insert(1, &[1.0]);
+        cache.insert(2, &[2.0]);
+        // Both bits set; the sweep for row 3 clears 1 then 2, then evicts 1 on the
+        // second lap. State: {3 referenced, 2 unreferenced}, hand at row 2's slot.
+        cache.insert(3, &[3.0]);
+        assert!(!cache.contains(1));
+        // Row 4 finds the unreferenced row 2 immediately; the referenced row 3
+        // survives — that is the second chance.
+        cache.insert(4, &[4.0]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(3), "referenced row must survive the sweep");
+        assert!(!cache.contains(2), "unreferenced row is the victim");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_counting_insertion() {
+        let mut cache = HotRowCache::<f32>::new(2, 2);
+        cache.insert(5, &[1.0, 1.0]);
+        cache.insert(5, &[2.0, 2.0]);
+        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.lookup(5), Some(&[2.0f32, 2.0][..]));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = HotRowCache::<f32>::new(0, 4);
+        cache.insert(1, &[0.0; 4]);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn coalescing_reclassifies_the_last_miss() {
+        let mut cache = HotRowCache::<f32>::new(4, 1);
+        assert!(cache.lookup(3).is_none());
+        assert!(cache.lookup(3).is_none());
+        cache.coalesce_last_miss();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.lookups(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut cache = HotRowCache::<f32>::new(2, 1);
+        cache.insert(9, &[3.5]);
+        let _ = cache.lookup(9);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.lookup(9), Some(&[3.5f32][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache row must be")]
+    fn wrong_width_insert_panics() {
+        let mut cache = HotRowCache::<f32>::new(2, 3);
+        cache.insert(0, &[1.0]);
+    }
+}

@@ -1,0 +1,692 @@
+//! The serving engine: dynamic batching in front of the sharded, cached embedding layer,
+//! TCAM candidate filtering, and batched DLRM ranking.
+//!
+//! One query flows through the paper's two serving stages:
+//!
+//! 1. **profile pooling** — the query's multi-hot item history is sum-pooled through the
+//!    hot-row cache and the embedding shards into a user profile vector (the GPCiM
+//!    workload; the engine charges one CMA RAM read per cache *miss* and one in-memory
+//!    add per accumulated row, so the cache hit rate translates directly into modeled
+//!    energy savings);
+//! 2. **filtering + ranking** — the profile is LSH-signed and matched against the item
+//!    signatures in TCAM mode ([`CmaArray::search_batch`], one serialized search charge
+//!    per query), then the profile becomes the dense input of a [`Dlrm`] sample and the
+//!    batch is scored over the zero-allocation `predict_batch` hot path.
+//!
+//! Everything downstream of the batcher operates on whole batches, and all numeric
+//! results are bit-identical whether the cache is enabled or not (cached rows are exact
+//! copies and accumulation order is the request order) — the equivalence the test suite
+//! pins down.
+//!
+//! Replay timing is a discrete-event simulation: arrivals come from the trace's virtual
+//! clock, service times are measured on the real machine, and a request's reported
+//! latency is queue wait (virtual) plus the measured service time of its batch.
+
+use std::time::Instant;
+
+use imars_device::characterization::ArrayFom;
+use imars_fabric::cma::CmaArray;
+use imars_fabric::cost::{Cost, CostComponent};
+use imars_recsys::batch::{par_runs, PoolingBatch};
+use imars_recsys::dlrm::{Dlrm, DlrmSample};
+use imars_recsys::embedding::EmbeddingTable;
+use imars_recsys::lsh::RandomHyperplaneLsh;
+use imars_recsys::quantization::{QuantizationParams, QuantizedTable};
+use serde::{Deserialize, Serialize};
+
+use imars_datasets::workload::InferenceQuery;
+
+use crate::batcher::{BatchPolicy, DynamicBatcher, FlushedBatch};
+use crate::cache::{CacheStats, HotRowCache};
+use crate::error::ServeError;
+use crate::replay::ReplayWorkload;
+use crate::shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
+use crate::telemetry::{ServeReport, ServeTelemetry};
+
+/// Numeric format of the item embedding rows the engine serves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServePrecision {
+    /// Full-precision rows, plain f32 accumulation (the GPU-baseline format).
+    Fp32,
+    /// Int8-quantized rows with saturating accumulation (the CMA row format); pooled
+    /// profiles are dequantized before filtering and ranking.
+    Int8,
+}
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of embedding shards (contiguous row ranges).
+    pub shards: usize,
+    /// Hot-row cache capacity in rows (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Row format served from the shards.
+    pub precision: ServePrecision,
+    /// Dynamic batching policy.
+    pub policy: BatchPolicy,
+    /// LSH signature width in bits (the paper uses 256).
+    pub signature_bits: usize,
+    /// TCAM fixed-radius threshold for candidate filtering.
+    pub search_radius: u32,
+    /// Seed of the LSH hyperplanes.
+    pub lsh_seed: u64,
+}
+
+impl ServeConfig {
+    /// The paper-shaped serving point: 4 shards, 256-bit signatures, a fixed radius that
+    /// passes O(100) candidates on a few-thousand-item catalogue, and a 64-deep /
+    /// 500 µs batching window.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` mirrors [`BatchPolicy::new`].
+    pub fn paper_serving(cache_capacity: usize) -> Result<Self, ServeError> {
+        Ok(Self {
+            shards: 4,
+            cache_capacity,
+            precision: ServePrecision::Fp32,
+            policy: BatchPolicy::new(64, 500.0)?,
+            signature_bits: 256,
+            search_radius: 112,
+            lsh_seed: 77,
+        })
+    }
+}
+
+/// One timed serving request: the inference query plus the features the engine needs to
+/// execute it (multi-hot item history and DLRM categorical values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Request id (trace position).
+    pub id: u64,
+    /// Arrival timestamp in microseconds on the trace's virtual clock.
+    pub arrival_us: f64,
+    /// The underlying inference query (user, candidate budget, top-k).
+    pub query: InferenceQuery,
+    /// Multi-hot item history: catalogue rows pooled into the user profile.
+    pub history: Vec<u32>,
+    /// One categorical value per DLRM sparse field.
+    pub sparse: Vec<usize>,
+}
+
+/// The served result of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// Request id the response answers.
+    pub id: u64,
+    /// Predicted click-through rate from the ranking stage.
+    pub score: f32,
+    /// Candidates the TCAM filtering stage passed to ranking (capped at the query's
+    /// candidate budget).
+    pub candidates: usize,
+    /// End-to-end latency in microseconds (queue wait + batch service); filled by
+    /// [`ServeEngine::replay`], zero for direct [`ServeEngine::process_batch`] calls.
+    pub latency_us: f64,
+}
+
+/// The result of one replay run: every response plus the aggregated report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Responses in completion order (batch by batch, arrival order within a batch).
+    pub responses: Vec<ServeResponse>,
+    /// Aggregated latency/throughput/cache/cost report.
+    pub report: ServeReport,
+}
+
+/// The sharded + cached item row store, in one of the two served precisions.
+#[derive(Debug, Clone)]
+enum ItemStore {
+    Fp32 {
+        shards: ShardedTable<f32>,
+        cache: HotRowCache<f32>,
+    },
+    Int8 {
+        shards: ShardedTable<i8>,
+        cache: HotRowCache<i8>,
+        params: QuantizationParams,
+    },
+}
+
+impl ItemStore {
+    fn num_shards(&self) -> usize {
+        match self {
+            ItemStore::Fp32 { shards, .. } => shards.num_shards(),
+            ItemStore::Int8 { shards, .. } => shards.num_shards(),
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            ItemStore::Fp32 { cache, .. } => cache.stats(),
+            ItemStore::Int8 { cache, .. } => cache.stats(),
+        }
+    }
+
+    fn reset_cache_stats(&mut self) {
+        match self {
+            ItemStore::Fp32 { cache, .. } => cache.reset_stats(),
+            ItemStore::Int8 { cache, .. } => cache.reset_stats(),
+        }
+    }
+
+    /// Pool every request's history into a dense f32 profile (`batch.len() × dim`).
+    fn pool_dense(&mut self, batch: &PoolingBatch, dense: &mut [f32]) -> Result<(), ServeError> {
+        match self {
+            ItemStore::Fp32 { shards, cache } => pool_profiles(shards, cache, batch, dense),
+            ItemStore::Int8 { shards, cache, params } => {
+                let mut profiles = vec![0i8; batch.len() * shards.dim()];
+                pool_profiles(shards, cache, batch, &mut profiles)?;
+                if dense.len() != profiles.len() {
+                    return Err(ServeError::ShapeMismatch {
+                        what: "dense profile buffer",
+                        expected: profiles.len(),
+                        actual: dense.len(),
+                    });
+                }
+                for (out, &quantized) in dense.iter_mut().zip(profiles.iter()) {
+                    *out = params.dequantize(quantized);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Pool a CSR batch through the cache and the shards: probe the cache per lookup in flat
+/// order (copying hits into a staging buffer), coalesce repeated misses of one row onto
+/// a single in-flight fetch, fetch the unique misses from their shards with one scoped
+/// worker per shard, insert the fetched rows into the cache, then sum-pool each request
+/// from the staging buffer in request order.
+///
+/// Accumulation order is always the request's index order, and cached rows are exact
+/// copies of shard rows, so the pooled profiles are bit-identical with the cache on,
+/// off, or at any capacity.
+fn pool_profiles<T: Lane>(
+    shards: &ShardedTable<T>,
+    cache: &mut HotRowCache<T>,
+    batch: &PoolingBatch,
+    profiles: &mut [T],
+) -> Result<(), ServeError> {
+    let dim = shards.dim();
+    if profiles.len() != batch.len() * dim {
+        return Err(ServeError::ShapeMismatch {
+            what: "pooled profile buffer",
+            expected: batch.len() * dim,
+            actual: profiles.len(),
+        });
+    }
+    if cache.capacity() == 0 {
+        // Disabled-cache fast path: pool straight off the shards, zero staging. Counted
+        // as all-miss so hit-rate reporting stays comparable across configurations.
+        shards.pool_batch(batch, profiles)?;
+        cache.record_misses(batch.total_lookups() as u64);
+        return Ok(());
+    }
+    shards.check_indices(batch.indices())?;
+    let mut staging: Vec<T> = vec![T::default(); batch.total_lookups() * dim];
+    let mut fetched: Vec<(u32, usize)> = Vec::new();
+    // `(destination, source)` staging positions of lookups coalesced onto an earlier
+    // fetch of the same row in this batch (a flight table: one fetch per unique row).
+    let mut coalesced: Vec<(usize, usize)> = Vec::new();
+    {
+        let mut in_flight: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut misses: Vec<(u32, &mut [T])> = Vec::new();
+        for ((position, &row), chunk) in batch.indices().iter().enumerate().zip(staging.chunks_mut(dim)) {
+            match cache.lookup(row) {
+                Some(data) => chunk.copy_from_slice(data),
+                None => match in_flight.entry(row) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        cache.coalesce_last_miss();
+                        coalesced.push((position, *entry.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(position);
+                        fetched.push((row, position));
+                        misses.push((row, chunk));
+                    }
+                },
+            }
+        }
+        shards.fetch_into(misses);
+    }
+    for &(destination, source) in &coalesced {
+        staging.copy_within(source * dim..(source + 1) * dim, destination * dim);
+    }
+    // Admit the fetched rows, in lookup order so CLOCK state stays deterministic.
+    for &(row, position) in &fetched {
+        cache.insert(row, &staging[position * dim..(position + 1) * dim]);
+    }
+    let offsets = batch.offsets();
+    let mut slots: Vec<&mut [T]> = profiles.chunks_mut(dim).collect();
+    par_runs(&mut slots, |first, run| {
+        for (i, slot) in run.iter_mut().enumerate() {
+            slot.fill(T::default());
+            for position in offsets[first + i]..offsets[first + i + 1] {
+                for (acc, &value) in slot.iter_mut().zip(&staging[position * dim..(position + 1) * dim]) {
+                    T::accumulate(acc, value);
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// The serving engine: model + item store + TCAM filter + telemetry.
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    model: Dlrm,
+    store: ItemStore,
+    lsh: RandomHyperplaneLsh,
+    tcam: CmaArray,
+    config: ServeConfig,
+    telemetry: ServeTelemetry,
+}
+
+impl ServeEngine {
+    /// Build an engine serving `model` over the item catalogue `items` (one embedding
+    /// row per item; row order is popularity rank for the synthetic catalogues).
+    ///
+    /// The DLRM dense input is the pooled item profile, so
+    /// `model.config().num_dense_features` must equal `items.dim()`. The TCAM is loaded
+    /// with the LSH signature of every item row at construction (signatures are computed
+    /// from the full-precision rows in both precisions, mirroring offline signature
+    /// generation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for mismatched dimensions or a zero
+    /// signature width, and propagates shard/LSH construction errors.
+    pub fn new(model: Dlrm, items: &EmbeddingTable, config: ServeConfig) -> Result<Self, ServeError> {
+        if model.config().num_dense_features != items.dim() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "the DLRM dense input is the pooled item profile: num_dense_features ({}) must equal the item embedding dim ({})",
+                    model.config().num_dense_features,
+                    items.dim()
+                ),
+            });
+        }
+        let lsh = RandomHyperplaneLsh::new(items.dim(), config.signature_bits, config.lsh_seed)?;
+        let mut tcam = CmaArray::new(items.rows(), config.signature_bits, ArrayFom::paper_reference());
+        for row in 0..items.rows() {
+            let signature = lsh.signature(items.lookup(row)?)?;
+            tcam.write_row_bits(row, &signature, config.signature_bits)?;
+        }
+        let store = match config.precision {
+            ServePrecision::Fp32 => ItemStore::Fp32 {
+                shards: shard_embedding(items, config.shards)?,
+                cache: HotRowCache::new(config.cache_capacity, items.dim()),
+            },
+            ServePrecision::Int8 => {
+                let quantized = QuantizedTable::from_table(items);
+                ItemStore::Int8 {
+                    params: quantized.params(),
+                    shards: shard_quantized(&quantized, config.shards)?,
+                    cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                }
+            }
+        };
+        Ok(Self {
+            model,
+            store,
+            lsh,
+            tcam,
+            config,
+            telemetry: ServeTelemetry::default(),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of items in the catalogue.
+    pub fn num_items(&self) -> usize {
+        self.tcam.rows()
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.cache_stats()
+    }
+
+    /// Serving counters accumulated so far.
+    pub fn telemetry(&self) -> &ServeTelemetry {
+        &self.telemetry
+    }
+
+    /// Execute one coalesced batch through pooling, filtering and ranking. Responses are
+    /// in request order with `latency_us` zero (the replay driver fills latencies from
+    /// its clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any history row is outside the catalogue or any sample shape
+    /// does not fit the model.
+    pub fn process_batch(&mut self, requests: &[ServeRequest]) -> Result<Vec<ServeResponse>, ServeError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let dense_dim = self.model.config().num_dense_features;
+        let histories: Vec<&[u32]> = requests.iter().map(|r| r.history.as_slice()).collect();
+        let batch = PoolingBatch::from_requests(&histories);
+
+        // 1. Profile pooling through cache + shards, with the GPCiM charge: one CMA RAM
+        //    read per cache miss (hits are served from the buffer next to the compute),
+        //    one in-memory add per accumulated row beyond each request's first.
+        let misses_before = self.store.cache_stats().misses;
+        let mut dense = vec![0.0f32; requests.len() * dense_dim];
+        self.store.pool_dense(&batch, &mut dense)?;
+        let misses = (self.store.cache_stats().misses - misses_before) as usize;
+        let read = Cost::from_fom(self.tcam.fom().cma.read);
+        let add = Cost::from_fom(self.tcam.fom().cma.add);
+        let adds: usize = (0..batch.len()).map(|i| batch.request(i).len().saturating_sub(1)).sum();
+        self.telemetry.cost.charge(CostComponent::CmaRead, read.repeat(misses));
+        self.telemetry.cost.charge(CostComponent::CmaAdd, add.repeat(adds));
+        self.telemetry.total_cost += read.repeat(misses).serial(add.repeat(adds));
+
+        // 2. Candidate filtering: LSH signatures matched in TCAM mode, one serialized
+        //    search per query.
+        let signatures = dense
+            .chunks(dense_dim)
+            .map(|profile| self.lsh.signature(profile))
+            .collect::<Result<Vec<_>, _>>()?;
+        let search = self.tcam.search_batch(&signatures, self.config.search_radius)?;
+        self.telemetry.cost.merge(&search.breakdown);
+        self.telemetry.total_cost += search.cost;
+
+        // 3. Ranking: the profile is the dense input of the DLRM sample.
+        let samples: Vec<DlrmSample> = requests
+            .iter()
+            .zip(dense.chunks(dense_dim))
+            .map(|(request, profile)| DlrmSample {
+                dense: profile.to_vec(),
+                sparse: request.sparse.clone(),
+            })
+            .collect();
+        let scores = self.model.predict_batch(&samples)?;
+
+        self.telemetry.queries += requests.len() as u64;
+        self.telemetry.batches += 1;
+        self.telemetry.batch_size_sum += requests.len() as u64;
+        let responses = requests
+            .iter()
+            .zip(scores)
+            .zip(search.value)
+            .map(|((request, score), matches)| {
+                let candidates = matches.len().min(request.query.candidates);
+                self.telemetry.candidates_sum += candidates as u64;
+                ServeResponse {
+                    id: request.id,
+                    score,
+                    candidates,
+                    latency_us: 0.0,
+                }
+            })
+            .collect();
+        Ok(responses)
+    }
+
+    /// Replay a timed trace through the dynamic batcher and the engine.
+    ///
+    /// Timing is a discrete-event simulation: batches flush on the trace's virtual clock
+    /// (size or deadline, see [`BatchPolicy`]), the engine serves one batch at a time,
+    /// and each batch's service time is measured on the real machine. A request's
+    /// latency is its batch's completion time minus its arrival. Telemetry and cache
+    /// statistics are reset at the start (resident cache rows are kept — replaying twice
+    /// on one engine starts the second run warm; use a fresh engine for cold-start
+    /// numbers).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeEngine::process_batch`].
+    pub fn replay(&mut self, workload: &ReplayWorkload) -> Result<ReplayOutcome, ServeError> {
+        self.telemetry = ServeTelemetry::default();
+        self.store.reset_cache_stats();
+        let mut batcher: DynamicBatcher<ServeRequest> = DynamicBatcher::new(self.config.policy);
+        let mut engine_free_us = 0.0f64;
+        let mut responses = Vec::with_capacity(workload.len());
+        for request in workload.requests() {
+            let arrival_us = request.arrival_us;
+            if let Some(batch) = batcher.poll(arrival_us) {
+                self.serve_flushed(batch, &mut engine_free_us, &mut responses)?;
+            }
+            if let Some(batch) = batcher.offer(request.clone(), arrival_us) {
+                self.serve_flushed(batch, &mut engine_free_us, &mut responses)?;
+            }
+        }
+        if let Some(deadline_us) = batcher.deadline_us() {
+            // The remainder would have flushed at its deadline; drain it there.
+            let batch = batcher.drain(deadline_us).expect("pending batch has a deadline");
+            self.serve_flushed(batch, &mut engine_free_us, &mut responses)?;
+        }
+        let report = ServeReport {
+            name: "serve_replay".to_string(),
+            policy: self.config.policy,
+            shards: self.store.num_shards(),
+            cache_capacity: self.config.cache_capacity,
+            telemetry: self.telemetry.clone(),
+            cache: self.store.cache_stats(),
+        };
+        Ok(ReplayOutcome { responses, report })
+    }
+
+    fn serve_flushed(
+        &mut self,
+        batch: FlushedBatch<ServeRequest>,
+        engine_free_us: &mut f64,
+        out: &mut Vec<ServeResponse>,
+    ) -> Result<(), ServeError> {
+        let start_us = engine_free_us.max(batch.trigger_us);
+        let started = Instant::now();
+        let mut responses = self.process_batch(&batch.requests)?;
+        let service_us = started.elapsed().as_secs_f64() * 1e6;
+        let completion_us = start_us + service_us;
+        *engine_free_us = completion_us;
+        self.telemetry.busy_us += service_us;
+        self.telemetry.makespan_us = completion_us;
+        for (response, request) in responses.iter_mut().zip(batch.requests.iter()) {
+            response.latency_us = completion_us - request.arrival_us;
+            self.telemetry.latency.record(response.latency_us);
+        }
+        out.append(&mut responses);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imars_recsys::dlrm::DlrmConfig;
+    use crate::replay::ReplayConfig;
+
+    const ITEM_DIM: usize = 4;
+    const NUM_ITEMS: usize = 1024;
+
+    fn tiny_model() -> Dlrm {
+        // DlrmConfig::tiny has num_dense_features = 4 = ITEM_DIM.
+        Dlrm::new(DlrmConfig::tiny()).unwrap()
+    }
+
+    fn items() -> EmbeddingTable {
+        EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 99).unwrap()
+    }
+
+    fn config(cache_capacity: usize, precision: ServePrecision) -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            cache_capacity,
+            precision,
+            policy: BatchPolicy::new(32, 300.0).unwrap(),
+            signature_bits: 64,
+            search_radius: 27,
+            lsh_seed: 7,
+        }
+    }
+
+    fn engine(cache_capacity: usize, precision: ServePrecision) -> ServeEngine {
+        ServeEngine::new(tiny_model(), &items(), config(cache_capacity, precision)).unwrap()
+    }
+
+    fn replay_config(queries: usize) -> ReplayConfig {
+        ReplayConfig {
+            queries,
+            num_users: 200,
+            num_items: NUM_ITEMS,
+            zipf_exponent: 1.2,
+            history_len: 16,
+            offered_qps: 100_000.0,
+            candidates_per_query: 100,
+            top_k: 10,
+            sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
+            seed: 2024,
+        }
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let wrong_dim = EmbeddingTable::new(64, ITEM_DIM + 1, 0).unwrap();
+        assert!(matches!(
+            ServeEngine::new(tiny_model(), &wrong_dim, config(8, ServePrecision::Fp32)),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let engine = engine(8, ServePrecision::Fp32);
+        assert_eq!(engine.num_items(), NUM_ITEMS);
+        assert_eq!(engine.config().shards, 4);
+    }
+
+    #[test]
+    fn cached_and_uncached_replays_match_bit_for_bit() {
+        let workload = ReplayWorkload::generate(&replay_config(2000)).unwrap();
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            let cached = engine(128, precision).replay(&workload).unwrap();
+            let uncached = engine(0, precision).replay(&workload).unwrap();
+            assert_eq!(cached.responses.len(), 2000);
+            assert_eq!(uncached.responses.len(), 2000);
+            for (a, b) in cached.responses.iter().zip(uncached.responses.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {} ({precision:?})", a.id);
+                assert_eq!(a.candidates, b.candidates, "query {} ({precision:?})", a.id);
+            }
+            // The cache changes the modeled energy (fewer CMA reads), not the results.
+            assert!(cached.report.cache.hit_rate() > 0.0);
+            assert_eq!(uncached.report.cache.hits, 0);
+            assert!(
+                cached.report.telemetry.total_cost.energy_pj < uncached.report.telemetry.total_cost.energy_pj
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skew_yields_majority_hit_rate() {
+        // The acceptance shape: ≥ 10k queries at exponent 1.2 through the sharded +
+        // cached engine, cache capacity an eighth of the catalogue.
+        let workload = ReplayWorkload::generate(&replay_config(10_000)).unwrap();
+        let mut engine = engine(128, ServePrecision::Fp32);
+        let outcome = engine.replay(&workload).unwrap();
+        let hit_rate = outcome.report.cache.hit_rate();
+        assert!(hit_rate > 0.5, "hit rate {hit_rate} at skew 1.2");
+        assert_eq!(outcome.report.telemetry.queries, 10_000);
+    }
+
+    #[test]
+    fn replay_produces_coherent_latency_and_throughput() {
+        let workload = ReplayWorkload::generate(&replay_config(1500)).unwrap();
+        let mut engine = engine(64, ServePrecision::Fp32);
+        let outcome = engine.replay(&workload).unwrap();
+        let t = &outcome.report.telemetry;
+        assert_eq!(t.queries, 1500);
+        assert!(t.batches > 0);
+        assert!(t.mean_batch_size() <= 32.0 + 1e-9);
+        let p50 = t.latency.quantile_us(0.50);
+        let p95 = t.latency.quantile_us(0.95);
+        let p99 = t.latency.quantile_us(0.99);
+        assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99 && p99 <= t.latency.max_us());
+        assert!(t.served_qps() > 0.0);
+        assert!(t.busy_us > 0.0);
+        assert!(t.makespan_us >= workload.requests().last().unwrap().arrival_us);
+        // Every request is answered exactly once.
+        let mut ids: Vec<u64> = outcome.responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..1500u64).collect::<Vec<_>>());
+        // Candidate budgets are respected.
+        assert!(outcome.responses.iter().all(|r| r.candidates <= 100));
+    }
+
+    #[test]
+    fn process_batch_charges_the_gpcim_cost_model() {
+        let mut engine = engine(0, ServePrecision::Fp32);
+        let requests: Vec<ServeRequest> = (0..8)
+            .map(|i| ServeRequest {
+                id: i,
+                arrival_us: 0.0,
+                query: InferenceQuery {
+                    user_index: i as usize,
+                    candidates: 100,
+                    top_k: 10,
+                },
+                history: vec![(i as u32) % 64, 3, 7],
+                sparse: vec![1, 2, 3],
+            })
+            .collect();
+        let responses = engine.process_batch(&requests).unwrap();
+        assert_eq!(responses.len(), 8);
+        let fom = ArrayFom::paper_reference();
+        // Cache disabled: every lookup (8 × 3) is a miss => a CMA read; pooling three
+        // rows costs two adds per request; one TCAM search per query.
+        let telemetry = engine.telemetry();
+        let expected_reads = Cost::from_fom(fom.cma.read).repeat(24);
+        let expected_adds = Cost::from_fom(fom.cma.add).repeat(16);
+        let expected_searches = Cost::from_fom(fom.cma.search).repeat(8);
+        let reads = telemetry.cost.component(CostComponent::CmaRead);
+        let adds = telemetry.cost.component(CostComponent::CmaAdd);
+        let searches = telemetry.cost.component(CostComponent::CmaSearch);
+        assert!((reads.energy_pj - expected_reads.energy_pj).abs() < 1e-9);
+        assert!((adds.energy_pj - expected_adds.energy_pj).abs() < 1e-9);
+        assert!((searches.energy_pj - expected_searches.energy_pj).abs() < 1e-9);
+        let expected_total = expected_reads.energy_pj + expected_adds.energy_pj + expected_searches.energy_pj;
+        assert!((telemetry.total_cost.energy_pj - expected_total).abs() < 1e-9);
+        assert_eq!(telemetry.queries, 8);
+        assert_eq!(telemetry.batches, 1);
+    }
+
+    #[test]
+    fn process_batch_rejects_out_of_catalogue_history() {
+        let mut engine = engine(8, ServePrecision::Fp32);
+        let request = ServeRequest {
+            id: 0,
+            arrival_us: 0.0,
+            query: InferenceQuery {
+                user_index: 0,
+                candidates: 10,
+                top_k: 5,
+            },
+            history: vec![NUM_ITEMS as u32],
+            sparse: vec![1, 2, 3],
+        };
+        assert!(matches!(
+            engine.process_batch(&[request]),
+            Err(ServeError::RowOutOfRange { .. })
+        ));
+        assert!(engine.process_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn warm_replay_hits_more_than_cold() {
+        let workload = ReplayWorkload::generate(&replay_config(1000)).unwrap();
+        let mut engine = engine(256, ServePrecision::Fp32);
+        let cold = engine.replay(&workload).unwrap();
+        let warm = engine.replay(&workload).unwrap();
+        assert!(
+            warm.report.cache.hit_rate() >= cold.report.cache.hit_rate(),
+            "warm {} < cold {}",
+            warm.report.cache.hit_rate(),
+            cold.report.cache.hit_rate()
+        );
+        // Warm or cold, the numeric results are identical.
+        for (a, b) in cold.responses.iter().zip(warm.responses.iter()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}

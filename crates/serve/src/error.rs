@@ -1,0 +1,101 @@
+//! Error type of the serving engine.
+
+use std::fmt;
+
+use imars_fabric::error::FabricError;
+use imars_recsys::error::RecsysError;
+
+/// Errors produced by engine construction, batching or request processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A serving configuration was structurally invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A request referenced an item row outside the catalogue.
+    RowOutOfRange {
+        /// The offending row id.
+        row: usize,
+        /// Number of catalogue rows.
+        rows: usize,
+    },
+    /// A buffer had the wrong length for the operation.
+    ShapeMismatch {
+        /// What the shapes describe.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// An error bubbled up from the model layer.
+    Recsys(RecsysError),
+    /// An error bubbled up from the fabric simulator.
+    Fabric(FabricError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { reason } => write!(f, "invalid serving configuration: {reason}"),
+            ServeError::RowOutOfRange { row, rows } => {
+                write!(f, "item row {row} out of range (catalogue has {rows} rows)")
+            }
+            ServeError::ShapeMismatch { what, expected, actual } => {
+                write!(f, "{what} shape mismatch: expected {expected}, got {actual}")
+            }
+            ServeError::Recsys(e) => write!(f, "model layer: {e}"),
+            ServeError::Fabric(e) => write!(f, "fabric layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RecsysError> for ServeError {
+    fn from(e: RecsysError) -> Self {
+        ServeError::Recsys(e)
+    }
+}
+
+impl From<FabricError> for ServeError {
+    fn from(e: FabricError) -> Self {
+        ServeError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        let e = ServeError::InvalidConfig {
+            reason: "zero shards".into(),
+        };
+        assert!(e.to_string().contains("zero shards"));
+        let e = ServeError::RowOutOfRange { row: 7, rows: 4 };
+        assert!(e.to_string().contains('7'));
+        let e = ServeError::ShapeMismatch {
+            what: "profile buffer",
+            expected: 32,
+            actual: 16,
+        };
+        assert!(e.to_string().contains("profile buffer"));
+    }
+
+    #[test]
+    fn conversions_wrap_lower_layers() {
+        let r: ServeError = RecsysError::InvalidConfig { reason: "x".into() }.into();
+        assert!(matches!(r, ServeError::Recsys(_)));
+        let f: ServeError = FabricError::RowOutOfRange { row: 1, rows: 0 }.into();
+        assert!(matches!(f, ServeError::Fabric(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,36 @@
+//! `imars-serve`: a production-shaped serving engine in front of the iMARS batched hot
+//! path.
+//!
+//! The per-call model APIs (`Dlrm::predict_batch`, the pooling kernels) answer "how fast
+//! is one batch"; this crate answers the paper's actual end-to-end question — queries per
+//! second and tail latency under live, skewed traffic. It provides:
+//!
+//! * [`batcher`] — a dynamic batcher coalescing single queries into batches under a
+//!   max-batch-size / max-wait policy (size and deadline flushes);
+//! * [`shard`] — embedding tables range-partitioned across shards with scoped-thread
+//!   fetch workers, generic over f32 and int8 (CMA-format) rows;
+//! * [`cache`] — a CLOCK hot-row cache with hit/miss counters, the piece that turns
+//!   Zipf-skewed traffic into a measurable win;
+//! * [`engine`] — the pipeline: pooled user profiles (GPCiM-costed), LSH + TCAM
+//!   candidate filtering ([`imars_fabric::cma::CmaArray::search_batch`]), batched DLRM
+//!   ranking, with every numeric result bit-identical cache-on versus cache-off;
+//! * [`replay`] — Zipf traffic traces with Poisson arrivals built on
+//!   [`imars_datasets`]'s workload generators;
+//! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99), throughput, cache and
+//!   modeled-cost reporting with a bench-harness-style JSON summary.
+
+pub mod batcher;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod replay;
+pub mod shard;
+pub mod telemetry;
+
+pub use batcher::{BatchPolicy, DynamicBatcher, FlushReason, FlushedBatch};
+pub use cache::{CacheStats, HotRowCache};
+pub use engine::{ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse};
+pub use error::ServeError;
+pub use replay::{ReplayConfig, ReplayWorkload};
+pub use shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
+pub use telemetry::{LatencyHistogram, ServeReport, ServeTelemetry};

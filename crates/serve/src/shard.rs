@@ -1,0 +1,395 @@
+//! Range-partitioned embedding shards.
+//!
+//! A production catalogue does not live in one flat table: rows are partitioned across
+//! shards (here: contiguous row ranges, the layout RecFlash-style frequency placement
+//! assumes, since Zipf rank order is row order in the synthetic catalogues). The shard
+//! layer owns the row storage, routes a row id to its shard, and fans a batch of missed
+//! row fetches out across one scoped worker thread per shard — the software analogue of
+//! independent CMA banks serving disjoint row ranges in parallel.
+//!
+//! Storage is generic over the row element: `f32` shards mirror an
+//! [`EmbeddingTable`](imars_recsys::embedding::EmbeddingTable), `i8` shards mirror the
+//! packed int8 rows of
+//! [`PackedTable`](imars_fabric::cma::PackedTable) /
+//! [`QuantizedTable`](imars_recsys::quantization::QuantizedTable). Pooling uses the same
+//! accumulation semantics as those sources (plain f32 adds, lane-wise saturating int8
+//! adds), so shard-served results are bit-identical to the unsharded reference.
+
+use imars_recsys::batch::{par_runs, worker_count, PoolingBatch};
+use imars_recsys::embedding::EmbeddingTable;
+use imars_recsys::quantization::QuantizedTable;
+
+use crate::error::ServeError;
+
+/// A row element that can be pool-accumulated. `f32` uses plain addition (the
+/// [`EmbeddingTable`] semantics); `i8` uses saturating addition (the GPCiM accumulator
+/// semantics shared with [`imars_fabric::cma::saturating_add_packed_i8`]).
+pub trait Lane: Copy + Default + Send + Sync + 'static {
+    /// Accumulate `value` into `acc`.
+    fn accumulate(acc: &mut Self, value: Self);
+}
+
+impl Lane for f32 {
+    #[inline]
+    fn accumulate(acc: &mut Self, value: Self) {
+        *acc += value;
+    }
+}
+
+impl Lane for i8 {
+    #[inline]
+    fn accumulate(acc: &mut Self, value: Self) {
+        *acc = acc.saturating_add(value);
+    }
+}
+
+/// An embedding table split into contiguous row-range shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedTable<T> {
+    dim: usize,
+    rows: usize,
+    rows_per_shard: usize,
+    /// Row-major storage per shard; shard `s` holds global rows
+    /// `s * rows_per_shard .. min((s + 1) * rows_per_shard, rows)`.
+    shards: Vec<Vec<T>>,
+}
+
+impl<T: Lane> ShardedTable<T> {
+    /// Build a sharded table from rows in index order, split into at most `shards`
+    /// contiguous ranges. Fewer shards are created when there are fewer rows than
+    /// requested shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `dim` or `shards` is zero, or
+    /// [`ServeError::ShapeMismatch`] if any row is not `dim` long.
+    pub fn from_rows<'a, I>(rows: I, dim: usize, shards: usize) -> Result<Self, ServeError>
+    where
+        I: IntoIterator<Item = &'a [T]>,
+        T: 'a,
+    {
+        if dim == 0 || shards == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("sharded table needs nonzero dim and shard count, got dim={dim} shards={shards}"),
+            });
+        }
+        let all: Vec<&[T]> = rows.into_iter().collect();
+        for row in &all {
+            if row.len() != dim {
+                return Err(ServeError::ShapeMismatch {
+                    what: "sharded table row",
+                    expected: dim,
+                    actual: row.len(),
+                });
+            }
+        }
+        let rows_per_shard = all.len().div_ceil(shards).max(1);
+        let shards = all
+            .chunks(rows_per_shard)
+            .map(|chunk| {
+                let mut flat = Vec::with_capacity(chunk.len() * dim);
+                for row in chunk {
+                    flat.extend_from_slice(row);
+                }
+                flat
+            })
+            .collect();
+        Ok(Self {
+            dim,
+            rows: all.len(),
+            rows_per_shard,
+            shards,
+        })
+    }
+
+    /// Total number of rows across all shards.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Elements per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards actually created.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rows per shard (the last shard may hold fewer).
+    pub fn rows_per_shard(&self) -> usize {
+        self.rows_per_shard
+    }
+
+    /// The shard owning a row id.
+    #[inline]
+    pub fn shard_of(&self, row: u32) -> usize {
+        row as usize / self.rows_per_shard
+    }
+
+    /// Borrow one row. Panics if `row` is out of range; use
+    /// [`ShardedTable::check_indices`] up front on untrusted input.
+    #[inline]
+    pub fn row(&self, row: u32) -> &[T] {
+        let shard = self.shard_of(row);
+        let local = row as usize - shard * self.rows_per_shard;
+        &self.shards[shard][local * self.dim..(local + 1) * self.dim]
+    }
+
+    /// Validate that every index addresses a valid row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::RowOutOfRange`] naming the first offending index.
+    pub fn check_indices(&self, indices: &[u32]) -> Result<(), ServeError> {
+        for &index in indices {
+            if index as usize >= self.rows {
+                return Err(ServeError::RowOutOfRange {
+                    row: index as usize,
+                    rows: self.rows,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy the requested rows into per-row output chunks, fanning the work out with one
+    /// scoped worker thread per shard (each shard's fetches are independent). Indices
+    /// must already be validated; `work` pairs a row id with its destination chunk.
+    ///
+    /// Small batches run serially — the spawn overhead is not worth paying below the
+    /// [`worker_count`] threshold.
+    pub fn fetch_into(&self, work: Vec<(u32, &mut [T])>) {
+        debug_assert!(work.iter().all(|(_, chunk)| chunk.len() == self.dim));
+        if worker_count(work.len()) <= 1 || self.shards.len() <= 1 {
+            for (row, chunk) in work {
+                chunk.copy_from_slice(self.row(row));
+            }
+            return;
+        }
+        let mut per_shard: Vec<Vec<(u32, &mut [T])>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (row, chunk) in work {
+            per_shard[self.shard_of(row)].push((row, chunk));
+        }
+        std::thread::scope(|scope| {
+            for jobs in per_shard {
+                if jobs.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for (row, chunk) in jobs {
+                        chunk.copy_from_slice(self.row(row));
+                    }
+                });
+            }
+        });
+    }
+
+    /// Sum-pool a CSR batch of multi-hot requests into `out` (`batch.len() × dim`,
+    /// row-major), accumulating each request's rows in index order with
+    /// [`Lane::accumulate`] and fanning requests out across worker threads. An empty
+    /// request pools to the all-default (zero) row.
+    ///
+    /// For `f32` this is bit-identical to
+    /// [`EmbeddingTable::pool`](imars_recsys::embedding::EmbeddingTable::pool) over the
+    /// same rows; for `i8` it is bit-identical to
+    /// [`PackedTable::pool`](imars_fabric::cma::PackedTable::pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShapeMismatch`] if `out` is not `batch.len() * dim` long,
+    /// or [`ServeError::RowOutOfRange`] if any request references an invalid row.
+    pub fn pool_batch(&self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
+        if out.len() != batch.len() * self.dim {
+            return Err(ServeError::ShapeMismatch {
+                what: "batch pooling output",
+                expected: batch.len() * self.dim,
+                actual: out.len(),
+            });
+        }
+        self.check_indices(batch.indices())?;
+        let mut slots: Vec<&mut [T]> = out.chunks_mut(self.dim).collect();
+        par_runs(&mut slots, |first, run| {
+            for (i, slot) in run.iter_mut().enumerate() {
+                slot.fill(T::default());
+                for &row in batch.request(first + i) {
+                    for (acc, &value) in slot.iter_mut().zip(self.row(row)) {
+                        T::accumulate(acc, value);
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Shard a full-precision embedding table.
+///
+/// # Errors
+///
+/// As for [`ShardedTable::from_rows`].
+pub fn shard_embedding(table: &EmbeddingTable, shards: usize) -> Result<ShardedTable<f32>, ServeError> {
+    ShardedTable::from_rows(table.iter_rows(), table.dim(), shards)
+}
+
+/// Shard an int8-quantized embedding table.
+///
+/// # Errors
+///
+/// As for [`ShardedTable::from_rows`].
+pub fn shard_quantized(table: &QuantizedTable, shards: usize) -> Result<ShardedTable<i8>, ServeError> {
+    let rows: Vec<&[i8]> = (0..table.rows())
+        .map(|row| table.row(row).expect("row index in range"))
+        .collect();
+    ShardedTable::from_rows(rows, table.dim(), shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imars_fabric::cma::PackedTable;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn table(rows: usize, dim: usize, seed: u64) -> EmbeddingTable {
+        EmbeddingTable::new(rows, dim, seed).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_and_partitions() {
+        let t = table(100, 8, 1);
+        let sharded = shard_embedding(&t, 4).unwrap();
+        assert_eq!(sharded.rows(), 100);
+        assert_eq!(sharded.dim(), 8);
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.rows_per_shard(), 25);
+        assert_eq!(sharded.shard_of(0), 0);
+        assert_eq!(sharded.shard_of(24), 0);
+        assert_eq!(sharded.shard_of(25), 1);
+        assert_eq!(sharded.shard_of(99), 3);
+        assert!(ShardedTable::<f32>::from_rows(std::iter::empty(), 0, 4).is_err());
+        assert!(ShardedTable::<f32>::from_rows(std::iter::empty(), 4, 0).is_err());
+        let ragged: Vec<&[f32]> = vec![&[1.0, 2.0], &[3.0]];
+        assert!(matches!(
+            ShardedTable::from_rows(ragged, 2, 2),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fewer_rows_than_shards_collapses() {
+        let t = table(3, 4, 2);
+        let sharded = shard_embedding(&t, 16).unwrap();
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.rows_per_shard(), 1);
+        for row in 0..3u32 {
+            assert_eq!(sharded.row(row), t.lookup(row as usize).unwrap());
+        }
+    }
+
+    #[test]
+    fn rows_match_the_source_table_across_shards() {
+        let t = table(97, 16, 3);
+        for shards in [1, 2, 3, 8, 97] {
+            let sharded = shard_embedding(&t, shards).unwrap();
+            for row in 0..97u32 {
+                assert_eq!(sharded.row(row), t.lookup(row as usize).unwrap(), "shards={shards} row={row}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_indices_names_the_offender() {
+        let sharded = shard_embedding(&table(10, 4, 4), 2).unwrap();
+        assert!(sharded.check_indices(&[0, 9]).is_ok());
+        assert!(matches!(
+            sharded.check_indices(&[0, 10]),
+            Err(ServeError::RowOutOfRange { row: 10, rows: 10 })
+        ));
+    }
+
+    #[test]
+    fn fetch_into_copies_rows_in_parallel() {
+        let t = table(256, 8, 5);
+        let sharded = shard_embedding(&t, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<u32> = (0..300).map(|_| rng.gen_range(0..256u32)).collect();
+        let mut out = vec![0.0f32; rows.len() * 8];
+        let work: Vec<(u32, &mut [f32])> = rows.iter().copied().zip(out.chunks_mut(8)).collect();
+        sharded.fetch_into(work);
+        for (&row, chunk) in rows.iter().zip(out.chunks(8)) {
+            assert_eq!(chunk, t.lookup(row as usize).unwrap());
+        }
+    }
+
+    #[test]
+    fn f32_pool_batch_matches_embedding_table_bit_for_bit() {
+        let t = table(128, 16, 7);
+        let sharded = shard_embedding(&t, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let requests: Vec<Vec<u32>> = (0..50)
+            .map(|_| {
+                let count = rng.gen_range(0..20usize);
+                (0..count).map(|_| rng.gen_range(0..128u32)).collect()
+            })
+            .collect();
+        let batch = PoolingBatch::from_requests(&requests);
+        let mut out = vec![0.0f32; batch.len() * 16];
+        sharded.pool_batch(&batch, &mut out).unwrap();
+        for (request, chunk) in requests.iter().zip(out.chunks(16)) {
+            let indices: Vec<usize> = request.iter().map(|&r| r as usize).collect();
+            assert_eq!(chunk, t.pool(&indices).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn i8_pool_batch_matches_packed_table_bit_for_bit() {
+        let rows: Vec<Vec<i8>> = (0..64)
+            .map(|r| (0..32).map(|i| ((r * 37 + i * 11) % 255 - 127) as i8).collect())
+            .collect();
+        let packed = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32).unwrap();
+        let sharded = ShardedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let requests: Vec<Vec<u32>> = (0..40)
+            .map(|_| {
+                let count = rng.gen_range(0..12usize);
+                (0..count).map(|_| rng.gen_range(0..64u32)).collect()
+            })
+            .collect();
+        let batch = PoolingBatch::from_requests(&requests);
+        let mut out = vec![0i8; batch.len() * 32];
+        sharded.pool_batch(&batch, &mut out).unwrap();
+        for (request, chunk) in requests.iter().zip(out.chunks(32)) {
+            assert_eq!(chunk, packed.pool(request).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn pool_batch_validates_shape_and_indices() {
+        let sharded = shard_embedding(&table(10, 4, 10), 2).unwrap();
+        let batch = PoolingBatch::from_requests(&[vec![1u32, 2]]);
+        let mut short = vec![0.0f32; 2];
+        assert!(matches!(
+            sharded.pool_batch(&batch, &mut short),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+        let bad = PoolingBatch::from_requests(&[vec![99u32]]);
+        let mut out = vec![0.0f32; 4];
+        assert!(matches!(
+            sharded.pool_batch(&bad, &mut out),
+            Err(ServeError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_sharding_round_trips() {
+        let t = table(60, 8, 11);
+        let quantized = QuantizedTable::from_table(&t);
+        let sharded = shard_quantized(&quantized, 3).unwrap();
+        assert_eq!(sharded.rows(), 60);
+        for row in 0..60u32 {
+            assert_eq!(sharded.row(row), quantized.row(row as usize).unwrap());
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Serving telemetry: latency histogram, throughput, cache and cost accounting.
+//!
+//! A serving engine is judged by its tail, not its mean, so latencies go into a
+//! log-bucketed histogram (constant relative resolution, like HDR histograms) from which
+//! p50/p95/p99 are read. The report also carries the cache counters, the modeled GPCiM
+//! cost per query (energy/latency from [`imars_fabric::cost`]), and a hand-rolled JSON
+//! serialization in the same style as the bench harness so replay runs land next to the
+//! bench suites under `target/imars-bench/`.
+
+use std::fmt::Write as _;
+
+use imars_fabric::cost::{Cost, CostBreakdown};
+
+use crate::batcher::BatchPolicy;
+use crate::cache::CacheStats;
+
+/// Smallest distinguishable latency (one bucket below this records as this).
+const BASE_US: f64 = 0.01;
+/// Buckets per octave: relative resolution of 2^(1/8) ≈ 9 %.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+/// Total buckets: 64 octaves above `BASE_US` ≈ 10 ns .. 2×10⁵ s.
+const BUCKETS: usize = 512;
+
+/// A log-bucketed latency histogram with exact min/max/mean tracking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: f64,
+    min_us: f64,
+    max_us: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: 0.0,
+        }
+    }
+
+    fn bucket_of(latency_us: f64) -> usize {
+        if latency_us <= BASE_US {
+            return 0;
+        }
+        let index = ((latency_us / BASE_US).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
+        index.min(BUCKETS - 1)
+    }
+
+    /// Upper edge of a bucket in microseconds.
+    fn bucket_upper_us(index: usize) -> f64 {
+        BASE_US * ((index + 1) as f64 / BUCKETS_PER_OCTAVE).exp2()
+    }
+
+    /// Record one latency observation (non-finite or negative values clamp to zero).
+    pub fn record(&mut self, latency_us: f64) {
+        let latency_us = if latency_us.is_finite() { latency_us.max(0.0) } else { 0.0 };
+        self.buckets[Self::bucket_of(latency_us)] += 1;
+        self.count += 1;
+        self.sum_us += latency_us;
+        self.min_us = self.min_us.min(latency_us);
+        self.max_us = self.max_us.max(latency_us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max_us(&self) -> f64 {
+        self.max_us
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: the upper edge of the first bucket whose
+    /// cumulative count reaches `q * count`, clamped to the observed min/max (so the
+    /// answer is never below the true minimum or above the true maximum). Returns 0 for
+    /// an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return Self::bucket_upper_us(index).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// Counters accumulated while serving (one replay run or an engine lifetime).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeTelemetry {
+    /// Per-request end-to-end latency (queue wait + service).
+    pub latency: LatencyHistogram,
+    /// Queries served.
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Sum of batch sizes (mean batch size = `batch_size_sum / batches`).
+    pub batch_size_sum: u64,
+    /// Sum of per-query candidate counts from the filtering stage.
+    pub candidates_sum: u64,
+    /// Total measured service time, microseconds (engine busy time).
+    pub busy_us: f64,
+    /// Virtual completion time of the last batch, microseconds.
+    pub makespan_us: f64,
+    /// Modeled hardware cost accumulated across all queries.
+    pub cost: CostBreakdown,
+    /// Aggregate of `cost` (serial composition).
+    pub total_cost: Cost,
+}
+
+impl ServeTelemetry {
+    /// Queries per second over the virtual makespan (arrival pacing included).
+    pub fn served_qps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.makespan_us * 1e6
+        }
+    }
+
+    /// Queries per second over engine busy time only (peak service rate).
+    pub fn service_qps(&self) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.busy_us * 1e6
+        }
+    }
+
+    /// Mean batch size (0 when no batches ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_size_sum as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean candidates surfaced per query by the filtering stage.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.candidates_sum as f64 / self.queries as f64
+        }
+    }
+
+    /// Modeled energy per query in picojoules.
+    pub fn energy_pj_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_cost.energy_pj / self.queries as f64
+        }
+    }
+}
+
+/// The summary of one replay run, ready for printing and JSON serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// A label for the run ("serve_replay", bench section names, ...).
+    pub name: String,
+    /// The batching policy the run used.
+    pub policy: BatchPolicy,
+    /// Shards in the embedding layer.
+    pub shards: usize,
+    /// Hot-row cache capacity in rows (0 = disabled).
+    pub cache_capacity: usize,
+    /// Serving counters.
+    pub telemetry: ServeTelemetry,
+    /// Cache counters at the end of the run.
+    pub cache: CacheStats,
+}
+
+impl ServeReport {
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let t = &self.telemetry;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}: {} queries in {} batches (mean batch {:.1}, policy max_batch={} max_wait={:.0}us)",
+            self.name,
+            t.queries,
+            t.batches,
+            t.mean_batch_size(),
+            self.policy.max_batch,
+            self.policy.max_wait_us,
+        );
+        let _ = writeln!(
+            s,
+            "  latency p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  mean {:.1}us  max {:.1}us",
+            t.latency.quantile_us(0.50),
+            t.latency.quantile_us(0.95),
+            t.latency.quantile_us(0.99),
+            t.latency.mean_us(),
+            t.latency.max_us(),
+        );
+        let _ = writeln!(
+            s,
+            "  throughput {:.0} qps served ({:.0} qps at full load), {} shards",
+            t.served_qps(),
+            t.service_qps(),
+            self.shards,
+        );
+        let _ = writeln!(
+            s,
+            "  cache: capacity {} rows, hit rate {:.1}% ({} hits / {} lookups, {} evictions)",
+            self.cache_capacity,
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.lookups(),
+            self.cache.evictions,
+        );
+        let _ = writeln!(
+            s,
+            "  modeled GPCiM cost: {:.1} pJ/query ({:.1} candidates/query from the TCAM filter)",
+            t.energy_pj_per_query(),
+            t.mean_candidates(),
+        );
+        s
+    }
+
+    /// JSON summary in the bench-harness style (hand-rolled: the vendored serde has no
+    /// serializer backend).
+    pub fn to_json(&self) -> String {
+        let t = &self.telemetry;
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"suite\": \"{}\",", escape(&self.name));
+        let _ = writeln!(
+            json,
+            "  \"policy\": {{\"max_batch\": {}, \"max_wait_us\": {:.3}}},",
+            self.policy.max_batch, self.policy.max_wait_us
+        );
+        let _ = writeln!(json, "  \"shards\": {},", self.shards);
+        let _ = writeln!(json, "  \"queries\": {},", t.queries);
+        let _ = writeln!(json, "  \"batches\": {},", t.batches);
+        let _ = writeln!(json, "  \"mean_batch_size\": {:.3},", t.mean_batch_size());
+        let _ = writeln!(
+            json,
+            "  \"latency_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}}},",
+            t.latency.quantile_us(0.50),
+            t.latency.quantile_us(0.95),
+            t.latency.quantile_us(0.99),
+            t.latency.mean_us(),
+            t.latency.min_us(),
+            t.latency.max_us(),
+        );
+        let _ = writeln!(
+            json,
+            "  \"throughput\": {{\"served_qps\": {:.3}, \"service_qps\": {:.3}}},",
+            t.served_qps(),
+            t.service_qps()
+        );
+        let _ = writeln!(
+            json,
+            "  \"cache\": {{\"capacity\": {}, \"hits\": {}, \"coalesced\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"insertions\": {}, \"evictions\": {}}},",
+            self.cache_capacity,
+            self.cache.hits,
+            self.cache.coalesced,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.insertions,
+            self.cache.evictions,
+        );
+        let _ = writeln!(json, "  \"candidates_per_query\": {:.3},", t.mean_candidates());
+        let _ = writeln!(
+            json,
+            "  \"modeled_cost\": {{\"energy_pj_per_query\": {:.3}, \"total_energy_pj\": {:.3}, \"total_latency_ns\": {:.3}, \"components\": [",
+            t.energy_pj_per_query(),
+            t.total_cost.energy_pj,
+            t.total_cost.latency_ns,
+        );
+        for (i, (component, cost)) in t.cost.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}    {{\"component\": \"{:?}\", \"energy_pj\": {:.3}, \"latency_ns\": {:.3}}}",
+                if i == 0 { "" } else { ",\n" },
+                component,
+                cost.energy_pj,
+                cost.latency_ns,
+            );
+        }
+        let _ = writeln!(json, "\n  ]}}");
+        json.push_str("}\n");
+        json
+    }
+
+    /// Write the JSON summary to `target/imars-bench/<name>.json`, or to the path in
+    /// the `IMARS_SERVE_OUT` environment variable when set. (Deliberately not the bench
+    /// harness's `IMARS_BENCH_OUT`: a bench run that also emits serve telemetry would
+    /// otherwise clobber one file with the other.) Returns the path written to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be written.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = match std::env::var_os("IMARS_SERVE_OUT") {
+            Some(path) => std::path::PathBuf::from(path),
+            None => {
+                let dir = std::path::Path::new("target").join("imars-bench");
+                std::fs::create_dir_all(&dir)?;
+                dir.join(format!("{}.json", self.name))
+            }
+        };
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_known_data() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64); // 1..1000 us, uniform
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean_us() - 500.5).abs() < 1e-9);
+        assert_eq!(h.min_us(), 1.0);
+        assert_eq!(h.max_us(), 1000.0);
+        // Log buckets have ~9 % relative resolution; allow 2 bucket widths of slack.
+        let p50 = h.quantile_us(0.50);
+        assert!((400.0..650.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((900.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert!(h.quantile_us(1.0) <= 1000.0);
+        assert!(h.quantile_us(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut value = 0.37f64;
+        for _ in 0..5000 {
+            value = (value * 1.37).rem_euclid(97.0) + 0.01;
+            h.record(value * 100.0);
+        }
+        let quantiles: Vec<f64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile_us(q))
+            .collect();
+        for pair in quantiles.windows(2) {
+            assert!(pair[0] <= pair[1], "quantiles must be monotone: {quantiles:?}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.min_us(), 0.0);
+        assert_eq!(h.max_us(), 0.0);
+        assert_eq!(h.quantile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_latencies_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_us(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_derived_rates() {
+        let mut t = ServeTelemetry {
+            queries: 1000,
+            batches: 40,
+            batch_size_sum: 1000,
+            candidates_sum: 5000,
+            busy_us: 50_000.0,
+            makespan_us: 100_000.0,
+            ..ServeTelemetry::default()
+        };
+        t.total_cost = Cost::new(2_000_000.0, 0.0);
+        assert!((t.served_qps() - 10_000.0).abs() < 1e-6);
+        assert!((t.service_qps() - 20_000.0).abs() < 1e-6);
+        assert!((t.mean_batch_size() - 25.0).abs() < 1e-12);
+        assert!((t.mean_candidates() - 5.0).abs() < 1e-12);
+        assert!((t.energy_pj_per_query() - 2000.0).abs() < 1e-9);
+        let empty = ServeTelemetry::default();
+        assert_eq!(empty.served_qps(), 0.0);
+        assert_eq!(empty.service_qps(), 0.0);
+        assert_eq!(empty.mean_batch_size(), 0.0);
+        assert_eq!(empty.energy_pj_per_query(), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_carries_the_headline_fields() {
+        let mut telemetry = ServeTelemetry::default();
+        for i in 0..100 {
+            telemetry.latency.record(50.0 + i as f64);
+        }
+        telemetry.queries = 100;
+        telemetry.batches = 10;
+        telemetry.batch_size_sum = 100;
+        telemetry.makespan_us = 10_000.0;
+        telemetry.busy_us = 5_000.0;
+        let report = ServeReport {
+            name: "unit \"test\"".to_string(),
+            policy: BatchPolicy::new(16, 200.0).unwrap(),
+            shards: 4,
+            cache_capacity: 64,
+            telemetry,
+            cache: CacheStats {
+                hits: 70,
+                coalesced: 5,
+                misses: 25,
+                insertions: 25,
+                evictions: 3,
+            },
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"p50\"",
+            "\"p95\"",
+            "\"p99\"",
+            "\"served_qps\"",
+            "\"hit_rate\": 0.75",
+            "\"max_batch\": 16",
+            "\"energy_pj_per_query\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("unit \\\"test\\\""));
+        let text = report.summary();
+        assert!(text.contains("hit rate 75.0%"));
+    }
+}
