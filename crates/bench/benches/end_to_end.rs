@@ -6,7 +6,10 @@
 use imars_bench::{black_box, Harness};
 use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
 use imars_recsys::EmbeddingTable;
-use imars_serve::{ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine};
+use imars_serve::{
+    replay_threaded, ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig, ServeEngine,
+    ThreadedReplayConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,13 +71,93 @@ fn serve_replay(harness: &mut Harness) {
     }
 
     let telemetry = &report.telemetry;
-    harness.metric("serve/p50_latency_us", telemetry.latency.quantile_us(0.50), "us");
-    harness.metric("serve/p95_latency_us", telemetry.latency.quantile_us(0.95), "us");
-    harness.metric("serve/p99_latency_us", telemetry.latency.quantile_us(0.99), "us");
+    harness.metric(
+        "serve/p50_latency_us",
+        telemetry.latency.quantile_us(0.50),
+        "us",
+    );
+    harness.metric(
+        "serve/p95_latency_us",
+        telemetry.latency.quantile_us(0.95),
+        "us",
+    );
+    harness.metric(
+        "serve/p99_latency_us",
+        telemetry.latency.quantile_us(0.99),
+        "us",
+    );
     harness.metric("serve/served_throughput", telemetry.served_qps(), "qps");
-    harness.metric("serve/mean_batch_size", telemetry.mean_batch_size(), "requests");
+    harness.metric(
+        "serve/mean_batch_size",
+        telemetry.mean_batch_size(),
+        "requests",
+    );
     harness.metric("serve/cache_hit_rate", report.cache.hit_rate(), "fraction");
-    harness.metric("serve/gpcim_energy_per_query", telemetry.energy_pj_per_query(), "pJ");
+    harness.metric(
+        "serve/gpcim_energy_per_query",
+        telemetry.energy_pj_per_query(),
+        "pJ",
+    );
+
+    // The same trace on the threaded runtime (2 workers, real-time Poisson pacing):
+    // measured wall-clock tails and queue/backpressure telemetry next to the modeled
+    // numbers above. Outputs are pinned bit-identical by the equivalence tests; here we
+    // only record the measured side.
+    let threaded = replay_threaded(
+        &engine,
+        &workload,
+        &ThreadedReplayConfig {
+            runtime: RuntimeConfig::new(2, 4096).expect("valid runtime config"),
+            speedup: 1.0,
+            shed_on_full: false,
+        },
+    )
+    .expect("threaded replay succeeds");
+    let mut threaded_report = threaded.report;
+    threaded_report.name = "end_to_end_serve_threaded".to_string();
+    println!("{}", threaded_report.summary());
+    match threaded_report.write_json() {
+        Ok(path) => println!("threaded serve telemetry written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write threaded serve telemetry: {error}"),
+    }
+    let measured = &threaded_report.telemetry;
+    harness.metric(
+        "serve_threaded/p50_measured_us",
+        measured.latency.quantile_us(0.50),
+        "us",
+    );
+    harness.metric(
+        "serve_threaded/p95_measured_us",
+        measured.latency.quantile_us(0.95),
+        "us",
+    );
+    harness.metric(
+        "serve_threaded/p99_measured_us",
+        measured.latency.quantile_us(0.99),
+        "us",
+    );
+    harness.metric(
+        "serve_threaded/served_throughput",
+        measured.served_qps(),
+        "qps",
+    );
+    if let Some(stats) = &threaded_report.runtime {
+        harness.metric(
+            "serve_threaded/queue_depth_max",
+            stats.queue_depth_max as f64,
+            "requests",
+        );
+        harness.metric(
+            "serve_threaded/worker_utilization",
+            stats.utilization(),
+            "fraction",
+        );
+        harness.metric(
+            "serve_threaded/rejection_rate",
+            stats.rejection_rate(),
+            "fraction",
+        );
+    }
 }
 
 fn main() {
@@ -85,7 +168,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let samples: Vec<DlrmSample> = (0..BATCH)
         .map(|_| DlrmSample {
-            dense: (0..config.num_dense_features).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+            dense: (0..config.num_dense_features)
+                .map(|_| rng.gen_range(-1.0..1.0f32))
+                .collect(),
             sparse: config
                 .sparse_cardinalities
                 .iter()
@@ -104,7 +189,11 @@ fn main() {
         black_box(model.predict_batch(&samples).expect("valid samples"));
     });
 
-    harness.metric("batch_speedup", single_ns / batched_ns.max(f64::MIN_POSITIVE), "x");
+    harness.metric(
+        "batch_speedup",
+        single_ns / batched_ns.max(f64::MIN_POSITIVE),
+        "x",
+    );
     harness.metric(
         "batched_inference_throughput",
         BATCH as f64 / batched_ns * 1e9,

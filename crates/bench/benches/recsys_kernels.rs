@@ -33,7 +33,11 @@ fn main() {
     let table = EmbeddingTable::new(ROWS, DIM, 42).expect("valid shape");
     let mut rng = StdRng::seed_from_u64(7);
     let requests: Vec<Vec<u32>> = (0..BATCH)
-        .map(|_| (0..POOLING_FACTOR).map(|_| rng.gen_range(0..ROWS as u32)).collect())
+        .map(|_| {
+            (0..POOLING_FACTOR)
+                .map(|_| rng.gen_range(0..ROWS as u32))
+                .collect()
+        })
         .collect();
     let requests_usize: Vec<Vec<usize>> = requests
         .iter()

@@ -1,0 +1,209 @@
+//! CI bench-regression gate.
+//!
+//! Compares the bench JSON summaries of the current run against the baselines checked
+//! in under `crates/bench/baselines/` and exits nonzero on a regression beyond the
+//! tolerance (default ±30 %) or a disappeared bench. Run from the workspace root:
+//!
+//! ```text
+//! cargo bench --bench recsys_kernels && cargo bench --bench end_to_end
+//! cargo run --release -p imars-bench --bin bench_gate
+//! ```
+//!
+//! Flags:
+//!
+//! * `--baselines DIR`  — baseline directory (default `crates/bench/baselines`)
+//! * `--current DIR`    — current-run directory; repeatable, first hit per suite wins
+//!   (defaults: `crates/bench/target/imars-bench`, then `target/imars-bench` — cargo
+//!   runs bench binaries with the package as CWD, so their JSON lands under the
+//!   package-relative target path)
+//! * `--tolerance F`    — allowed fractional slowdown (default `0.30`)
+//! * `--update`         — instead of gating, copy the current harness summaries into
+//!   the baseline directory (refreshing baselines on the reference machine)
+//!
+//! Smoke-mode summaries (`cargo bench -- --test`) gate coverage only: their
+//! one-iteration timings are noise, so rows show `skip (smoke)`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use imars_bench::gate::{parse_suite, run_gate, SuiteResults};
+
+struct Options {
+    baselines: PathBuf,
+    currents: Vec<PathBuf>,
+    tolerance: f64,
+    update: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut baselines = PathBuf::from("crates/bench/baselines");
+    let mut currents: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.30f64;
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baselines" => {
+                baselines = PathBuf::from(args.next().ok_or("--baselines needs a directory")?);
+            }
+            "--current" => {
+                currents.push(PathBuf::from(
+                    args.next().ok_or("--current needs a directory")?,
+                ));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    return Err(format!(
+                        "--tolerance must be finite and >= 0, got {tolerance}"
+                    ));
+                }
+            }
+            "--update" => update = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench_gate [--baselines DIR] [--current DIR]... [--tolerance F] [--update]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if currents.is_empty() {
+        currents = vec![
+            PathBuf::from("crates/bench/target/imars-bench"),
+            PathBuf::from("target/imars-bench"),
+        ];
+    }
+    Ok(Options {
+        baselines,
+        currents,
+        tolerance,
+        update,
+    })
+}
+
+/// Load every harness-schema JSON in `dir` (skipping other schemas, e.g. serve
+/// telemetry). A missing directory is an empty set, not an error — the gate itself
+/// reports missing suites.
+fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, SuiteResults)>, String> {
+    let mut suites = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(suites),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        match parse_suite(&text).map_err(|e| format!("parse {}: {e}", path.display()))? {
+            Some(suite) => suites.push((path, suite)),
+            None => println!(
+                "note: skipping {} (not a bench-harness summary)",
+                path.display()
+            ),
+        }
+    }
+    Ok(suites)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("bench_gate: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // First directory containing a suite wins, so later defaults don't shadow
+    // freshly-written results.
+    let mut currents: Vec<SuiteResults> = Vec::new();
+    let mut current_paths: Vec<PathBuf> = Vec::new();
+    for dir in &options.currents {
+        match load_dir(dir) {
+            Ok(loaded) => {
+                for (path, suite) in loaded {
+                    if !currents.iter().any(|s| s.suite == suite.suite) {
+                        currents.push(suite);
+                        current_paths.push(path);
+                    }
+                }
+            }
+            Err(error) => {
+                eprintln!("bench_gate: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if options.update {
+        if let Err(error) = std::fs::create_dir_all(&options.baselines) {
+            eprintln!(
+                "bench_gate: create {}: {error}",
+                options.baselines.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut wrote = 0usize;
+        for (suite, path) in currents.iter().zip(&current_paths) {
+            if suite.smoke {
+                println!(
+                    "skipping smoke summary for suite {} (run a full bench first)",
+                    suite.suite
+                );
+                continue;
+            }
+            let destination = options.baselines.join(format!("{}.json", suite.suite));
+            if let Err(error) = std::fs::copy(path, &destination) {
+                eprintln!(
+                    "bench_gate: copy {} -> {}: {error}",
+                    path.display(),
+                    destination.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("baseline updated: {}", destination.display());
+            wrote += 1;
+        }
+        if wrote == 0 {
+            eprintln!("bench_gate: no full-run summaries found to install as baselines");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baselines = match load_dir(&options.baselines) {
+        Ok(loaded) => loaded
+            .into_iter()
+            .map(|(_, suite)| suite)
+            .collect::<Vec<_>>(),
+        Err(error) => {
+            eprintln!("bench_gate: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_gate: no baselines under {} — run the benches and `bench_gate --update` on the reference machine",
+            options.baselines.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let outcome = run_gate(&baselines, &currents, options.tolerance);
+    print!("{}", outcome.table(options.tolerance));
+    if outcome.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

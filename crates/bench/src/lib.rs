@@ -27,6 +27,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+pub mod gate;
+
 pub use std::hint::black_box;
 
 /// Target wall-clock time per timed sample.
@@ -175,7 +177,12 @@ impl Harness {
 
     /// Record an auxiliary metric (e.g. a speedup derived from two benches).
     pub fn metric(&mut self, name: &str, value: f64, unit: &str) {
-        println!("{:<44} {:>12.2} {}", format!("{}/{}", self.suite, name), value, unit);
+        println!(
+            "{:<44} {:>12.2} {}",
+            format!("{}/{}", self.suite, name),
+            value,
+            unit
+        );
         self.metrics.push(Metric {
             name: name.to_string(),
             value,
@@ -231,7 +238,10 @@ impl Harness {
             }
         };
         if let Err(error) = std::fs::write(&path, self.to_json()) {
-            eprintln!("warning: could not write bench summary to {}: {error}", path.display());
+            eprintln!(
+                "warning: could not write bench summary to {}: {error}",
+                path.display()
+            );
         } else {
             println!("bench summary written to {}", path.display());
         }

@@ -14,7 +14,10 @@ use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
 use imars_recsys::lsh::RandomHyperplaneLsh;
 use imars_recsys::quantization::QuantizedTable;
 use imars_recsys::EmbeddingTable;
-use imars_serve::{BatchPolicy, ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine, ServePrecision};
+use imars_serve::{
+    replay_threaded, BatchPolicy, ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig,
+    ServeEngine, ServePrecision, ThreadedReplayConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,7 +26,9 @@ fn pack_unpack_round_trip_property() {
     let mut rng = StdRng::seed_from_u64(1);
     for _ in 0..200 {
         let dim = rng.gen_range(1..=64usize);
-        let row: Vec<i8> = (0..dim).map(|_| rng.gen_range(-128..=127i32) as i8).collect();
+        let row: Vec<i8> = (0..dim)
+            .map(|_| rng.gen_range(-128..=127i32) as i8)
+            .collect();
         let packed = pack_embedding(&row);
         assert_eq!(packed.len(), dim.div_ceil(8));
         assert_eq!(unpack_embedding(&packed, dim), row);
@@ -44,7 +49,9 @@ fn batched_f32_pooling_matches_naive_bit_for_bit() {
             .collect();
         let batch = PoolingBatch::from_requests(&requests);
         let mut out = vec![0.0f32; batch.len() * dim];
-        table.gather_pool_batch(&batch, PoolingMode::Sum, &mut out).unwrap();
+        table
+            .gather_pool_batch(&batch, PoolingMode::Sum, &mut out)
+            .unwrap();
         for (request, chunk) in requests.iter().zip(out.chunks(dim)) {
             let naive: Vec<usize> = request.iter().map(|&i| i as usize).collect();
             assert_eq!(chunk, table.pool(&naive).unwrap().as_slice());
@@ -57,7 +64,11 @@ fn int8_packed_pooling_matches_naive_scalar_saturating_path() {
     let mut rng = StdRng::seed_from_u64(4);
     let dim = 32;
     let rows: Vec<Vec<i8>> = (0..300)
-        .map(|_| (0..dim).map(|_| rng.gen_range(-128..=127i32) as i8).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| rng.gen_range(-128..=127i32) as i8)
+                .collect()
+        })
         .collect();
     let packed = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), dim).unwrap();
     for _ in 0..100 {
@@ -94,7 +105,9 @@ fn int8_packed_pooling_tracks_f32_within_quantization_error() {
     let packed = PackedTable::from_rows(quantized.iter_rows(), dim).unwrap();
 
     for _ in 0..50 {
-        let indices: Vec<u32> = (0..pooling_factor).map(|_| rng.gen_range(0..100u32)).collect();
+        let indices: Vec<u32> = (0..pooling_factor)
+            .map(|_| rng.gen_range(0..100u32))
+            .collect();
         let int8_sum = packed.pool(&indices).unwrap();
         let f32_sum = table
             .pool(&indices.iter().map(|&i| i as usize).collect::<Vec<usize>>())
@@ -159,7 +172,8 @@ fn serve_engine_matches_the_unbatched_primitive_pipeline() {
     let mut tcam = CmaArray::new(256, signature_bits, ArrayFom::paper_reference());
     for row in 0..256 {
         let signature = lsh.signature(items.lookup(row).unwrap()).unwrap();
-        tcam.write_row_bits(row, &signature, signature_bits).unwrap();
+        tcam.write_row_bits(row, &signature, signature_bits)
+            .unwrap();
     }
     for response in &outcome.responses {
         let request = &workload.requests()[response.id as usize];
@@ -175,13 +189,93 @@ fn serve_engine_matches_the_unbatched_primitive_pipeline() {
                 sparse: request.sparse.clone(),
             })
             .unwrap();
-        assert_eq!(response.score.to_bits(), score.to_bits(), "query {}", response.id);
+        assert_eq!(
+            response.score.to_bits(),
+            score.to_bits(),
+            "query {}",
+            response.id
+        );
         assert_eq!(
             response.candidates,
             matches.len().min(request.query.candidates),
             "query {}",
             response.id
         );
+    }
+}
+
+#[test]
+fn threaded_runtime_matches_the_simulated_replay_bit_for_bit() {
+    // The tentpole equivalence: the threaded runtime (bounded queue -> wall-clock
+    // batcher -> worker pool of engine clones) re-batches the trace by *real* timing,
+    // so batch boundaries and worker assignment differ run to run — and still no
+    // output bit may move versus the virtual-clock single-pipeline replay.
+    let items = EmbeddingTable::new(512, 4, 21).unwrap();
+    let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+    let config = ServeConfig {
+        shards: 4,
+        cache_capacity: 64,
+        precision: ServePrecision::Fp32,
+        policy: BatchPolicy::new(16, 200.0).unwrap(),
+        signature_bits: 64,
+        search_radius: 26,
+        lsh_seed: 5,
+    };
+    let mut engine = ServeEngine::new(model, &items, config).unwrap();
+    let workload = ReplayWorkload::generate(&ReplayConfig {
+        queries: 500,
+        num_users: 80,
+        num_items: 512,
+        zipf_exponent: 1.2,
+        history_len: 12,
+        offered_qps: 100_000.0,
+        candidates_per_query: 40,
+        top_k: 10,
+        sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
+        seed: 13,
+    })
+    .unwrap();
+    let simulated = engine.replay(&workload).unwrap();
+    for workers in [1, 4] {
+        let threaded = replay_threaded(
+            &engine,
+            &workload,
+            &ThreadedReplayConfig {
+                runtime: RuntimeConfig::new(workers, 1024).unwrap(),
+                speedup: f64::INFINITY, // back-to-back submits: maximum batching variance
+                shed_on_full: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(threaded.responses.len(), simulated.responses.len());
+        let mut by_id = threaded.responses.clone();
+        by_id.sort_unstable_by_key(|response| response.id);
+        for (threaded_response, simulated_response) in by_id.iter().zip(simulated.responses.iter())
+        {
+            assert_eq!(threaded_response.id, simulated_response.id);
+            assert_eq!(
+                threaded_response.score.to_bits(),
+                simulated_response.score.to_bits(),
+                "query {} with {workers} workers",
+                threaded_response.id
+            );
+            assert_eq!(
+                threaded_response.candidates, simulated_response.candidates,
+                "query {} with {workers} workers",
+                threaded_response.id
+            );
+        }
+        // The threaded report measures, the simulated one models — both must agree on
+        // what was served.
+        let stats = threaded
+            .report
+            .runtime
+            .expect("threaded runs carry runtime stats");
+        assert_eq!(stats.workers, workers);
+        assert_eq!(stats.submitted, 500);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(threaded.report.telemetry.queries, 500);
+        assert_eq!(threaded.report.telemetry.latency.count(), 500);
     }
 }
 

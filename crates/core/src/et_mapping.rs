@@ -175,14 +175,25 @@ impl EtMapping {
             banks: self.placements.len(),
             mats: self.placements.iter().map(|p| p.mats_activated).sum(),
             cmas: self.placements.iter().map(|p| p.cmas_allocated).sum(),
-            max_rows: self.placements.iter().map(|p| p.spec.rows).max().unwrap_or(0),
-            min_rows: self.placements.iter().map(|p| p.spec.rows).min().unwrap_or(0),
+            max_rows: self
+                .placements
+                .iter()
+                .map(|p| p.spec.rows)
+                .max()
+                .unwrap_or(0),
+            min_rows: self
+                .placements
+                .iter()
+                .map(|p| p.spec.rows)
+                .min()
+                .unwrap_or(0),
         }
     }
 
     /// Fraction of the fabric's CMAs activated by this mapping.
     pub fn utilization(&self) -> f64 {
-        let total = (self.config_banks * self.config_mats_per_bank * self.config_cmas_per_mat) as f64;
+        let total =
+            (self.config_banks * self.config_mats_per_bank * self.config_cmas_per_mat) as f64;
         self.summary().cmas as f64 / total
     }
 
@@ -285,8 +296,16 @@ mod tests {
         assert_eq!(summary.min_rows, 2);
         // Paper: 8 active mats, 54 active CMAs — the exact-allocation count lands nearby
         // (it depends on the exact per-table cardinalities of the original preprocessing).
-        assert!(summary.mats >= 7 && summary.mats <= 10, "mats {}", summary.mats);
-        assert!(summary.cmas >= 30 && summary.cmas <= 70, "cmas {}", summary.cmas);
+        assert!(
+            summary.mats >= 7 && summary.mats <= 10,
+            "mats {}",
+            summary.mats
+        );
+        assert!(
+            summary.cmas >= 30 && summary.cmas <= 70,
+            "cmas {}",
+            summary.cmas
+        );
     }
 
     #[test]

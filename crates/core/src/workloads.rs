@@ -197,7 +197,14 @@ mod tests {
         let workload = RecsysWorkload::movielens_filtering();
         // 5 UIETs + 1 ItET.
         assert_eq!(workload.table_count(), 6);
-        assert_eq!(workload.tables.iter().filter(|t| t.spec.stores_lsh_signature).count(), 1);
+        assert_eq!(
+            workload
+                .tables
+                .iter()
+                .filter(|t| t.spec.stores_lsh_signature)
+                .count(),
+            1
+        );
         assert_eq!(workload.dnn_layers.last(), Some(&(64, 32)));
         assert_eq!(workload.catalogue_items, 3706);
         assert_eq!(workload.kind.label(), "MovieLens / Filtering");
@@ -218,7 +225,10 @@ mod tests {
         assert_eq!(workload.table_count(), 26);
         assert_eq!(workload.total_lookups(), 26);
         assert!(workload.tables.iter().all(|t| t.lookups_per_inference == 1));
-        assert_eq!(workload.tables.iter().map(|t| t.spec.rows).max(), Some(30_000));
+        assert_eq!(
+            workload.tables.iter().map(|t| t.spec.rows).max(),
+            Some(30_000)
+        );
         assert_eq!(workload.dnn_layers.len(), 6);
         assert_eq!(workload.catalogue_items, 0);
     }

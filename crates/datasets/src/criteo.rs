@@ -122,7 +122,11 @@ impl SyntheticCriteo {
         }
         logit += 0.3 * dense.iter().sum::<f32>() / dense.len().max(1) as f32;
         let probability = 1.0 / (1.0 + (-logit).exp());
-        let clicked = if self.rng.gen_range(0.0..1.0f32) < probability { 1.0 } else { 0.0 };
+        let clicked = if self.rng.gen_range(0.0..1.0f32) < probability {
+            1.0
+        } else {
+            0.0
+        };
         (DlrmSample { dense, sparse }, clicked)
     }
 
@@ -186,7 +190,8 @@ mod tests {
         assert!(ctr > 0.05 && ctr < 0.95, "ctr {ctr}");
         // Labels must correlate with the head-value rule for at least one field: compare
         // click rates between head and tail values of field 0.
-        let (mut head_clicks, mut head_total, mut tail_clicks, mut tail_total) = (0.0, 0.0, 0.0, 0.0);
+        let (mut head_clicks, mut head_total, mut tail_clicks, mut tail_total) =
+            (0.0, 0.0, 0.0, 0.0);
         for (sample, label) in &samples {
             if sample.sparse[0] < 10 {
                 head_clicks += *label as f64;
@@ -199,7 +204,10 @@ mod tests {
         if head_total > 50.0 && tail_total > 50.0 {
             let head_rate = head_clicks / head_total;
             let tail_rate = tail_clicks / tail_total;
-            assert!((head_rate - tail_rate).abs() > 0.01, "head {head_rate} tail {tail_rate}");
+            assert!(
+                (head_rate - tail_rate).abs() > 0.01,
+                "head {head_rate} tail {tail_rate}"
+            );
         }
     }
 

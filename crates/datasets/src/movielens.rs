@@ -175,7 +175,8 @@ impl SyntheticMovieLens {
         let users = (0..config.num_users)
             .map(|user_id| {
                 let taste_cluster = rng.gen_range(0..clusters);
-                let history_len = rng.gen_range(config.min_history..=config.max_history.max(config.min_history));
+                let history_len =
+                    rng.gen_range(config.min_history..=config.max_history.max(config.min_history));
                 let mut interactions = Vec::with_capacity(history_len);
                 for _ in 0..history_len {
                     let item = if rng.gen_bool(config.in_cluster_probability)
@@ -261,7 +262,10 @@ impl SyntheticMovieLens {
 
     /// Split the leave-one-out examples into train and test partitions:
     /// every `holdout_every`-th user goes to the test set.
-    pub fn train_test_split(&self, holdout_every: usize) -> (Vec<FilteringExample>, Vec<FilteringExample>) {
+    pub fn train_test_split(
+        &self,
+        holdout_every: usize,
+    ) -> (Vec<FilteringExample>, Vec<FilteringExample>) {
         let every = holdout_every.max(2);
         let examples = self.leave_one_out();
         let mut train = Vec::new();
@@ -304,13 +308,13 @@ impl SyntheticMovieLens {
     /// Table I mapping.
     pub fn embedding_table_rows(&self) -> Vec<usize> {
         vec![
-            self.config.num_items,        // history UIET
-            self.config.num_genres,       // genre UIET
-            self.config.num_age_groups,   // age UIET
-            self.config.num_genders,      // gender UIET
-            self.config.num_occupations,  // occupation UIET
+            self.config.num_items,            // history UIET
+            self.config.num_genres,           // genre UIET
+            self.config.num_age_groups,       // age UIET
+            self.config.num_genders,          // gender UIET
+            self.config.num_occupations,      // occupation UIET
             self.config.num_ranking_contexts, // ranking-only UIET
-            self.config.num_items,        // ItET
+            self.config.num_items,            // ItET
         ]
     }
 }
@@ -349,7 +353,10 @@ mod tests {
             assert!(user.ranking_context < config.num_ranking_contexts);
             assert!(user.interactions.len() >= config.min_history);
             assert!(user.interactions.len() <= config.max_history);
-            assert!(user.interactions.iter().all(|&item| item < config.num_items));
+            assert!(user
+                .interactions
+                .iter()
+                .all(|&item| item < config.num_items));
         }
     }
 

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let config = WorkloadConfig::paper_serving(100, 50);
-        assert_eq!(InferenceWorkload::generate(config), InferenceWorkload::generate(config));
+        assert_eq!(
+            InferenceWorkload::generate(config),
+            InferenceWorkload::generate(config)
+        );
     }
 
     #[test]

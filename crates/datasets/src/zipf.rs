@@ -54,7 +54,10 @@ impl ZipfSampler {
     /// loops and tests are not tied to `StdRng`.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cumulative.binary_search_by(|probe| probe.partial_cmp(&u).expect("finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
             Ok(index) => index,
             Err(index) => index.min(self.cumulative.len() - 1),
         }
@@ -81,7 +84,11 @@ impl ZipfSampler {
         if rank >= self.cumulative.len() {
             return 0.0;
         }
-        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         self.cumulative[rank] - prev
     }
 }

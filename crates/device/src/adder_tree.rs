@@ -194,8 +194,8 @@ impl AdderTreeModel {
         // the wire flight time and a register; the whole accumulation repeats for each
         // gather beat when the operands arrive serialized.
         let carry_blocks = (self.width_bits as f64 / 8.0).ceil();
-        let logic_delay_ns =
-            levels as f64 * (carry_blocks * self.carry_block_delay_ns() + 2.0 * self.tech.logic_gate_delay_ns);
+        let logic_delay_ns = levels as f64
+            * (carry_blocks * self.carry_block_delay_ns() + 2.0 * self.tech.logic_gate_delay_ns);
         let latency_ns = self.gather_beats as f64 * (logic_delay_ns + wire_delay_ns_total);
 
         // Area: ~6 gates per full-adder bit plus one flop (~4 gate footprints) per
@@ -274,9 +274,19 @@ mod tests {
         // Paper Table II: intra-mat adder tree 256-bit add = 137 pJ, 14.7 ns. The
         // uncalibrated analytical model must land within a factor of 3 of both.
         let cma_width = 256.0 * tech().cma_cell_pitch_um;
-        let fom = AdderTreeModel::intra_mat(tech(), 32, cma_width).unwrap().fom();
-        assert!(fom.energy_pj > 137.0 / 3.0 && fom.energy_pj < 137.0 * 3.0, "{}", fom.energy_pj);
-        assert!(fom.latency_ns > 14.7 / 3.0 && fom.latency_ns < 14.7 * 3.0, "{}", fom.latency_ns);
+        let fom = AdderTreeModel::intra_mat(tech(), 32, cma_width)
+            .unwrap()
+            .fom();
+        assert!(
+            fom.energy_pj > 137.0 / 3.0 && fom.energy_pj < 137.0 * 3.0,
+            "{}",
+            fom.energy_pj
+        );
+        assert!(
+            fom.latency_ns > 14.7 / 3.0 && fom.latency_ns < 14.7 * 3.0,
+            "{}",
+            fom.latency_ns
+        );
     }
 
     #[test]
@@ -284,17 +294,31 @@ mod tests {
         // Paper Table II: intra-bank adder tree 256-bit add = 956 pJ, 44.2 ns.
         let cma_width = 256.0 * tech().cma_cell_pitch_um;
         let mat_width = 32.0 * cma_width;
-        let fom = AdderTreeModel::intra_bank(tech(), mat_width, 4).unwrap().fom();
-        assert!(fom.energy_pj > 956.0 / 3.0 && fom.energy_pj < 956.0 * 3.0, "{}", fom.energy_pj);
-        assert!(fom.latency_ns > 44.2 / 3.0 && fom.latency_ns < 44.2 * 3.0, "{}", fom.latency_ns);
+        let fom = AdderTreeModel::intra_bank(tech(), mat_width, 4)
+            .unwrap()
+            .fom();
+        assert!(
+            fom.energy_pj > 956.0 / 3.0 && fom.energy_pj < 956.0 * 3.0,
+            "{}",
+            fom.energy_pj
+        );
+        assert!(
+            fom.latency_ns > 44.2 / 3.0 && fom.latency_ns < 44.2 * 3.0,
+            "{}",
+            fom.latency_ns
+        );
     }
 
     #[test]
     fn intra_bank_costs_more_than_intra_mat() {
         let cma_width = 256.0 * tech().cma_cell_pitch_um;
         let mat_width = 32.0 * cma_width;
-        let mat = AdderTreeModel::intra_mat(tech(), 32, cma_width).unwrap().fom();
-        let bank = AdderTreeModel::intra_bank(tech(), mat_width, 4).unwrap().fom();
+        let mat = AdderTreeModel::intra_mat(tech(), 32, cma_width)
+            .unwrap()
+            .fom();
+        let bank = AdderTreeModel::intra_bank(tech(), mat_width, 4)
+            .unwrap()
+            .fom();
         assert!(bank.energy_pj > mat.energy_pj);
         assert!(bank.latency_ns > mat.latency_ns);
     }

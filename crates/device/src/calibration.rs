@@ -47,7 +47,13 @@ impl CalibrationReport {
     pub fn worst_case_scale(&self) -> f64 {
         self.entries
             .iter()
-            .map(|e| if e.scale >= 1.0 { e.scale } else { 1.0 / e.scale })
+            .map(|e| {
+                if e.scale >= 1.0 {
+                    e.scale
+                } else {
+                    1.0 / e.scale
+                }
+            })
             .fold(1.0, f64::max)
     }
 
@@ -133,9 +139,24 @@ pub fn calibrate(
 ) -> Result<(ArrayFom, CalibrationReport), DeviceError> {
     let mut report = CalibrationReport::default();
     let cma = CmaFom {
-        write: calibrate_op("cma.write", analytical.cma.write, reference.cma.write, &mut report)?,
-        read: calibrate_op("cma.read", analytical.cma.read, reference.cma.read, &mut report)?,
-        add: calibrate_op("cma.add", analytical.cma.add, reference.cma.add, &mut report)?,
+        write: calibrate_op(
+            "cma.write",
+            analytical.cma.write,
+            reference.cma.write,
+            &mut report,
+        )?,
+        read: calibrate_op(
+            "cma.read",
+            analytical.cma.read,
+            reference.cma.read,
+            &mut report,
+        )?,
+        add: calibrate_op(
+            "cma.add",
+            analytical.cma.add,
+            reference.cma.add,
+            &mut report,
+        )?,
         search: calibrate_op(
             "cma.search",
             analytical.cma.search,

@@ -61,7 +61,10 @@ pub struct OperationFom {
 impl OperationFom {
     /// Create a figure of merit.
     pub fn new(energy_pj: f64, latency_ns: f64) -> Self {
-        Self { energy_pj, latency_ns }
+        Self {
+            energy_pj,
+            latency_ns,
+        }
     }
 
     /// Energy in microjoules (convenience for system-level roll-ups).
@@ -227,11 +230,7 @@ impl ArrayCharacterizer {
         let cam_sa = CamSenseAmp::new(self.tech.clone());
         // Searchline broadcast: the query toggles the metal searchlines; the cell gates are
         // isolated behind the select devices so only the wire capacitance switches.
-        let sl_wire = Wire::new(
-            g.rows as f64 * self.tech.cma_cell_pitch_um,
-            2.0,
-            1.5,
-        );
+        let sl_wire = Wire::new(g.rows as f64 * self.tech.cma_cell_pitch_um, 2.0, 1.5);
         let sl_energy_fj =
             g.cols as f64 * sl_wire.transition(&self.tech, self.tech.vdd_v).energy_fj;
         // Matchline precharge + evaluation on every row.
@@ -360,50 +359,106 @@ mod tests {
     fn analytical_write_tracks_reference() {
         let fom = characterizer().analytical_fom().unwrap();
         let reference = ArrayFom::paper_reference();
-        assert_within("write energy", fom.cma.write.energy_pj, reference.cma.write.energy_pj);
-        assert_within("write latency", fom.cma.write.latency_ns, reference.cma.write.latency_ns);
+        assert_within(
+            "write energy",
+            fom.cma.write.energy_pj,
+            reference.cma.write.energy_pj,
+        );
+        assert_within(
+            "write latency",
+            fom.cma.write.latency_ns,
+            reference.cma.write.latency_ns,
+        );
     }
 
     #[test]
     fn analytical_read_tracks_reference() {
         let fom = characterizer().analytical_fom().unwrap();
         let reference = ArrayFom::paper_reference();
-        assert_within("read energy", fom.cma.read.energy_pj, reference.cma.read.energy_pj);
-        assert_within("read latency", fom.cma.read.latency_ns, reference.cma.read.latency_ns);
+        assert_within(
+            "read energy",
+            fom.cma.read.energy_pj,
+            reference.cma.read.energy_pj,
+        );
+        assert_within(
+            "read latency",
+            fom.cma.read.latency_ns,
+            reference.cma.read.latency_ns,
+        );
     }
 
     #[test]
     fn analytical_add_tracks_reference() {
         let fom = characterizer().analytical_fom().unwrap();
         let reference = ArrayFom::paper_reference();
-        assert_within("add energy", fom.cma.add.energy_pj, reference.cma.add.energy_pj);
-        assert_within("add latency", fom.cma.add.latency_ns, reference.cma.add.latency_ns);
+        assert_within(
+            "add energy",
+            fom.cma.add.energy_pj,
+            reference.cma.add.energy_pj,
+        );
+        assert_within(
+            "add latency",
+            fom.cma.add.latency_ns,
+            reference.cma.add.latency_ns,
+        );
     }
 
     #[test]
     fn analytical_search_tracks_reference() {
         let fom = characterizer().analytical_fom().unwrap();
         let reference = ArrayFom::paper_reference();
-        assert_within("search energy", fom.cma.search.energy_pj, reference.cma.search.energy_pj);
-        assert_within("search latency", fom.cma.search.latency_ns, reference.cma.search.latency_ns);
+        assert_within(
+            "search energy",
+            fom.cma.search.energy_pj,
+            reference.cma.search.energy_pj,
+        );
+        assert_within(
+            "search latency",
+            fom.cma.search.latency_ns,
+            reference.cma.search.latency_ns,
+        );
     }
 
     #[test]
     fn analytical_adder_trees_track_reference() {
         let fom = characterizer().analytical_fom().unwrap();
         let reference = ArrayFom::paper_reference();
-        assert_within("intra-mat energy", fom.intra_mat_add.energy_pj, reference.intra_mat_add.energy_pj);
-        assert_within("intra-mat latency", fom.intra_mat_add.latency_ns, reference.intra_mat_add.latency_ns);
-        assert_within("intra-bank energy", fom.intra_bank_add.energy_pj, reference.intra_bank_add.energy_pj);
-        assert_within("intra-bank latency", fom.intra_bank_add.latency_ns, reference.intra_bank_add.latency_ns);
+        assert_within(
+            "intra-mat energy",
+            fom.intra_mat_add.energy_pj,
+            reference.intra_mat_add.energy_pj,
+        );
+        assert_within(
+            "intra-mat latency",
+            fom.intra_mat_add.latency_ns,
+            reference.intra_mat_add.latency_ns,
+        );
+        assert_within(
+            "intra-bank energy",
+            fom.intra_bank_add.energy_pj,
+            reference.intra_bank_add.energy_pj,
+        );
+        assert_within(
+            "intra-bank latency",
+            fom.intra_bank_add.latency_ns,
+            reference.intra_bank_add.latency_ns,
+        );
     }
 
     #[test]
     fn analytical_crossbar_tracks_reference() {
         let fom = characterizer().analytical_fom().unwrap();
         let reference = ArrayFom::paper_reference();
-        assert_within("crossbar energy", fom.crossbar_matmul.energy_pj, reference.crossbar_matmul.energy_pj);
-        assert_within("crossbar latency", fom.crossbar_matmul.latency_ns, reference.crossbar_matmul.latency_ns);
+        assert_within(
+            "crossbar energy",
+            fom.crossbar_matmul.energy_pj,
+            reference.crossbar_matmul.energy_pj,
+        );
+        assert_within(
+            "crossbar latency",
+            fom.crossbar_matmul.latency_ns,
+            reference.crossbar_matmul.latency_ns,
+        );
     }
 
     #[test]
@@ -469,7 +524,10 @@ mod tests {
 
     #[test]
     fn smaller_array_geometry_changes_foms() {
-        let small = characterizer().with_cma_geometry(64, 64).analytical_fom().unwrap();
+        let small = characterizer()
+            .with_cma_geometry(64, 64)
+            .analytical_fom()
+            .unwrap();
         let large = characterizer().analytical_fom().unwrap();
         assert!(small.cma.read.energy_pj < large.cma.read.energy_pj);
         assert!(small.cma.search.energy_pj < large.cma.search.energy_pj);

@@ -105,7 +105,8 @@ impl CrossbarArrayModel {
             self.cols as f64 * self.tech.fefet_gate_cap_ff,
             2.0,
         );
-        self.tech.decoder_energy_fj * 0.1 + wl.transition(&self.tech, self.tech.vdd_v * 0.4).energy_fj
+        self.tech.decoder_energy_fj * 0.1
+            + wl.transition(&self.tech, self.tech.vdd_v * 0.4).energy_fj
     }
 
     /// Energy of one column ADC conversion, in femtojoules (~10 fJ per resolved bit at
@@ -150,7 +151,11 @@ impl CrossbarArrayModel {
     /// Functional reference of the analog MVM: `y = W^T x` with weights and activations in
     /// normalized floating point. The fabric-level simulator uses integer fixed-point; this
     /// reference documents the ideal analog computation the array approximates.
-    pub fn ideal_matmul(&self, weights: &[Vec<f64>], input: &[f64]) -> Result<Vec<f64>, DeviceError> {
+    pub fn ideal_matmul(
+        &self,
+        weights: &[Vec<f64>],
+        input: &[f64],
+    ) -> Result<Vec<f64>, DeviceError> {
         if weights.len() != self.rows {
             return Err(DeviceError::InvalidParameter {
                 name: "weights",
@@ -200,22 +205,38 @@ mod tests {
         // Table II: 256×128 crossbar MatMul = 13.8 pJ, 225 ns. The uncalibrated model must
         // land within a factor of 3 of both.
         let fom = CrossbarArrayModel::paper_design_point(tech()).matmul_fom();
-        assert!(fom.energy_pj > 13.8 / 3.0 && fom.energy_pj < 13.8 * 3.0, "{}", fom.energy_pj);
-        assert!(fom.latency_ns > 225.0 / 3.0 && fom.latency_ns < 225.0 * 3.0, "{}", fom.latency_ns);
+        assert!(
+            fom.energy_pj > 13.8 / 3.0 && fom.energy_pj < 13.8 * 3.0,
+            "{}",
+            fom.energy_pj
+        );
+        assert!(
+            fom.latency_ns > 225.0 / 3.0 && fom.latency_ns < 225.0 * 3.0,
+            "{}",
+            fom.latency_ns
+        );
     }
 
     #[test]
     fn latency_scales_with_rows() {
-        let small = CrossbarArrayModel::new(tech(), 64, 128, 8, 5).unwrap().matmul_fom();
-        let large = CrossbarArrayModel::new(tech(), 256, 128, 8, 5).unwrap().matmul_fom();
+        let small = CrossbarArrayModel::new(tech(), 64, 128, 8, 5)
+            .unwrap()
+            .matmul_fom();
+        let large = CrossbarArrayModel::new(tech(), 256, 128, 8, 5)
+            .unwrap()
+            .matmul_fom();
         assert!(large.latency_ns > small.latency_ns);
         assert!(large.energy_pj > small.energy_pj);
     }
 
     #[test]
     fn area_scales_with_cells() {
-        let small = CrossbarArrayModel::new(tech(), 64, 64, 8, 5).unwrap().matmul_fom();
-        let large = CrossbarArrayModel::new(tech(), 256, 128, 8, 5).unwrap().matmul_fom();
+        let small = CrossbarArrayModel::new(tech(), 64, 64, 8, 5)
+            .unwrap()
+            .matmul_fom();
+        let large = CrossbarArrayModel::new(tech(), 256, 128, 8, 5)
+            .unwrap()
+            .matmul_fom();
         assert!(large.area_um2 > small.area_um2);
     }
 
@@ -237,6 +258,8 @@ mod tests {
         assert!(xbar
             .ideal_matmul(&[vec![1.0; 3], vec![1.0; 2]], &[1.0, 1.0])
             .is_err());
-        assert!(xbar.ideal_matmul(&[vec![1.0; 3], vec![1.0; 3]], &[1.0]).is_err());
+        assert!(xbar
+            .ideal_matmul(&[vec![1.0; 3], vec![1.0; 3]], &[1.0])
+            .is_err());
     }
 }

@@ -80,7 +80,10 @@ impl PolarizationPulse {
                 reason: "pulse amplitude must be finite".to_string(),
             });
         }
-        Ok(Self { amplitude_v, width_ns })
+        Ok(Self {
+            amplitude_v,
+            width_ns,
+        })
     }
 }
 
@@ -105,8 +108,7 @@ impl FeFet {
 
     /// Create an erased FeFET with [`FeFet::DEFAULT_DOMAINS`] domains.
     pub fn new(tech: TechnologyParams) -> Self {
-        Self::with_domains(tech, Self::DEFAULT_DOMAINS)
-            .expect("default domain count is valid")
+        Self::with_domains(tech, Self::DEFAULT_DOMAINS).expect("default domain count is valid")
     }
 
     /// Create an erased FeFET with an explicit domain count.
@@ -362,7 +364,13 @@ mod tests {
     #[test]
     fn zero_domains_rejected() {
         let err = FeFet::with_domains(TechnologyParams::predictive_45nm(), 0).unwrap_err();
-        assert!(matches!(err, DeviceError::InvalidParameter { name: "domains", .. }));
+        assert!(matches!(
+            err,
+            DeviceError::InvalidParameter {
+                name: "domains",
+                ..
+            }
+        ));
     }
 
     #[test]

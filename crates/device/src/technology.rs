@@ -236,7 +236,10 @@ mod tests {
         let mut tech = TechnologyParams::predictive_45nm();
         tech.vdd_v = 0.0;
         let err = tech.validate().unwrap_err();
-        assert!(matches!(err, DeviceError::InvalidParameter { name: "vdd_v", .. }));
+        assert!(matches!(
+            err,
+            DeviceError::InvalidParameter { name: "vdd_v", .. }
+        ));
     }
 
     #[test]

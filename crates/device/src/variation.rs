@@ -45,7 +45,11 @@ impl VariationModel {
     ///
     /// Returns [`DeviceError::InvalidParameter`] if `sigma_relative` is negative or not
     /// finite.
-    pub fn new(tech: TechnologyParams, sigma_relative: f64, seed: u64) -> Result<Self, DeviceError> {
+    pub fn new(
+        tech: TechnologyParams,
+        sigma_relative: f64,
+        seed: u64,
+    ) -> Result<Self, DeviceError> {
         if !sigma_relative.is_finite() || sigma_relative < 0.0 {
             return Err(DeviceError::InvalidParameter {
                 name: "sigma_relative",

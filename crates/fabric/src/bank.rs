@@ -47,7 +47,9 @@ pub struct CmaBank {
 impl CmaBank {
     /// Create a bank according to the fabric configuration.
     pub fn new(config: &FabricConfig, fom: ArrayFom) -> Self {
-        let mats = (0..config.mats_per_bank).map(|_| Mat::new(config, fom)).collect();
+        let mats = (0..config.mats_per_bank)
+            .map(|_| Mat::new(config, fom))
+            .collect();
         Self {
             mats,
             fom,
@@ -74,20 +76,24 @@ impl CmaBank {
     ///
     /// Returns [`FabricError::ComponentOutOfRange`] if the index is out of range.
     pub fn mat(&self, index: usize) -> Result<&Mat, FabricError> {
-        self.mats.get(index).ok_or(FabricError::ComponentOutOfRange {
-            kind: "mat",
-            index,
-            count: self.mats.len(),
-        })
+        self.mats
+            .get(index)
+            .ok_or(FabricError::ComponentOutOfRange {
+                kind: "mat",
+                index,
+                count: self.mats.len(),
+            })
     }
 
     fn mat_mut(&mut self, index: usize) -> Result<&mut Mat, FabricError> {
         let count = self.mats.len();
-        self.mats.get_mut(index).ok_or(FabricError::ComponentOutOfRange {
-            kind: "mat",
-            index,
-            count,
-        })
+        self.mats
+            .get_mut(index)
+            .ok_or(FabricError::ComponentOutOfRange {
+                kind: "mat",
+                index,
+                count,
+            })
     }
 
     /// Write an int8 embedding into the given slot.
@@ -95,8 +101,13 @@ impl CmaBank {
     /// # Errors
     ///
     /// Propagates mat/CMA-level errors.
-    pub fn write_embedding(&mut self, slot: BankSlot, embedding: &[i8]) -> Result<Outcome<()>, FabricError> {
-        self.mat_mut(slot.mat)?.write_embedding(slot.mat_slot(), embedding)
+    pub fn write_embedding(
+        &mut self,
+        slot: BankSlot,
+        embedding: &[i8],
+    ) -> Result<Outcome<()>, FabricError> {
+        self.mat_mut(slot.mat)?
+            .write_embedding(slot.mat_slot(), embedding)
     }
 
     /// Write raw bits (e.g. an LSH signature slice) into the given slot.
@@ -110,7 +121,8 @@ impl CmaBank {
         bits: &[u64],
         valid_bits: usize,
     ) -> Result<Outcome<()>, FabricError> {
-        self.mat_mut(slot.mat)?.write_row_bits(slot.mat_slot(), bits, valid_bits)
+        self.mat_mut(slot.mat)?
+            .write_row_bits(slot.mat_slot(), bits, valid_bits)
     }
 
     /// Read the embedding stored at the given slot.
@@ -195,7 +207,11 @@ impl CmaBank {
     /// # Errors
     ///
     /// Propagates mat/CMA-level errors.
-    pub fn search(&self, query: &[u64], threshold: u32) -> Result<Outcome<Vec<BankSlot>>, FabricError> {
+    pub fn search(
+        &self,
+        query: &[u64],
+        threshold: u32,
+    ) -> Result<Outcome<Vec<BankSlot>>, FabricError> {
         let mut matches = Vec::new();
         let mut cost = Cost::ZERO;
         let mut breakdown = CostBreakdown::new();
@@ -252,7 +268,11 @@ mod tests {
     fn write_read_round_trip() {
         let mut b = bank();
         let embedding: Vec<i8> = (0..32).map(|i| -(i as i8)).collect();
-        let slot = BankSlot { mat: 3, cma: 1, row: 200 };
+        let slot = BankSlot {
+            mat: 3,
+            cma: 1,
+            row: 200,
+        };
         b.write_embedding(slot, &embedding).unwrap();
         assert_eq!(b.read_embedding(slot).unwrap().value, embedding);
         assert_eq!(b.occupied_rows(), 1);
@@ -261,26 +281,70 @@ mod tests {
     #[test]
     fn pool_single_mat_has_no_intra_bank_cost() {
         let mut b = bank();
-        b.write_embedding(BankSlot { mat: 0, cma: 0, row: 0 }, &[1i8; 32]).unwrap();
-        b.write_embedding(BankSlot { mat: 0, cma: 1, row: 0 }, &[2i8; 32]).unwrap();
+        b.write_embedding(
+            BankSlot {
+                mat: 0,
+                cma: 0,
+                row: 0,
+            },
+            &[1i8; 32],
+        )
+        .unwrap();
+        b.write_embedding(
+            BankSlot {
+                mat: 0,
+                cma: 1,
+                row: 0,
+            },
+            &[2i8; 32],
+        )
+        .unwrap();
         let pooled = b
             .lookup_and_pool(&[
-                BankSlot { mat: 0, cma: 0, row: 0 },
-                BankSlot { mat: 0, cma: 1, row: 0 },
+                BankSlot {
+                    mat: 0,
+                    cma: 0,
+                    row: 0,
+                },
+                BankSlot {
+                    mat: 0,
+                    cma: 1,
+                    row: 0,
+                },
             ])
             .unwrap();
         assert!(pooled.value.iter().all(|&v| v == 3));
-        assert_eq!(pooled.breakdown.component(CostComponent::IntraBankAdd), Cost::ZERO);
-        assert_eq!(pooled.breakdown.component(CostComponent::IbcTransfer), Cost::ZERO);
+        assert_eq!(
+            pooled.breakdown.component(CostComponent::IntraBankAdd),
+            Cost::ZERO
+        );
+        assert_eq!(
+            pooled.breakdown.component(CostComponent::IbcTransfer),
+            Cost::ZERO
+        );
     }
 
     #[test]
     fn pool_across_four_mats_is_one_round() {
         let mut b = bank();
         for mat in 0..4 {
-            b.write_embedding(BankSlot { mat, cma: 0, row: 0 }, &[1i8; 32]).unwrap();
+            b.write_embedding(
+                BankSlot {
+                    mat,
+                    cma: 0,
+                    row: 0,
+                },
+                &[1i8; 32],
+            )
+            .unwrap();
         }
-        let slots: Vec<BankSlot> = (0..4).map(|mat| BankSlot { mat, cma: 0, row: 0 }).collect();
+        let slots: Vec<BankSlot> = (0..4)
+            .map(|mat| BankSlot {
+                mat,
+                cma: 0,
+                row: 0,
+            })
+            .collect();
         let pooled = b.lookup_and_pool(&slots).unwrap();
         assert!(pooled.value.iter().all(|&v| v == 4));
         let intra_bank = pooled.breakdown.component(CostComponent::IntraBankAdd);
@@ -292,9 +356,23 @@ mod tests {
     fn pool_across_eight_mats_serializes_into_two_rounds() {
         let mut b = bank();
         for mat in 0..8 {
-            b.write_embedding(BankSlot { mat, cma: 0, row: 0 }, &[1i8; 32]).unwrap();
+            b.write_embedding(
+                BankSlot {
+                    mat,
+                    cma: 0,
+                    row: 0,
+                },
+                &[1i8; 32],
+            )
+            .unwrap();
         }
-        let slots: Vec<BankSlot> = (0..8).map(|mat| BankSlot { mat, cma: 0, row: 0 }).collect();
+        let slots: Vec<BankSlot> = (0..8)
+            .map(|mat| BankSlot {
+                mat,
+                cma: 0,
+                row: 0,
+            })
+            .collect();
         let pooled = b.lookup_and_pool(&slots).unwrap();
         assert!(pooled.value.iter().all(|&v| v == 8));
         let intra_bank = pooled.breakdown.component(CostComponent::IntraBankAdd);
@@ -308,10 +386,30 @@ mod tests {
     fn more_mats_cost_more_latency_than_fewer() {
         let mut b = bank();
         for mat in 0..8 {
-            b.write_embedding(BankSlot { mat, cma: 0, row: 0 }, &[1i8; 32]).unwrap();
+            b.write_embedding(
+                BankSlot {
+                    mat,
+                    cma: 0,
+                    row: 0,
+                },
+                &[1i8; 32],
+            )
+            .unwrap();
         }
-        let four: Vec<BankSlot> = (0..4).map(|mat| BankSlot { mat, cma: 0, row: 0 }).collect();
-        let eight: Vec<BankSlot> = (0..8).map(|mat| BankSlot { mat, cma: 0, row: 0 }).collect();
+        let four: Vec<BankSlot> = (0..4)
+            .map(|mat| BankSlot {
+                mat,
+                cma: 0,
+                row: 0,
+            })
+            .collect();
+        let eight: Vec<BankSlot> = (0..8)
+            .map(|mat| BankSlot {
+                mat,
+                cma: 0,
+                row: 0,
+            })
+            .collect();
         let four_cost = b.lookup_and_pool(&four).unwrap().cost;
         let eight_cost = b.lookup_and_pool(&eight).unwrap().cost;
         assert!(eight_cost.latency_ns > four_cost.latency_ns);
@@ -322,7 +420,11 @@ mod tests {
     fn pool_rejects_bad_mat_index() {
         let b = bank();
         assert!(matches!(
-            b.lookup_and_pool(&[BankSlot { mat: 99, cma: 0, row: 0 }]),
+            b.lookup_and_pool(&[BankSlot {
+                mat: 99,
+                cma: 0,
+                row: 0
+            }]),
             Err(FabricError::ComponentOutOfRange { .. })
         ));
         assert!(matches!(
@@ -334,11 +436,36 @@ mod tests {
     #[test]
     fn search_spans_all_occupied_mats() {
         let mut b = bank();
-        b.write_row_bits(BankSlot { mat: 1, cma: 0, row: 9 }, &[0xF0, 0, 0, 0], 256).unwrap();
-        b.write_row_bits(BankSlot { mat: 6, cma: 1, row: 4 }, &[0xF1, 0, 0, 0], 256).unwrap();
+        b.write_row_bits(
+            BankSlot {
+                mat: 1,
+                cma: 0,
+                row: 9,
+            },
+            &[0xF0, 0, 0, 0],
+            256,
+        )
+        .unwrap();
+        b.write_row_bits(
+            BankSlot {
+                mat: 6,
+                cma: 1,
+                row: 4,
+            },
+            &[0xF1, 0, 0, 0],
+            256,
+        )
+        .unwrap();
         let query = vec![0xF0u64, 0, 0, 0];
         let exact = b.search(&query, 0).unwrap();
-        assert_eq!(exact.value, vec![BankSlot { mat: 1, cma: 0, row: 9 }]);
+        assert_eq!(
+            exact.value,
+            vec![BankSlot {
+                mat: 1,
+                cma: 0,
+                row: 9
+            }]
+        );
         let near = b.search(&query, 1).unwrap();
         assert_eq!(near.value.len(), 2);
         // Latency stays one parallel search across the bank.

@@ -162,7 +162,12 @@ impl PackedTable {
     ///
     /// Returns [`FabricError::DimensionMismatch`] if `acc` is not `words_per_row` long or
     /// `out` is not `dim` long, and [`FabricError::RowOutOfRange`] for a bad row index.
-    pub fn pool_into(&self, indices: &[u32], acc: &mut [u64], out: &mut [i8]) -> Result<(), FabricError> {
+    pub fn pool_into(
+        &self,
+        indices: &[u32],
+        acc: &mut [u64],
+        out: &mut [i8],
+    ) -> Result<(), FabricError> {
         if acc.len() != self.words_per_row {
             return Err(FabricError::DimensionMismatch {
                 expected: self.words_per_row,
@@ -213,7 +218,10 @@ pub fn words_for_bits(bits: usize) -> usize {
 
 /// Hamming distance between two equal-length bit vectors stored as 64-bit words.
 pub fn hamming_distance(a: &[u64], b: &[u64]) -> u32 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum()
 }
 
 /// One stored row: the packed bits plus how many of them are valid.
@@ -266,7 +274,10 @@ impl CmaArray {
 
     fn check_row(&self, row: usize) -> Result<(), FabricError> {
         if row >= self.rows {
-            return Err(FabricError::RowOutOfRange { row, rows: self.rows });
+            return Err(FabricError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
         }
         Ok(())
     }
@@ -318,7 +329,11 @@ impl CmaArray {
     ///
     /// Returns [`FabricError::DimensionMismatch`] if the embedding does not fit in the row
     /// and [`FabricError::RowOutOfRange`] if the row is outside the array.
-    pub fn write_embedding(&mut self, row: usize, embedding: &[i8]) -> Result<Outcome<()>, FabricError> {
+    pub fn write_embedding(
+        &mut self,
+        row: usize,
+        embedding: &[i8],
+    ) -> Result<Outcome<()>, FabricError> {
         let bits_needed = embedding.len() * 8;
         if bits_needed > self.cols {
             return Err(FabricError::DimensionMismatch {
@@ -364,7 +379,9 @@ impl CmaArray {
                 what: "embedding elements",
             });
         }
-        Ok(self.read_row_bits(row)?.map(|bits| unpack_embedding(&bits, dim)))
+        Ok(self
+            .read_row_bits(row)?
+            .map(|bits| unpack_embedding(&bits, dim)))
     }
 
     /// GPCiM-mode pooling: element-wise saturating int8 sum of the selected rows.
@@ -381,7 +398,9 @@ impl CmaArray {
     /// [`FabricError::DimensionMismatch`] if `dim` elements do not fit in a row.
     pub fn pool_rows(&self, rows: &[usize], dim: usize) -> Result<Outcome<Vec<i8>>, FabricError> {
         if rows.is_empty() {
-            return Err(FabricError::EmptySelection { operation: "pool_rows" });
+            return Err(FabricError::EmptySelection {
+                operation: "pool_rows",
+            });
         }
         if dim * 8 > self.cols {
             return Err(FabricError::DimensionMismatch {
@@ -406,11 +425,16 @@ impl CmaArray {
         unpack_embedding_into(&acc, &mut sum);
         let cost = Cost::from_fom(self.fom.cma.read)
             .serial(Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1));
-        let mut outcome = Outcome::single(sum, CostComponent::CmaRead, Cost::from_fom(self.fom.cma.read));
+        let mut outcome = Outcome::single(
+            sum,
+            CostComponent::CmaRead,
+            Cost::from_fom(self.fom.cma.read),
+        );
         outcome.cost = cost;
-        outcome
-            .breakdown
-            .charge(CostComponent::CmaAdd, Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1));
+        outcome.breakdown.charge(
+            CostComponent::CmaAdd,
+            Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1),
+        );
         Ok(outcome)
     }
 
@@ -450,7 +474,11 @@ impl CmaArray {
     /// # Errors
     ///
     /// Returns [`FabricError::DimensionMismatch`] if the query is wider than the row.
-    pub fn search(&self, query: &[u64], threshold: u32) -> Result<Outcome<Vec<usize>>, FabricError> {
+    pub fn search(
+        &self,
+        query: &[u64],
+        threshold: u32,
+    ) -> Result<Outcome<Vec<usize>>, FabricError> {
         self.check_query_width(query)?;
         Ok(Outcome::single(
             self.matches_within(query, threshold),
@@ -588,7 +616,8 @@ mod tests {
             (0..32).map(|i| (i as i8) - 16).collect(),
         ];
         let table = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32).unwrap();
-        let selections: Vec<Vec<u32>> = vec![vec![], vec![3], vec![0, 1], vec![0, 1, 2, 3], vec![2, 2, 0]];
+        let selections: Vec<Vec<u32>> =
+            vec![vec![], vec![3], vec![0, 1], vec![0, 1, 2, 3], vec![2, 2, 0]];
         for indices in &selections {
             let mut expected = vec![0i8; 32];
             for &index in indices {
@@ -596,14 +625,22 @@ mod tests {
                     *acc = acc.saturating_add(v);
                 }
             }
-            assert_eq!(table.pool(indices).unwrap(), expected, "selection {indices:?}");
+            assert_eq!(
+                table.pool(indices).unwrap(),
+                expected,
+                "selection {indices:?}"
+            );
         }
     }
 
     #[test]
     fn packed_table_pool_matches_cma_pool_rows() {
         let rows: Vec<Vec<i8>> = (0..6)
-            .map(|r| (0..32).map(|i| ((r * 31 + i * 13) % 255 - 127) as i8).collect())
+            .map(|r| {
+                (0..32)
+                    .map(|i| ((r * 31 + i * 13) % 255 - 127) as i8)
+                    .collect()
+            })
             .collect();
         let table = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32).unwrap();
         let mut cma = array();
@@ -728,9 +765,12 @@ mod tests {
     #[test]
     fn search_finds_rows_within_threshold() {
         let mut cma = array();
-        cma.write_row_bits(0, &[0b0000_1111u64, 0, 0, 0], 256).unwrap();
-        cma.write_row_bits(1, &[0b0000_0111u64, 0, 0, 0], 256).unwrap();
-        cma.write_row_bits(2, &[0xFFFF_FFFFu64, 0, 0, 0], 256).unwrap();
+        cma.write_row_bits(0, &[0b0000_1111u64, 0, 0, 0], 256)
+            .unwrap();
+        cma.write_row_bits(1, &[0b0000_0111u64, 0, 0, 0], 256)
+            .unwrap();
+        cma.write_row_bits(2, &[0xFFFF_FFFFu64, 0, 0, 0], 256)
+            .unwrap();
         let query = vec![0b0000_1111u64, 0, 0, 0];
         let exact = cma.search(&query, 0).unwrap();
         assert_eq!(exact.value, vec![0]);
@@ -747,7 +787,9 @@ mod tests {
         sparse.write_row_bits(0, &[1, 0, 0, 0], 256).unwrap();
         let mut dense = array();
         for row in 0..200 {
-            dense.write_row_bits(row, &[row as u64, 0, 0, 0], 256).unwrap();
+            dense
+                .write_row_bits(row, &[row as u64, 0, 0, 0], 256)
+                .unwrap();
         }
         let query = vec![0u64, 0, 0, 0];
         assert_eq!(
@@ -760,7 +802,8 @@ mod tests {
     fn search_matches_software_distances() {
         let mut cma = array();
         for row in 0..50 {
-            cma.write_row_bits(row, &[row as u64 * 0x9E37_79B9, 0, 0, 0], 256).unwrap();
+            cma.write_row_bits(row, &[row as u64 * 0x9E37_79B9, 0, 0, 0], 256)
+                .unwrap();
         }
         let query = vec![0x1234_5678u64, 0, 0, 0];
         let threshold = 20;
@@ -778,7 +821,8 @@ mod tests {
     fn search_batch_matches_per_query_search() {
         let mut cma = array();
         for row in 0..60 {
-            cma.write_row_bits(row, &[row as u64 * 0x0101_0101_0101, 0, 0, 0], 256).unwrap();
+            cma.write_row_bits(row, &[row as u64 * 0x0101_0101_0101, 0, 0, 0], 256)
+                .unwrap();
         }
         let queries: Vec<Vec<u64>> = (0..7)
             .map(|q| vec![q as u64 * 0x1111_2222, 0, 0, 0])
@@ -795,7 +839,10 @@ mod tests {
         // The batch serializes on the one match-line per row: n searches charged serially.
         assert!((batch.cost.energy_pj - serial_cost.energy_pj).abs() < 1e-9);
         assert!((batch.cost.latency_ns - serial_cost.latency_ns).abs() < 1e-9);
-        assert_eq!(batch.breakdown.component(CostComponent::CmaSearch), batch.cost);
+        assert_eq!(
+            batch.breakdown.component(CostComponent::CmaSearch),
+            batch.cost
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl FabricConfig {
         }
         if self.element_bits > 64 {
             return Err(FabricError::InvalidConfig {
-                reason: format!("element_bits {} exceeds the supported maximum of 64", self.element_bits),
+                reason: format!(
+                    "element_bits {} exceeds the supported maximum of 64",
+                    self.element_bits
+                ),
             });
         }
         if self.embedding_dim * self.element_bits > self.cma_cols {

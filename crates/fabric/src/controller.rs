@@ -52,7 +52,9 @@ impl Controller {
         sorted.dedup();
         let rounds: Vec<AccumulationRound> = sorted
             .chunks(self.fan_in)
-            .map(|chunk| AccumulationRound { mats: chunk.to_vec() })
+            .map(|chunk| AccumulationRound {
+                mats: chunk.to_vec(),
+            })
             .collect();
         // Two counters tick once per round plus once per scheduled mat.
         let ticks = rounds.len() + sorted.len();
@@ -86,7 +88,9 @@ mod tests {
 
     #[test]
     fn more_mats_than_fan_in_serialize_into_rounds() {
-        let schedule = controller(4).schedule_accumulation(&[0, 1, 2, 3, 4, 5, 6, 7, 8]).value;
+        let schedule = controller(4)
+            .schedule_accumulation(&[0, 1, 2, 3, 4, 5, 6, 7, 8])
+            .value;
         assert_eq!(schedule.len(), 3);
         assert_eq!(schedule[0].mats, vec![0, 1, 2, 3]);
         assert_eq!(schedule[1].mats, vec![4, 5, 6, 7]);
@@ -113,7 +117,10 @@ mod tests {
         let c = controller(4);
         for mats in 1..20 {
             let indices: Vec<usize> = (0..mats).collect();
-            assert_eq!(c.rounds_for(mats), c.schedule_accumulation(&indices).value.len());
+            assert_eq!(
+                c.rounds_for(mats),
+                c.schedule_accumulation(&indices).value.len()
+            );
         }
     }
 

@@ -58,7 +58,10 @@ impl Cost {
 
     /// Create a cost from explicit energy and latency.
     pub fn new(energy_pj: f64, latency_ns: f64) -> Self {
-        Self { energy_pj, latency_ns }
+        Self {
+            energy_pj,
+            latency_ns,
+        }
     }
 
     /// Convert an array-level figure of merit into a cost.
@@ -68,7 +71,10 @@ impl Cost {
 
     /// Sequential composition: energies and latencies both add.
     pub fn serial(self, other: Cost) -> Cost {
-        Cost::new(self.energy_pj + other.energy_pj, self.latency_ns + other.latency_ns)
+        Cost::new(
+            self.energy_pj + other.energy_pj,
+            self.latency_ns + other.latency_ns,
+        )
     }
 
     /// Parallel composition: energies add, latency is the maximum of the two.
@@ -136,7 +142,10 @@ impl CostBreakdown {
 
     /// Cost charged to a component so far.
     pub fn component(&self, component: CostComponent) -> Cost {
-        self.per_component.get(&component).copied().unwrap_or(Cost::ZERO)
+        self.per_component
+            .get(&component)
+            .copied()
+            .unwrap_or(Cost::ZERO)
     }
 
     /// Total energy across all components, in picojoules.
@@ -176,12 +185,20 @@ impl<T> Outcome<T> {
     pub fn single(value: T, component: CostComponent, cost: Cost) -> Self {
         let mut breakdown = CostBreakdown::new();
         breakdown.charge(component, cost);
-        Self { value, cost, breakdown }
+        Self {
+            value,
+            cost,
+            breakdown,
+        }
     }
 
     /// Create an outcome from an explicit cost and breakdown.
     pub fn with_breakdown(value: T, cost: Cost, breakdown: CostBreakdown) -> Self {
-        Self { value, cost, breakdown }
+        Self {
+            value,
+            cost,
+            breakdown,
+        }
     }
 
     /// Map the functional value while keeping the cost accounting.

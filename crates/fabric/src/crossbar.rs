@@ -162,13 +162,19 @@ impl CrossbarBank {
     ) -> Result<Outcome<Vec<f32>>, FabricError> {
         let inputs = weights.len();
         if inputs == 0 {
-            return Err(FabricError::EmptySelection { operation: "forward_layer" });
+            return Err(FabricError::EmptySelection {
+                operation: "forward_layer",
+            });
         }
         let outputs = weights[0].len();
         if weights.iter().any(|row| row.len() != outputs) {
             return Err(FabricError::DimensionMismatch {
                 expected: outputs,
-                actual: weights.iter().map(Vec::len).find(|&l| l != outputs).unwrap_or(0),
+                actual: weights
+                    .iter()
+                    .map(Vec::len)
+                    .find(|&l| l != outputs)
+                    .unwrap_or(0),
                 what: "weight matrix columns",
             });
         }
@@ -286,8 +292,12 @@ mod tests {
     #[test]
     fn bank_forward_layer_cost_scales_with_tiles() {
         let bank = CrossbarBank::new(fom());
-        let small = bank.forward_layer(&vec![vec![0.0; 32]; 128], &vec![0.0; 128]).unwrap();
-        let large = bank.forward_layer(&vec![vec![0.0; 256]; 512], &vec![0.0; 512]).unwrap();
+        let small = bank
+            .forward_layer(&vec![vec![0.0; 32]; 128], &vec![0.0; 128])
+            .unwrap();
+        let large = bank
+            .forward_layer(&vec![vec![0.0; 256]; 512], &vec![0.0; 512])
+            .unwrap();
         assert!(large.cost.energy_pj > small.cost.energy_pj);
         assert!(large.cost.latency_ns > small.cost.latency_ns);
         // Parallel tiles keep the latency near one MatMul even for the big layer.
@@ -309,8 +319,8 @@ mod tests {
         let bank = CrossbarBank::new(fom());
         // Layer 1 produces a negative value which ReLU clamps; layer 2 is identity-like.
         let layers = vec![
-            vec![vec![1.0, -1.0]],        // 1 input -> 2 outputs
-            vec![vec![1.0], vec![1.0]],   // 2 inputs -> 1 output
+            vec![vec![1.0, -1.0]],      // 1 input -> 2 outputs
+            vec![vec![1.0], vec![1.0]], // 2 inputs -> 1 output
         ];
         let out = bank.forward_mlp(&layers, &[2.0]).unwrap();
         // Pre-ReLU layer 1: [2, -2] -> ReLU -> [2, 0]; layer 2: 2 + 0 = 2 (no ReLU after).

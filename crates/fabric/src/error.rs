@@ -48,13 +48,22 @@ impl fmt::Display for FabricError {
             FabricError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range for an array with {rows} rows")
             }
-            FabricError::DimensionMismatch { expected, actual, what } => {
-                write!(f, "{what} length {actual} does not match expected {expected}")
+            FabricError::DimensionMismatch {
+                expected,
+                actual,
+                what,
+            } => {
+                write!(
+                    f,
+                    "{what} length {actual} does not match expected {expected}"
+                )
             }
             FabricError::ComponentOutOfRange { kind, index, count } => {
                 write!(f, "{kind} index {index} out of range ({count} available)")
             }
-            FabricError::InvalidConfig { reason } => write!(f, "invalid fabric configuration: {reason}"),
+            FabricError::InvalidConfig { reason } => {
+                write!(f, "invalid fabric configuration: {reason}")
+            }
             FabricError::EmptySelection { operation } => {
                 write!(f, "{operation} requires at least one element")
             }
@@ -92,9 +101,11 @@ mod tests {
         }
         .to_string()
         .contains("zero mats"));
-        assert!(FabricError::EmptySelection { operation: "pooling" }
-            .to_string()
-            .contains("pooling"));
+        assert!(FabricError::EmptySelection {
+            operation: "pooling"
+        }
+        .to_string()
+        .contains("pooling"));
     }
 
     #[test]

@@ -129,8 +129,17 @@ mod tests {
         let ibc = IbcNetwork::new(params());
         let outcome = ibc.transfer_bytes(256);
         assert_eq!(outcome.value, 2);
-        assert!(outcome.breakdown.component(CostComponent::IbcTransfer).energy_pj > 0.0);
-        assert_eq!(outcome.breakdown.component(CostComponent::RscTransfer), Cost::ZERO);
+        assert!(
+            outcome
+                .breakdown
+                .component(CostComponent::IbcTransfer)
+                .energy_pj
+                > 0.0
+        );
+        assert_eq!(
+            outcome.breakdown.component(CostComponent::RscTransfer),
+            Cost::ZERO
+        );
     }
 
     #[test]

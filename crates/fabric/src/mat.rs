@@ -56,20 +56,24 @@ impl Mat {
     ///
     /// Returns [`FabricError::ComponentOutOfRange`] if the index is out of range.
     pub fn cma(&self, index: usize) -> Result<&CmaArray, FabricError> {
-        self.cmas.get(index).ok_or(FabricError::ComponentOutOfRange {
-            kind: "cma",
-            index,
-            count: self.cmas.len(),
-        })
+        self.cmas
+            .get(index)
+            .ok_or(FabricError::ComponentOutOfRange {
+                kind: "cma",
+                index,
+                count: self.cmas.len(),
+            })
     }
 
     fn cma_mut(&mut self, index: usize) -> Result<&mut CmaArray, FabricError> {
         let count = self.cmas.len();
-        self.cmas.get_mut(index).ok_or(FabricError::ComponentOutOfRange {
-            kind: "cma",
-            index,
-            count,
-        })
+        self.cmas
+            .get_mut(index)
+            .ok_or(FabricError::ComponentOutOfRange {
+                kind: "cma",
+                index,
+                count,
+            })
     }
 
     /// Write an int8 embedding into the given slot.
@@ -78,7 +82,11 @@ impl Mat {
     ///
     /// Propagates CMA-level errors ([`FabricError::ComponentOutOfRange`],
     /// [`FabricError::RowOutOfRange`], [`FabricError::DimensionMismatch`]).
-    pub fn write_embedding(&mut self, slot: MatSlot, embedding: &[i8]) -> Result<Outcome<()>, FabricError> {
+    pub fn write_embedding(
+        &mut self,
+        slot: MatSlot,
+        embedding: &[i8],
+    ) -> Result<Outcome<()>, FabricError> {
         self.cma_mut(slot.cma)?.write_embedding(slot.row, embedding)
     }
 
@@ -93,7 +101,8 @@ impl Mat {
         bits: &[u64],
         valid_bits: usize,
     ) -> Result<Outcome<()>, FabricError> {
-        self.cma_mut(slot.cma)?.write_row_bits(slot.row, bits, valid_bits)
+        self.cma_mut(slot.cma)?
+            .write_row_bits(slot.row, bits, valid_bits)
     }
 
     /// Read the embedding stored at the given slot.
@@ -102,7 +111,8 @@ impl Mat {
     ///
     /// Propagates CMA-level errors.
     pub fn read_embedding(&self, slot: MatSlot) -> Result<Outcome<Vec<i8>>, FabricError> {
-        self.cma(slot.cma)?.read_embedding(slot.row, self.embedding_dim)
+        self.cma(slot.cma)?
+            .read_embedding(slot.row, self.embedding_dim)
     }
 
     /// Look up and pool (element-wise saturating sum) a set of slots.
@@ -173,7 +183,11 @@ impl Mat {
     /// # Errors
     ///
     /// Propagates CMA-level errors.
-    pub fn search(&self, query: &[u64], threshold: u32) -> Result<Outcome<Vec<MatSlot>>, FabricError> {
+    pub fn search(
+        &self,
+        query: &[u64],
+        threshold: u32,
+    ) -> Result<Outcome<Vec<MatSlot>>, FabricError> {
         let mut matches = Vec::new();
         let mut cost = Cost::ZERO;
         let mut breakdown = CostBreakdown::new();
@@ -184,7 +198,10 @@ impl Mat {
             let outcome = cma.search(query, threshold)?;
             cost = cost.parallel(outcome.cost);
             breakdown.merge(&outcome.breakdown);
-            matches.extend(outcome.value.into_iter().map(|row| MatSlot { cma: cma_index, row }));
+            matches.extend(outcome.value.into_iter().map(|row| MatSlot {
+                cma: cma_index,
+                row,
+            }));
         }
         Ok(Outcome::with_breakdown(matches, cost, breakdown))
     }
@@ -215,7 +232,8 @@ mod tests {
     fn write_read_round_trip() {
         let mut m = mat();
         let embedding: Vec<i8> = (0..32).map(|i| i as i8).collect();
-        m.write_embedding(MatSlot { cma: 2, row: 7 }, &embedding).unwrap();
+        m.write_embedding(MatSlot { cma: 2, row: 7 }, &embedding)
+            .unwrap();
         let read = m.read_embedding(MatSlot { cma: 2, row: 7 }).unwrap();
         assert_eq!(read.value, embedding);
     }
@@ -232,13 +250,18 @@ mod tests {
     #[test]
     fn pool_within_single_cma_has_no_tree_cost() {
         let mut m = mat();
-        m.write_embedding(MatSlot { cma: 0, row: 0 }, &[1i8; 32]).unwrap();
-        m.write_embedding(MatSlot { cma: 0, row: 1 }, &[2i8; 32]).unwrap();
+        m.write_embedding(MatSlot { cma: 0, row: 0 }, &[1i8; 32])
+            .unwrap();
+        m.write_embedding(MatSlot { cma: 0, row: 1 }, &[2i8; 32])
+            .unwrap();
         let pooled = m
             .lookup_and_pool(&[MatSlot { cma: 0, row: 0 }, MatSlot { cma: 0, row: 1 }])
             .unwrap();
         assert!(pooled.value.iter().all(|&v| v == 3));
-        assert_eq!(pooled.breakdown.component(CostComponent::IntraMatAdd), Cost::ZERO);
+        assert_eq!(
+            pooled.breakdown.component(CostComponent::IntraMatAdd),
+            Cost::ZERO
+        );
         // 1 read + 1 add inside the single CMA.
         assert!((pooled.cost.latency_ns - (0.3 + 8.1)).abs() < 1e-9);
     }
@@ -246,9 +269,12 @@ mod tests {
     #[test]
     fn pool_across_cmas_uses_intra_mat_tree_once() {
         let mut m = mat();
-        m.write_embedding(MatSlot { cma: 0, row: 0 }, &[1i8; 32]).unwrap();
-        m.write_embedding(MatSlot { cma: 1, row: 0 }, &[2i8; 32]).unwrap();
-        m.write_embedding(MatSlot { cma: 2, row: 0 }, &[4i8; 32]).unwrap();
+        m.write_embedding(MatSlot { cma: 0, row: 0 }, &[1i8; 32])
+            .unwrap();
+        m.write_embedding(MatSlot { cma: 1, row: 0 }, &[2i8; 32])
+            .unwrap();
+        m.write_embedding(MatSlot { cma: 2, row: 0 }, &[4i8; 32])
+            .unwrap();
         let pooled = m
             .lookup_and_pool(&[
                 MatSlot { cma: 0, row: 0 },
@@ -277,8 +303,10 @@ mod tests {
     #[test]
     fn search_spans_occupied_cmas_only() {
         let mut m = mat();
-        m.write_row_bits(MatSlot { cma: 0, row: 3 }, &[0xAA, 0, 0, 0], 256).unwrap();
-        m.write_row_bits(MatSlot { cma: 2, row: 5 }, &[0xAB, 0, 0, 0], 256).unwrap();
+        m.write_row_bits(MatSlot { cma: 0, row: 3 }, &[0xAA, 0, 0, 0], 256)
+            .unwrap();
+        m.write_row_bits(MatSlot { cma: 2, row: 5 }, &[0xAB, 0, 0, 0], 256)
+            .unwrap();
         let query = vec![0xAAu64, 0, 0, 0];
         let hits = m.search(&query, 0).unwrap();
         assert_eq!(hits.value, vec![MatSlot { cma: 0, row: 3 }]);
@@ -293,8 +321,10 @@ mod tests {
     fn occupancy_counts_all_cmas() {
         let mut m = mat();
         assert_eq!(m.occupied_rows(), 0);
-        m.write_embedding(MatSlot { cma: 0, row: 0 }, &[1i8; 32]).unwrap();
-        m.write_embedding(MatSlot { cma: 3, row: 9 }, &[1i8; 32]).unwrap();
+        m.write_embedding(MatSlot { cma: 0, row: 0 }, &[1i8; 32])
+            .unwrap();
+        m.write_embedding(MatSlot { cma: 3, row: 9 }, &[1i8; 32])
+            .unwrap();
         assert_eq!(m.occupied_rows(), 2);
     }
 }

@@ -103,10 +103,7 @@ pub fn nns_lsh_hamming(specs: &GpuSpecs, items: usize, signature_bits: usize) ->
 /// with the batch and layer sizes.
 pub fn mlp_forward(specs: &GpuSpecs, layer_shapes: &[(usize, usize)], batch: usize) -> GpuCost {
     let launches = layer_shapes.len() as f64;
-    let weight_bytes: f64 = layer_shapes
-        .iter()
-        .map(|&(i, o)| (i * o * 4) as f64)
-        .sum();
+    let weight_bytes: f64 = layer_shapes.iter().map(|&(i, o)| (i * o * 4) as f64).sum();
     let flops: f64 = layer_shapes
         .iter()
         .map(|&(i, o)| (2 * i * o * batch.max(1)) as f64)
@@ -122,8 +119,7 @@ pub fn mlp_forward(specs: &GpuSpecs, layer_shapes: &[(usize, usize)], batch: usi
 
 /// Top-k selection over `items` scores (one reduction launch).
 pub fn top_k(specs: &GpuSpecs, items: usize) -> GpuCost {
-    let latency_us =
-        specs.kernel_launch_overhead_us + specs.streaming_time_us((items * 4) as f64);
+    let latency_us = specs.kernel_launch_overhead_us + specs.streaming_time_us((items * 4) as f64);
     GpuCost {
         latency_us,
         energy_uj: specs.energy_uj(latency_us),
@@ -140,8 +136,14 @@ mod tests {
 
     #[test]
     fn cost_composition() {
-        let a = GpuCost { latency_us: 1.0, energy_uj: 10.0 };
-        let b = GpuCost { latency_us: 2.0, energy_uj: 5.0 };
+        let a = GpuCost {
+            latency_us: 1.0,
+            energy_uj: 10.0,
+        };
+        let b = GpuCost {
+            latency_us: 2.0,
+            energy_uj: 5.0,
+        };
         let c = a.serial(b);
         assert_eq!(c.latency_us, 3.0);
         assert_eq!(c.energy_uj, 15.0);
@@ -152,9 +154,18 @@ mod tests {
 
     #[test]
     fn lookup_latency_grows_with_table_count() {
-        let six: Vec<TableAccess> = (0..6).map(|_| TableAccess { rows: 3706, lookups: 5 }).collect();
-        let twenty_six: Vec<TableAccess> =
-            (0..26).map(|_| TableAccess { rows: 30000, lookups: 1 }).collect();
+        let six: Vec<TableAccess> = (0..6)
+            .map(|_| TableAccess {
+                rows: 3706,
+                lookups: 5,
+            })
+            .collect();
+        let twenty_six: Vec<TableAccess> = (0..26)
+            .map(|_| TableAccess {
+                rows: 30000,
+                lookups: 1,
+            })
+            .collect();
         let small = embedding_lookup(&specs(), &six, 32);
         let large = embedding_lookup(&specs(), &twenty_six, 32);
         assert!(large.latency_us > small.latency_us);
@@ -163,8 +174,14 @@ mod tests {
 
     #[test]
     fn lookup_latency_grows_with_pooling_factor() {
-        let light = vec![TableAccess { rows: 3706, lookups: 1 }];
-        let heavy = vec![TableAccess { rows: 3706, lookups: 5000 }];
+        let light = vec![TableAccess {
+            rows: 3706,
+            lookups: 1,
+        }];
+        let heavy = vec![TableAccess {
+            rows: 3706,
+            lookups: 5000,
+        }];
         assert!(
             embedding_lookup(&specs(), &heavy, 32).latency_us
                 > embedding_lookup(&specs(), &light, 32).latency_us

@@ -27,12 +27,30 @@ impl EtLookupWorkload {
     pub fn movielens_filtering(history_len: usize, genre_len: usize) -> Self {
         Self {
             tables: vec![
-                TableAccess { rows: 3706, lookups: history_len.max(1) }, // watch history UIET
-                TableAccess { rows: 18, lookups: genre_len.max(1) },     // genre UIET
-                TableAccess { rows: 7, lookups: 1 },                     // age UIET
-                TableAccess { rows: 2, lookups: 1 },                     // gender UIET
-                TableAccess { rows: 21, lookups: 1 },                    // occupation UIET
-                TableAccess { rows: 3706, lookups: 1 },                  // ItET
+                TableAccess {
+                    rows: 3706,
+                    lookups: history_len.max(1),
+                }, // watch history UIET
+                TableAccess {
+                    rows: 18,
+                    lookups: genre_len.max(1),
+                }, // genre UIET
+                TableAccess {
+                    rows: 7,
+                    lookups: 1,
+                }, // age UIET
+                TableAccess {
+                    rows: 2,
+                    lookups: 1,
+                }, // gender UIET
+                TableAccess {
+                    rows: 21,
+                    lookups: 1,
+                }, // occupation UIET
+                TableAccess {
+                    rows: 3706,
+                    lookups: 1,
+                }, // ItET
             ],
             dim: 32,
         }
@@ -42,7 +60,10 @@ impl EtLookupWorkload {
     /// and the ItET lookup of the candidate item.
     pub fn movielens_ranking(history_len: usize, genre_len: usize) -> Self {
         let mut workload = Self::movielens_filtering(history_len, genre_len);
-        workload.tables.push(TableAccess { rows: 8, lookups: 1 }); // ranking-only UIET
+        workload.tables.push(TableAccess {
+            rows: 8,
+            lookups: 1,
+        }); // ranking-only UIET
         workload
     }
 
@@ -148,8 +169,14 @@ impl GpuModel {
         StageBreakdown {
             operations: vec![
                 ("ET Lookup".to_string(), self.et_lookup(workload).latency_us),
-                ("DNN Stack".to_string(), self.dnn_stack(dnn_layers, 1).latency_us),
-                ("NNS".to_string(), self.nns_lsh(items, signature_bits).latency_us),
+                (
+                    "DNN Stack".to_string(),
+                    self.dnn_stack(dnn_layers, 1).latency_us,
+                ),
+                (
+                    "NNS".to_string(),
+                    self.nns_lsh(items, signature_bits).latency_us,
+                ),
             ],
         }
     }
@@ -207,7 +234,9 @@ impl GpuModel {
             latency_us: per_candidate.latency_us * candidates as f64 / self.ranking_batch_factor,
             energy_uj: per_candidate.energy_uj * candidates as f64 / self.ranking_batch_factor,
         };
-        filtering_cost.serial(ranking_cost).serial(self.top_k(candidates))
+        filtering_cost
+            .serial(ranking_cost)
+            .serial(self.top_k(candidates))
     }
 
     /// End-to-end cost of one Criteo ranking query scoring `candidates` items.
@@ -220,7 +249,9 @@ impl GpuModel {
     ) -> GpuCost {
         let mut dnn_layers = bottom_dnn.to_vec();
         dnn_layers.extend_from_slice(top_dnn);
-        let per_candidate = self.et_lookup(ranking).serial(self.dnn_stack(&dnn_layers, 1));
+        let per_candidate = self
+            .et_lookup(ranking)
+            .serial(self.dnn_stack(&dnn_layers, 1));
         GpuCost {
             latency_us: per_candidate.latency_us * candidates as f64 / self.ranking_batch_factor,
             energy_uj: per_candidate.energy_uj * candidates as f64 / self.ranking_batch_factor,
@@ -341,16 +372,32 @@ mod tests {
     #[test]
     fn nns_costs_match_section_iv_c2() {
         let cosine = model().nns_cosine(3706, 32);
-        assert_close("cosine latency", cosine.latency_us, reference::NNS_COSINE_MOVIELENS.latency_us);
+        assert_close(
+            "cosine latency",
+            cosine.latency_us,
+            reference::NNS_COSINE_MOVIELENS.latency_us,
+        );
         // The paper's cosine-NNS energy implies ~25 W; our single-power model sits at 22 W,
         // so allow a wider margin on the energy side.
-        let relative =
-            (cosine.energy_uj - reference::NNS_COSINE_MOVIELENS.energy_uj).abs() / reference::NNS_COSINE_MOVIELENS.energy_uj;
-        assert!(relative < 0.25, "cosine energy off by {:.1} %", relative * 100.0);
+        let relative = (cosine.energy_uj - reference::NNS_COSINE_MOVIELENS.energy_uj).abs()
+            / reference::NNS_COSINE_MOVIELENS.energy_uj;
+        assert!(
+            relative < 0.25,
+            "cosine energy off by {:.1} %",
+            relative * 100.0
+        );
 
         let lsh = model().nns_lsh(3706, 256);
-        assert_close("lsh latency", lsh.latency_us, reference::NNS_LSH_MOVIELENS.latency_us);
-        assert_close("lsh energy", lsh.energy_uj, reference::NNS_LSH_MOVIELENS.energy_uj);
+        assert_close(
+            "lsh latency",
+            lsh.latency_us,
+            reference::NNS_LSH_MOVIELENS.latency_us,
+        );
+        assert_close(
+            "lsh energy",
+            lsh.energy_uj,
+            reference::NNS_LSH_MOVIELENS.energy_uj,
+        );
         assert!(cosine.latency_us > lsh.latency_us);
     }
 
@@ -413,11 +460,8 @@ mod tests {
 
     #[test]
     fn ranking_breakdown_has_three_components() {
-        let breakdown = model().ranking_breakdown(
-            &movielens_ranking_workload(),
-            &[(224, 128), (128, 1)],
-            100,
-        );
+        let breakdown =
+            model().ranking_breakdown(&movielens_ranking_workload(), &[(224, 128), (128, 1)], 100);
         let fractions = breakdown.fractions();
         assert_eq!(fractions.len(), 3);
         // TopK runs once per query and is therefore the smallest slice, as in Fig. 2(b).
@@ -428,7 +472,10 @@ mod tests {
     #[test]
     fn queries_per_second_handles_degenerate_cost() {
         assert_eq!(GpuModel::queries_per_second(GpuCost::default()), 0.0);
-        let qps = GpuModel::queries_per_second(GpuCost { latency_us: 1000.0, energy_uj: 0.0 });
+        let qps = GpuModel::queries_per_second(GpuCost {
+            latency_us: 1000.0,
+            energy_uj: 0.0,
+        });
         assert!((qps - 1000.0).abs() < 1e-9);
     }
 }

@@ -230,7 +230,10 @@ mod tests {
         assert_eq!(batch.request(2), &[7, 8, 9]);
         assert_eq!(batch.max_index(), Some(9));
         assert_eq!(PoolingBatch::from_requests::<Vec<u32>>(&[]).len(), 0);
-        assert_eq!(PoolingBatch::from_requests::<Vec<u32>>(&[]).max_index(), None);
+        assert_eq!(
+            PoolingBatch::from_requests::<Vec<u32>>(&[]).max_index(),
+            None
+        );
     }
 
     #[test]

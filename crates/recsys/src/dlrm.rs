@@ -178,12 +178,24 @@ impl Dlrm {
             .iter()
             .enumerate()
             .map(|(index, &cardinality)| {
-                EmbeddingTable::new(cardinality, config.embedding_dim, config.seed.wrapping_add(index as u64))
+                EmbeddingTable::new(
+                    cardinality,
+                    config.embedding_dim,
+                    config.seed.wrapping_add(index as u64),
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
-            bottom_mlp: Mlp::new(&bottom_sizes, Activation::Linear, config.seed.wrapping_add(1000))?,
-            top_mlp: Mlp::new(&top_sizes, Activation::Sigmoid, config.seed.wrapping_add(2000))?,
+            bottom_mlp: Mlp::new(
+                &bottom_sizes,
+                Activation::Linear,
+                config.seed.wrapping_add(1000),
+            )?,
+            top_mlp: Mlp::new(
+                &top_sizes,
+                Activation::Sigmoid,
+                config.seed.wrapping_add(2000),
+            )?,
             embedding_tables,
             config,
         })
@@ -277,7 +289,12 @@ impl Dlrm {
     /// The feature vector with interaction index `i` (0 = the dense embedding, `i > 0` =
     /// the embedding row of sparse field `i - 1`). Indices must already be validated.
     #[inline]
-    fn feature_vector<'a>(&'a self, sample: &DlrmSample, dense_embedding: &'a [f32], i: usize) -> &'a [f32] {
+    fn feature_vector<'a>(
+        &'a self,
+        sample: &DlrmSample,
+        dense_embedding: &'a [f32],
+        i: usize,
+    ) -> &'a [f32] {
         if i == 0 {
             dense_embedding
         } else {
@@ -347,7 +364,12 @@ impl Dlrm {
     ///
     /// Returns an error if the sample's shape is wrong or any categorical index is out of
     /// range.
-    pub fn train_step(&mut self, sample: &DlrmSample, label: f32, learning_rate: f32) -> Result<f32, RecsysError> {
+    pub fn train_step(
+        &mut self,
+        sample: &DlrmSample,
+        label: f32,
+        learning_rate: f32,
+    ) -> Result<f32, RecsysError> {
         let (dense_embedding, vectors, interactions) = self.forward_features(sample)?;
         let mut top_input = dense_embedding.clone();
         top_input.extend(interactions.iter().copied());
@@ -355,7 +377,9 @@ impl Dlrm {
         let clamped = prediction.clamp(1e-6, 1.0 - 1e-6);
         let loss = -(label * clamped.ln() + (1.0 - label) * (1.0 - clamped).ln());
         let grad_output = (clamped - label) / (clamped * (1.0 - clamped));
-        let grad_top_input = self.top_mlp.backward(&top_input, &[grad_output], learning_rate)?;
+        let grad_top_input = self
+            .top_mlp
+            .backward(&top_input, &[grad_output], learning_rate)?;
 
         let dim = self.config.embedding_dim;
         // Gradient with respect to every feature vector (dense embedding = index 0).
@@ -377,16 +401,24 @@ impl Dlrm {
 
         // Update the embedding tables.
         for (field, &index) in sample.sparse.iter().enumerate() {
-            self.embedding_tables[field].sgd_update(index, &grad_vectors[field + 1], learning_rate)?;
+            self.embedding_tables[field].sgd_update(
+                index,
+                &grad_vectors[field + 1],
+                learning_rate,
+            )?;
         }
         // Propagate the dense-embedding gradient through the bottom MLP.
-        self.bottom_mlp.backward(&sample.dense, &grad_vectors[0], learning_rate)?;
+        self.bottom_mlp
+            .backward(&sample.dense, &grad_vectors[0], learning_rate)?;
         Ok(loss)
     }
 
     /// Total parameter count across embeddings and both MLPs.
     pub fn parameter_count(&self) -> usize {
-        self.embedding_tables.iter().map(EmbeddingTable::parameter_count).sum::<usize>()
+        self.embedding_tables
+            .iter()
+            .map(EmbeddingTable::parameter_count)
+            .sum::<usize>()
             + self.bottom_mlp.parameter_count()
             + self.top_mlp.parameter_count()
     }
@@ -532,7 +564,11 @@ mod tests {
         let samples: Vec<DlrmSample> = (0..137)
             .map(|_| DlrmSample {
                 dense: (0..4).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
-                sparse: vec![rng.gen_range(0..10), rng.gen_range(0..20), rng.gen_range(0..5)],
+                sparse: vec![
+                    rng.gen_range(0..10),
+                    rng.gen_range(0..20),
+                    rng.gen_range(0..5),
+                ],
             })
             .collect();
         let batch = model.predict_batch(&samples).unwrap();

@@ -62,7 +62,9 @@ impl EmbeddingTable {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 1.0 / (dim as f32).sqrt();
-        let data = (0..rows * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Ok(Self { rows, dim, data })
     }
 
@@ -193,7 +195,11 @@ impl EmbeddingTable {
     /// [`RecsysError::IndexOutOfRange`] if any index is out of range (in which case `out`
     /// is left zeroed).
     #[inline]
-    pub fn pool_into<I: RowIndex>(&self, indices: &[I], out: &mut [f32]) -> Result<(), RecsysError> {
+    pub fn pool_into<I: RowIndex>(
+        &self,
+        indices: &[I],
+        out: &mut [f32],
+    ) -> Result<(), RecsysError> {
         if out.len() != self.dim {
             return Err(RecsysError::ShapeMismatch {
                 what: "pooling output",
@@ -213,7 +219,11 @@ impl EmbeddingTable {
     /// # Errors
     ///
     /// As for [`EmbeddingTable::pool_into`].
-    pub fn pool_mean_into<I: RowIndex>(&self, indices: &[I], out: &mut [f32]) -> Result<(), RecsysError> {
+    pub fn pool_mean_into<I: RowIndex>(
+        &self,
+        indices: &[I],
+        out: &mut [f32],
+    ) -> Result<(), RecsysError> {
         self.pool_into(indices, out)?;
         if !indices.is_empty() {
             let inv = 1.0 / indices.len() as f32;
@@ -252,7 +262,9 @@ impl EmbeddingTable {
             });
         }
         self.check_indices(batch.indices())?;
-        par_chunks(out, self.dim, |first, run| self.pool_run(batch, mode, first, run));
+        par_chunks(out, self.dim, |first, run| {
+            self.pool_run(batch, mode, first, run)
+        });
         Ok(())
     }
 
@@ -260,7 +272,13 @@ impl EmbeddingTable {
     /// must already be validated. The mode dispatch is hoisted out of the request loop
     /// so each arm is a branch-free monomorphic loop.
     #[inline]
-    fn pool_run(&self, batch: &PoolingBatch, mode: PoolingMode, first_request: usize, out: &mut [f32]) {
+    fn pool_run(
+        &self,
+        batch: &PoolingBatch,
+        mode: PoolingMode,
+        first_request: usize,
+        out: &mut [f32],
+    ) {
         match mode {
             PoolingMode::Sum => {
                 for (i, request_out) in out.chunks_mut(self.dim).enumerate() {
@@ -370,7 +388,10 @@ mod tests {
     #[test]
     fn lookup_returns_the_row() {
         let mut table = EmbeddingTable::zeros(4, 3).unwrap();
-        table.lookup_mut(2).unwrap().copy_from_slice(&[1.0, 2.0, 3.0]);
+        table
+            .lookup_mut(2)
+            .unwrap()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
         assert_eq!(table.lookup(2).unwrap(), &[1.0, 2.0, 3.0]);
         assert_eq!(table.lookup(0).unwrap(), &[0.0, 0.0, 0.0]);
         assert!(table.lookup(4).is_err());
@@ -452,13 +473,17 @@ mod tests {
         let batch = PoolingBatch::from_requests(&requests);
         let mut out = vec![0.0f32; batch.len() * 32];
 
-        table.gather_pool_batch(&batch, PoolingMode::Sum, &mut out).unwrap();
+        table
+            .gather_pool_batch(&batch, PoolingMode::Sum, &mut out)
+            .unwrap();
         for (request, chunk) in requests.iter().zip(out.chunks(32)) {
             let indices: Vec<usize> = request.iter().map(|&i| i as usize).collect();
             assert_eq!(chunk, table.pool(&indices).unwrap().as_slice());
         }
 
-        table.gather_pool_batch(&batch, PoolingMode::Mean, &mut out).unwrap();
+        table
+            .gather_pool_batch(&batch, PoolingMode::Mean, &mut out)
+            .unwrap();
         for (request, chunk) in requests.iter().zip(out.chunks(32)) {
             let indices: Vec<usize> = request.iter().map(|&i| i as usize).collect();
             assert_eq!(chunk, table.pool_mean(&indices).unwrap().as_slice());
@@ -480,7 +505,9 @@ mod tests {
             table.gather_pool_batch(&good, PoolingMode::Sum, &mut short),
             Err(RecsysError::ShapeMismatch { .. })
         ));
-        assert!(table.gather_pool_batch(&good, PoolingMode::Sum, &mut out).is_ok());
+        assert!(table
+            .gather_pool_batch(&good, PoolingMode::Sum, &mut out)
+            .is_ok());
     }
 
     #[test]

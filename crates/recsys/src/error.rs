@@ -36,8 +36,15 @@ impl fmt::Display for RecsysError {
             RecsysError::IndexOutOfRange { what, index, len } => {
                 write!(f, "{what} index {index} out of range (len {len})")
             }
-            RecsysError::ShapeMismatch { what, expected, actual } => {
-                write!(f, "{what} shape mismatch: expected {expected}, got {actual}")
+            RecsysError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{what} shape mismatch: expected {expected}, got {actual}"
+                )
             }
             RecsysError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
         }

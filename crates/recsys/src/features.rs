@@ -124,7 +124,11 @@ impl SparseFeatures {
         for (spec, indices) in specs.iter().zip(self.fields.iter()) {
             if !spec.multi_hot && indices.len() > 1 {
                 return Err(RecsysError::InvalidConfig {
-                    reason: format!("field `{}` is one-hot but carries {} values", spec.name, indices.len()),
+                    reason: format!(
+                        "field `{}` is one-hot but carries {} values",
+                        spec.name,
+                        indices.len()
+                    ),
                 });
             }
             for &index in indices {

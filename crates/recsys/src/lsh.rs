@@ -41,7 +41,11 @@ impl RandomHyperplaneLsh {
         let hyperplanes = (0..bits)
             .map(|_| (0..dim).map(|_| StandardNormal.sample(&mut rng)).collect())
             .collect();
-        Ok(Self { dim, bits, hyperplanes })
+        Ok(Self {
+            dim,
+            bits,
+            hyperplanes,
+        })
     }
 
     /// The paper's configuration: 256-bit signatures.
@@ -93,7 +97,10 @@ impl RandomHyperplaneLsh {
 
     /// Hamming distance between two packed signatures.
     pub fn hamming(a: &[u64], b: &[u64]) -> u32 {
-        a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum()
     }
 
     /// Exact top-k by Hamming distance (smallest distance first) — the GPU-side LSH
@@ -174,13 +181,17 @@ mod tests {
         let lsh = RandomHyperplaneLsh::new(32, 256, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let base: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
-        let nearby: Vec<f32> = base.iter().map(|x| x + rng.gen_range(-0.05..0.05f32)).collect();
+        let nearby: Vec<f32> = base
+            .iter()
+            .map(|x| x + rng.gen_range(-0.05..0.05f32))
+            .collect();
         let orthogonalish: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
         let s_base = lsh.signature(&base).unwrap();
         let s_near = lsh.signature(&nearby).unwrap();
         let s_far = lsh.signature(&orthogonalish).unwrap();
         assert!(
-            RandomHyperplaneLsh::hamming(&s_base, &s_near) < RandomHyperplaneLsh::hamming(&s_base, &s_far)
+            RandomHyperplaneLsh::hamming(&s_base, &s_near)
+                < RandomHyperplaneLsh::hamming(&s_base, &s_far)
         );
     }
 

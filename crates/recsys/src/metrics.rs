@@ -35,7 +35,10 @@ pub fn recall(results: &[(Vec<usize>, Vec<usize>)]) -> f64 {
         if relevant.is_empty() {
             continue;
         }
-        let found = relevant.iter().filter(|item| candidates.contains(item)).count();
+        let found = relevant
+            .iter()
+            .filter(|item| candidates.contains(item))
+            .count();
         total += found as f64 / relevant.len() as f64;
         counted += 1;
     }
@@ -77,10 +80,10 @@ mod tests {
     #[test]
     fn hit_rate_counts_fraction_of_users() {
         let results = vec![
-            (vec![1, 2, 3], 2),  // hit
-            (vec![4, 5], 9),     // miss
-            (vec![7], 7),        // hit
-            (vec![], 1),         // miss
+            (vec![1, 2, 3], 2), // hit
+            (vec![4, 5], 9),    // miss
+            (vec![7], 7),       // hit
+            (vec![], 1),        // miss
         ];
         assert!((hit_rate(&results) - 0.5).abs() < 1e-12);
         assert_eq!(hit_rate(&[]), 0.0);
@@ -89,9 +92,9 @@ mod tests {
     #[test]
     fn recall_averages_per_user_fractions() {
         let results = vec![
-            (vec![1, 2, 3], vec![1, 9]),    // 1/2
-            (vec![4], vec![4]),             // 1
-            (vec![5], vec![]),              // skipped
+            (vec![1, 2, 3], vec![1, 9]), // 1/2
+            (vec![4], vec![4]),          // 1
+            (vec![5], vec![]),           // skipped
         ];
         assert!((recall(&results) - 0.75).abs() < 1e-12);
         assert_eq!(recall(&[]), 0.0);

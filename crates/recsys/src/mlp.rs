@@ -64,7 +64,9 @@ impl DenseLayer {
     fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
         // Xavier/Glorot uniform initialization.
         let bound = (6.0 / (inputs + outputs) as f32).sqrt();
-        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-bound..bound)).collect();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Self {
             inputs,
             outputs,
@@ -140,10 +142,17 @@ impl Mlp {
     ///
     /// Returns [`RecsysError::InvalidConfig`] if fewer than two sizes are given or any
     /// size is zero.
-    pub fn new(sizes: &[usize], output_activation: Activation, seed: u64) -> Result<Self, RecsysError> {
+    pub fn new(
+        sizes: &[usize],
+        output_activation: Activation,
+        seed: u64,
+    ) -> Result<Self, RecsysError> {
         if sizes.len() < 2 {
             return Err(RecsysError::InvalidConfig {
-                reason: format!("an MLP needs at least input and output sizes, got {}", sizes.len()),
+                reason: format!(
+                    "an MLP needs at least input and output sizes, got {}",
+                    sizes.len()
+                ),
             });
         }
         if sizes.contains(&0) {
@@ -190,7 +199,10 @@ impl Mlp {
 
     /// Total trainable parameter count (weights plus biases).
     pub fn parameter_count(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.bias.len())
+            .sum()
     }
 
     /// Build scratch buffers sized for this network, for use with [`Mlp::forward_into`].

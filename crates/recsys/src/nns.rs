@@ -125,7 +125,12 @@ impl ExactIndex {
     /// # Errors
     ///
     /// Returns [`RecsysError::ShapeMismatch`] for a query of the wrong width.
-    pub fn top_k(&self, query: &[f32], k: usize, metric: Metric) -> Result<Vec<usize>, RecsysError> {
+    pub fn top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        metric: Metric,
+    ) -> Result<Vec<usize>, RecsysError> {
         if query.len() != self.dim {
             return Err(RecsysError::ShapeMismatch {
                 what: "query vector",
@@ -253,10 +258,10 @@ mod tests {
     #[test]
     fn top_k_returns_nearest_first() {
         let items = vec![
-            vec![1.0, 0.0],   // 0: aligned with query
-            vec![0.0, 1.0],   // 1: orthogonal
-            vec![-1.0, 0.0],  // 2: opposite
-            vec![0.7, 0.7],   // 3: 45 degrees
+            vec![1.0, 0.0],  // 0: aligned with query
+            vec![0.0, 1.0],  // 1: orthogonal
+            vec![-1.0, 0.0], // 2: opposite
+            vec![0.7, 0.7],  // 3: 45 degrees
         ];
         let index = ExactIndex::new(2, items).unwrap();
         let top = index.top_k(&[1.0, 0.0], 2, Metric::Cosine).unwrap();
@@ -272,14 +277,19 @@ mod tests {
         let items = vec![vec![0.5, 0.0], vec![10.0, 0.0]];
         let index = ExactIndex::new(2, items).unwrap();
         // Cosine ties both (same direction), but dot product prefers the longer one.
-        assert_eq!(index.top_k(&[1.0, 0.0], 1, Metric::DotProduct).unwrap(), vec![1]);
+        assert_eq!(
+            index.top_k(&[1.0, 0.0], 1, Metric::DotProduct).unwrap(),
+            vec![1]
+        );
     }
 
     #[test]
     fn threshold_search_matches_manual_filter() {
         let items = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
         let index = ExactIndex::new(2, items).unwrap();
-        let hits = index.within_threshold(&[1.0, 0.0], 0.8, Metric::Cosine).unwrap();
+        let hits = index
+            .within_threshold(&[1.0, 0.0], 0.8, Metric::Cosine)
+            .unwrap();
         assert_eq!(hits, vec![0, 1]);
     }
 
@@ -302,14 +312,23 @@ mod tests {
             }
         }
         assert!(index.top_k_batch(&queries[..7], 5, Metric::Cosine).is_err());
-        assert!(index.top_k_batch(&[], 5, Metric::Cosine).unwrap().is_empty());
+        assert!(index
+            .top_k_batch(&[], 5, Metric::Cosine)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn empty_index_returns_empty_results() {
         let index = ExactIndex::new(4, vec![]).unwrap();
         assert!(index.is_empty());
-        assert!(index.top_k(&[0.0; 4], 5, Metric::Cosine).unwrap().is_empty());
-        assert!(index.within_threshold(&[0.0; 4], 0.1, Metric::Cosine).unwrap().is_empty());
+        assert!(index
+            .top_k(&[0.0; 4], 5, Metric::Cosine)
+            .unwrap()
+            .is_empty());
+        assert!(index
+            .within_threshold(&[0.0; 4], 0.1, Metric::Cosine)
+            .unwrap()
+            .is_empty());
     }
 }

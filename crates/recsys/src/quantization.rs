@@ -24,10 +24,7 @@ impl QuantizationParams {
     ///
     /// An all-zero input produces a scale of 1.0 (any scale represents zeros exactly).
     pub fn fit(values: impl IntoIterator<Item = f32>) -> Self {
-        let max_abs = values
-            .into_iter()
-            .map(f32::abs)
-            .fold(0.0f32, f32::max);
+        let max_abs = values.into_iter().map(f32::abs).fold(0.0f32, f32::max);
         let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
         Self { scale }
     }
@@ -184,7 +181,10 @@ mod tests {
     fn quantized_rows_are_int8_saturated() {
         let table = EmbeddingTable::new(10, 8, 5).unwrap();
         let quantized = QuantizedTable::from_table(&table);
-        assert!(quantized.iter_rows().flatten().all(|&v| (-127..=127).contains(&(v as i32))));
+        assert!(quantized
+            .iter_rows()
+            .flatten()
+            .all(|&v| (-127..=127).contains(&(v as i32))));
     }
 
     #[test]

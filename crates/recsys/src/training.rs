@@ -127,7 +127,9 @@ pub fn train_filtering(
             }
         }
         report.steps += epoch_steps;
-        report.epoch_losses.push((epoch_loss / epoch_steps as f64) as f32);
+        report
+            .epoch_losses
+            .push((epoch_loss / epoch_steps as f64) as f32);
     }
     Ok(report)
 }
@@ -158,7 +160,8 @@ mod tests {
         (0..num_users)
             .map(|user| {
                 let bucket = user % buckets;
-                let bucket_items: Vec<usize> = (0..num_items).filter(|i| i % buckets == bucket).collect();
+                let bucket_items: Vec<usize> =
+                    (0..num_items).filter(|i| i % buckets == bucket).collect();
                 let mut history: Vec<usize> = (0..4)
                     .map(|_| bucket_items[rng.gen_range(0..bucket_items.len())])
                     .collect();
@@ -189,7 +192,10 @@ mod tests {
         let mut model = YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap();
         let examples = synthetic_examples(4, 50, 0);
         assert!(train_filtering(&mut model, &[], &TrainingConfig::default()).is_err());
-        let bad = TrainingConfig { epochs: 0, ..TrainingConfig::default() };
+        let bad = TrainingConfig {
+            epochs: 0,
+            ..TrainingConfig::default()
+        };
         assert!(train_filtering(&mut model, &examples, &bad).is_err());
         let bad = TrainingConfig {
             negatives_per_positive: 0,

@@ -179,8 +179,16 @@ impl YoutubeDnn {
             genre_table: EmbeddingTable::new(config.num_genres, dim, seed.wrapping_add(2))?,
             age_table: EmbeddingTable::new(config.num_age_groups, dim, seed.wrapping_add(3))?,
             gender_table: EmbeddingTable::new(config.num_genders, dim, seed.wrapping_add(4))?,
-            occupation_table: EmbeddingTable::new(config.num_occupations, dim, seed.wrapping_add(5))?,
-            ranking_context_table: EmbeddingTable::new(config.num_ranking_contexts, dim, seed.wrapping_add(6))?,
+            occupation_table: EmbeddingTable::new(
+                config.num_occupations,
+                dim,
+                seed.wrapping_add(5),
+            )?,
+            ranking_context_table: EmbeddingTable::new(
+                config.num_ranking_contexts,
+                dim,
+                seed.wrapping_add(6),
+            )?,
             filtering_mlp: Mlp::new(&filtering_sizes, Activation::Linear, seed.wrapping_add(7))?,
             ranking_mlp: Mlp::new(&ranking_sizes, Activation::Sigmoid, seed.wrapping_add(8))?,
             config,
@@ -247,8 +255,10 @@ impl YoutubeDnn {
     fn validate_filtering_profile(&self, profile: &UserProfile) -> Result<(), RecsysError> {
         self.history_table.check_indices(&profile.history)?;
         self.genre_table.check_indices(&profile.genres)?;
-        self.age_table.check_indices(std::slice::from_ref(&profile.age_group))?;
-        self.gender_table.check_indices(std::slice::from_ref(&profile.gender))?;
+        self.age_table
+            .check_indices(std::slice::from_ref(&profile.age_group))?;
+        self.gender_table
+            .check_indices(std::slice::from_ref(&profile.gender))?;
         self.occupation_table
             .check_indices(std::slice::from_ref(&profile.occupation))?;
         Ok(())
@@ -256,10 +266,16 @@ impl YoutubeDnn {
 
     /// Fill the concatenated filtering input into a caller-provided `5 × dim` buffer with
     /// no per-field allocation.
-    fn filtering_input_into(&self, profile: &UserProfile, out: &mut [f32]) -> Result<(), RecsysError> {
+    fn filtering_input_into(
+        &self,
+        profile: &UserProfile,
+        out: &mut [f32],
+    ) -> Result<(), RecsysError> {
         let dim = self.config.embedding_dim;
-        self.history_table.pool_mean_into(&profile.history, &mut out[..dim])?;
-        self.genre_table.pool_mean_into(&profile.genres, &mut out[dim..2 * dim])?;
+        self.history_table
+            .pool_mean_into(&profile.history, &mut out[..dim])?;
+        self.genre_table
+            .pool_mean_into(&profile.genres, &mut out[dim..2 * dim])?;
         out[2 * dim..3 * dim].copy_from_slice(self.age_table.lookup(profile.age_group)?);
         out[3 * dim..4 * dim].copy_from_slice(self.gender_table.lookup(profile.gender)?);
         out[4 * dim..5 * dim].copy_from_slice(self.occupation_table.lookup(profile.occupation)?);
@@ -325,7 +341,10 @@ impl YoutubeDnn {
     pub fn item_index(&self) -> Result<ExactIndex, RecsysError> {
         ExactIndex::new(
             self.config.embedding_dim,
-            self.item_table.iter_rows().map(|row| row.to_vec()).collect(),
+            self.item_table
+                .iter_rows()
+                .map(|row| row.to_vec())
+                .collect(),
         )
     }
 
@@ -335,7 +354,11 @@ impl YoutubeDnn {
     /// # Errors
     ///
     /// Returns an error if any profile index is out of range.
-    pub fn filtering_candidates(&self, profile: &UserProfile, k: usize) -> Result<Vec<usize>, RecsysError> {
+    pub fn filtering_candidates(
+        &self,
+        profile: &UserProfile,
+        k: usize,
+    ) -> Result<Vec<usize>, RecsysError> {
         let user = self.user_embedding(profile)?;
         self.item_index()?.top_k(&user, k, Metric::Cosine)
     }
@@ -365,10 +388,15 @@ impl YoutubeDnn {
 
     /// Fill the shared (item-independent) prefix of the ranking input: the six UIET
     /// segments. The final `dim` slots are left for the per-item embedding.
-    fn ranking_prefix_into(&self, profile: &UserProfile, out: &mut [f32]) -> Result<(), RecsysError> {
+    fn ranking_prefix_into(
+        &self,
+        profile: &UserProfile,
+        out: &mut [f32],
+    ) -> Result<(), RecsysError> {
         let dim = self.config.embedding_dim;
         self.filtering_input_into(profile, &mut out[..Self::FILTERING_UIETS * dim])?;
-        out[5 * dim..6 * dim].copy_from_slice(self.ranking_context_table.lookup(profile.ranking_context)?);
+        out[5 * dim..6 * dim]
+            .copy_from_slice(self.ranking_context_table.lookup(profile.ranking_context)?);
         Ok(())
     }
 
@@ -463,7 +491,8 @@ impl YoutubeDnn {
     ) -> Result<f32, RecsysError> {
         let input = self.filtering_input(profile)?;
         let user = self.filtering_mlp.forward(&input)?;
-        self.item_table.check_indices(&[positive_item, negative_item])?;
+        self.item_table
+            .check_indices(&[positive_item, negative_item])?;
         // Borrow the item rows in place (no copies); the borrows end before the updates.
         let margin = {
             let positive = self.item_table.row(positive_item);
@@ -486,9 +515,13 @@ impl YoutubeDnn {
         let grad_positive: Vec<f32> = user.iter().map(|u| coeff * u).collect();
         let grad_negative: Vec<f32> = user.iter().map(|u| -coeff * u).collect();
 
-        let grad_input = self.filtering_mlp.backward(&input, &grad_user, learning_rate)?;
-        self.item_table.sgd_update(positive_item, &grad_positive, learning_rate)?;
-        self.item_table.sgd_update(negative_item, &grad_negative, learning_rate)?;
+        let grad_input = self
+            .filtering_mlp
+            .backward(&input, &grad_user, learning_rate)?;
+        self.item_table
+            .sgd_update(positive_item, &grad_positive, learning_rate)?;
+        self.item_table
+            .sgd_update(negative_item, &grad_negative, learning_rate)?;
         self.apply_filtering_input_gradient(profile, &grad_input, learning_rate)?;
         Ok(loss)
     }
@@ -518,9 +551,12 @@ impl YoutubeDnn {
                 self.genre_table.sgd_update(genre, &grad, learning_rate)?;
             }
         }
-        self.age_table.sgd_update(profile.age_group, segment(2), learning_rate)?;
-        self.gender_table.sgd_update(profile.gender, segment(3), learning_rate)?;
-        self.occupation_table.sgd_update(profile.occupation, segment(4), learning_rate)?;
+        self.age_table
+            .sgd_update(profile.age_group, segment(2), learning_rate)?;
+        self.gender_table
+            .sgd_update(profile.gender, segment(3), learning_rate)?;
+        self.occupation_table
+            .sgd_update(profile.occupation, segment(4), learning_rate)?;
         Ok(())
     }
 
@@ -736,7 +772,9 @@ mod tests {
         };
         let before = score(&model);
         for _ in 0..50 {
-            model.train_filtering_step(&user, positive, negative, 0.05).unwrap();
+            model
+                .train_filtering_step(&user, positive, negative, 0.05)
+                .unwrap();
         }
         let after = score(&model);
         assert!(after > before, "margin {before} -> {after}");
@@ -767,7 +805,10 @@ mod tests {
         }
         let clicked = model.ranking_score(&user, 5).unwrap();
         let unclicked = model.ranking_score(&user, 45).unwrap();
-        assert!(clicked > unclicked, "clicked {clicked} vs unclicked {unclicked}");
+        assert!(
+            clicked > unclicked,
+            "clicked {clicked} vs unclicked {unclicked}"
+        );
     }
 
     #[test]
@@ -782,6 +823,11 @@ mod tests {
     fn parameter_count_is_positive_and_stable() {
         let model = YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap();
         assert!(model.parameter_count() > 1000);
-        assert_eq!(model.parameter_count(), YoutubeDnn::new(YoutubeDnnConfig::tiny()).unwrap().parameter_count());
+        assert_eq!(
+            model.parameter_count(),
+            YoutubeDnn::new(YoutubeDnnConfig::tiny())
+                .unwrap()
+                .parameter_count()
+        );
     }
 }

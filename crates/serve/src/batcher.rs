@@ -40,10 +40,15 @@ impl BatchPolicy {
         }
         if !max_wait_us.is_finite() || max_wait_us < 0.0 {
             return Err(ServeError::InvalidConfig {
-                reason: format!("batch policy needs a finite non-negative max_wait_us, got {max_wait_us}"),
+                reason: format!(
+                    "batch policy needs a finite non-negative max_wait_us, got {max_wait_us}"
+                ),
             });
         }
-        Ok(Self { max_batch, max_wait_us })
+        Ok(Self {
+            max_batch,
+            max_wait_us,
+        })
     }
 }
 
@@ -209,7 +214,10 @@ mod tests {
         assert_eq!(batch.requests, vec![1, 2]);
         assert_eq!(batch.reason, FlushReason::Deadline);
         assert_eq!(batch.trigger_us, 1500.0);
-        assert!(batcher.poll(2000.0).is_none(), "nothing pending after the flush");
+        assert!(
+            batcher.poll(2000.0).is_none(),
+            "nothing pending after the flush"
+        );
     }
 
     #[test]

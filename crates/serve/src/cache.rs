@@ -36,6 +36,16 @@ impl CacheStats {
         self.hits + self.coalesced + self.misses
     }
 
+    /// Add another counter block into this one (the threaded runtime folds one block
+    /// per worker cache into the run's report).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.coalesced += other.coalesced;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+
     /// Fraction of lookups served without a row fetch — resident hits plus in-flight
     /// coalescing (0.0 for an unused cache).
     pub fn hit_rate(&self) -> f64 {

@@ -173,7 +173,11 @@ impl ItemStore {
     fn pool_dense(&mut self, batch: &PoolingBatch, dense: &mut [f32]) -> Result<(), ServeError> {
         match self {
             ItemStore::Fp32 { shards, cache } => pool_profiles(shards, cache, batch, dense),
-            ItemStore::Int8 { shards, cache, params } => {
+            ItemStore::Int8 {
+                shards,
+                cache,
+                params,
+            } => {
                 let mut profiles = vec![0i8; batch.len() * shards.dim()];
                 pool_profiles(shards, cache, batch, &mut profiles)?;
                 if dense.len() != profiles.len() {
@@ -231,7 +235,12 @@ fn pool_profiles<T: Lane>(
     {
         let mut in_flight: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         let mut misses: Vec<(u32, &mut [T])> = Vec::new();
-        for ((position, &row), chunk) in batch.indices().iter().enumerate().zip(staging.chunks_mut(dim)) {
+        for ((position, &row), chunk) in batch
+            .indices()
+            .iter()
+            .enumerate()
+            .zip(staging.chunks_mut(dim))
+        {
             match cache.lookup(row) {
                 Some(data) => chunk.copy_from_slice(data),
                 None => match in_flight.entry(row) {
@@ -262,7 +271,10 @@ fn pool_profiles<T: Lane>(
         for (i, slot) in run.iter_mut().enumerate() {
             slot.fill(T::default());
             for position in offsets[first + i]..offsets[first + i + 1] {
-                for (acc, &value) in slot.iter_mut().zip(&staging[position * dim..(position + 1) * dim]) {
+                for (acc, &value) in slot
+                    .iter_mut()
+                    .zip(&staging[position * dim..(position + 1) * dim])
+                {
                     T::accumulate(acc, value);
                 }
             }
@@ -296,7 +308,11 @@ impl ServeEngine {
     ///
     /// Returns [`ServeError::InvalidConfig`] for mismatched dimensions or a zero
     /// signature width, and propagates shard/LSH construction errors.
-    pub fn new(model: Dlrm, items: &EmbeddingTable, config: ServeConfig) -> Result<Self, ServeError> {
+    pub fn new(
+        model: Dlrm,
+        items: &EmbeddingTable,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
         if model.config().num_dense_features != items.dim() {
             return Err(ServeError::InvalidConfig {
                 reason: format!(
@@ -307,7 +323,11 @@ impl ServeEngine {
             });
         }
         let lsh = RandomHyperplaneLsh::new(items.dim(), config.signature_bits, config.lsh_seed)?;
-        let mut tcam = CmaArray::new(items.rows(), config.signature_bits, ArrayFom::paper_reference());
+        let mut tcam = CmaArray::new(
+            items.rows(),
+            config.signature_bits,
+            ArrayFom::paper_reference(),
+        );
         for row in 0..items.rows() {
             let signature = lsh.signature(items.lookup(row)?)?;
             tcam.write_row_bits(row, &signature, config.signature_bits)?;
@@ -346,6 +366,12 @@ impl ServeEngine {
         self.tcam.rows()
     }
 
+    /// Number of embedding shards actually created (may be fewer than requested for a
+    /// small catalogue).
+    pub fn num_shards(&self) -> usize {
+        self.store.num_shards()
+    }
+
     /// Cache counters accumulated so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.store.cache_stats()
@@ -356,6 +382,14 @@ impl ServeEngine {
         &self.telemetry
     }
 
+    /// Zero the telemetry and cache counters (resident cache rows are kept). The replay
+    /// drivers call this at the start of a run; the threaded runtime calls it on each
+    /// worker's engine clone so per-worker counters start from zero.
+    pub fn reset_stats(&mut self) {
+        self.telemetry = ServeTelemetry::default();
+        self.store.reset_cache_stats();
+    }
+
     /// Execute one coalesced batch through pooling, filtering and ranking. Responses are
     /// in request order with `latency_us` zero (the replay driver fills latencies from
     /// its clock).
@@ -364,7 +398,10 @@ impl ServeEngine {
     ///
     /// Returns an error if any history row is outside the catalogue or any sample shape
     /// does not fit the model.
-    pub fn process_batch(&mut self, requests: &[ServeRequest]) -> Result<Vec<ServeResponse>, ServeError> {
+    pub fn process_batch(
+        &mut self,
+        requests: &[ServeRequest],
+    ) -> Result<Vec<ServeResponse>, ServeError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
@@ -381,9 +418,15 @@ impl ServeEngine {
         let misses = (self.store.cache_stats().misses - misses_before) as usize;
         let read = Cost::from_fom(self.tcam.fom().cma.read);
         let add = Cost::from_fom(self.tcam.fom().cma.add);
-        let adds: usize = (0..batch.len()).map(|i| batch.request(i).len().saturating_sub(1)).sum();
-        self.telemetry.cost.charge(CostComponent::CmaRead, read.repeat(misses));
-        self.telemetry.cost.charge(CostComponent::CmaAdd, add.repeat(adds));
+        let adds: usize = (0..batch.len())
+            .map(|i| batch.request(i).len().saturating_sub(1))
+            .sum();
+        self.telemetry
+            .cost
+            .charge(CostComponent::CmaRead, read.repeat(misses));
+        self.telemetry
+            .cost
+            .charge(CostComponent::CmaAdd, add.repeat(adds));
         self.telemetry.total_cost += read.repeat(misses).serial(add.repeat(adds));
 
         // 2. Candidate filtering: LSH signatures matched in TCAM mode, one serialized
@@ -392,7 +435,9 @@ impl ServeEngine {
             .chunks(dense_dim)
             .map(|profile| self.lsh.signature(profile))
             .collect::<Result<Vec<_>, _>>()?;
-        let search = self.tcam.search_batch(&signatures, self.config.search_radius)?;
+        let search = self
+            .tcam
+            .search_batch(&signatures, self.config.search_radius)?;
         self.telemetry.cost.merge(&search.breakdown);
         self.telemetry.total_cost += search.cost;
 
@@ -442,8 +487,7 @@ impl ServeEngine {
     ///
     /// As for [`ServeEngine::process_batch`].
     pub fn replay(&mut self, workload: &ReplayWorkload) -> Result<ReplayOutcome, ServeError> {
-        self.telemetry = ServeTelemetry::default();
-        self.store.reset_cache_stats();
+        self.reset_stats();
         let mut batcher: DynamicBatcher<ServeRequest> = DynamicBatcher::new(self.config.policy);
         let mut engine_free_us = 0.0f64;
         let mut responses = Vec::with_capacity(workload.len());
@@ -458,7 +502,9 @@ impl ServeEngine {
         }
         if let Some(deadline_us) = batcher.deadline_us() {
             // The remainder would have flushed at its deadline; drain it there.
-            let batch = batcher.drain(deadline_us).expect("pending batch has a deadline");
+            let batch = batcher
+                .drain(deadline_us)
+                .expect("pending batch has a deadline");
             self.serve_flushed(batch, &mut engine_free_us, &mut responses)?;
         }
         let report = ServeReport {
@@ -468,6 +514,7 @@ impl ServeEngine {
             cache_capacity: self.config.cache_capacity,
             telemetry: self.telemetry.clone(),
             cache: self.store.cache_stats(),
+            runtime: None,
         };
         Ok(ReplayOutcome { responses, report })
     }
@@ -498,8 +545,8 @@ impl ServeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imars_recsys::dlrm::DlrmConfig;
     use crate::replay::ReplayConfig;
+    use imars_recsys::dlrm::DlrmConfig;
 
     const ITEM_DIM: usize = 4;
     const NUM_ITEMS: usize = 1024;
@@ -566,14 +613,20 @@ mod tests {
             assert_eq!(uncached.responses.len(), 2000);
             for (a, b) in cached.responses.iter().zip(uncached.responses.iter()) {
                 assert_eq!(a.id, b.id);
-                assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {} ({precision:?})", a.id);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "query {} ({precision:?})",
+                    a.id
+                );
                 assert_eq!(a.candidates, b.candidates, "query {} ({precision:?})", a.id);
             }
             // The cache changes the modeled energy (fewer CMA reads), not the results.
             assert!(cached.report.cache.hit_rate() > 0.0);
             assert_eq!(uncached.report.cache.hits, 0);
             assert!(
-                cached.report.telemetry.total_cost.energy_pj < uncached.report.telemetry.total_cost.energy_pj
+                cached.report.telemetry.total_cost.energy_pj
+                    < uncached.report.telemetry.total_cost.energy_pj
             );
         }
     }
@@ -645,7 +698,8 @@ mod tests {
         assert!((reads.energy_pj - expected_reads.energy_pj).abs() < 1e-9);
         assert!((adds.energy_pj - expected_adds.energy_pj).abs() < 1e-9);
         assert!((searches.energy_pj - expected_searches.energy_pj).abs() < 1e-9);
-        let expected_total = expected_reads.energy_pj + expected_adds.energy_pj + expected_searches.energy_pj;
+        let expected_total =
+            expected_reads.energy_pj + expected_adds.energy_pj + expected_searches.energy_pj;
         assert!((telemetry.total_cost.energy_pj - expected_total).abs() < 1e-9);
         assert_eq!(telemetry.queries, 8);
         assert_eq!(telemetry.batches, 1);

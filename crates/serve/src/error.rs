@@ -29,6 +29,14 @@ pub enum ServeError {
         /// Actual size.
         actual: usize,
     },
+    /// The runtime's bounded request queue was full: the request was rejected
+    /// (load shedding) rather than queued.
+    QueueFull {
+        /// The queue's capacity bound.
+        capacity: usize,
+    },
+    /// The runtime has been shut down (or a worker died) and accepts no more requests.
+    RuntimeStopped,
     /// An error bubbled up from the model layer.
     Recsys(RecsysError),
     /// An error bubbled up from the fabric simulator.
@@ -38,13 +46,29 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::InvalidConfig { reason } => write!(f, "invalid serving configuration: {reason}"),
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serving configuration: {reason}")
+            }
             ServeError::RowOutOfRange { row, rows } => {
                 write!(f, "item row {row} out of range (catalogue has {rows} rows)")
             }
-            ServeError::ShapeMismatch { what, expected, actual } => {
-                write!(f, "{what} shape mismatch: expected {expected}, got {actual}")
+            ServeError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{what} shape mismatch: expected {expected}, got {actual}"
+                )
             }
+            ServeError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "request queue full ({capacity} deep): request rejected by backpressure"
+                )
+            }
+            ServeError::RuntimeStopped => write!(f, "serving runtime is stopped"),
             ServeError::Recsys(e) => write!(f, "model layer: {e}"),
             ServeError::Fabric(e) => write!(f, "fabric layer: {e}"),
         }
@@ -83,6 +107,10 @@ mod tests {
             actual: 16,
         };
         assert!(e.to_string().contains("profile buffer"));
+        let e = ServeError::QueueFull { capacity: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("backpressure"));
+        assert!(ServeError::RuntimeStopped.to_string().contains("stopped"));
     }
 
     #[test]

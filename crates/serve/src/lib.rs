@@ -16,21 +16,34 @@
 //!   ranking, with every numeric result bit-identical cache-on versus cache-off;
 //! * [`replay`] — Zipf traffic traces with Poisson arrivals built on
 //!   [`imars_datasets`]'s workload generators;
-//! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99), throughput, cache and
-//!   modeled-cost reporting with a bench-harness-style JSON summary.
+//! * [`runtime`] — the threaded serving runtime: a bounded MPSC request queue feeding
+//!   the batcher on a wall-clock [`clock`], a worker pool of engine clones, counted
+//!   backpressure (rejections and stalls), and a real-time replay driver with
+//!   *measured* latency — bit-identical outputs to the simulated path;
+//! * [`queue`] — the bounded queue primitive behind the runtime's backpressure;
+//! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99), throughput, cache,
+//!   runtime and modeled-cost reporting with a bench-harness-style JSON summary.
 
 pub mod batcher;
 pub mod cache;
+pub mod clock;
 pub mod engine;
 pub mod error;
+pub mod queue;
 pub mod replay;
+pub mod runtime;
 pub mod shard;
 pub mod telemetry;
 
 pub use batcher::{BatchPolicy, DynamicBatcher, FlushReason, FlushedBatch};
 pub use cache::{CacheStats, HotRowCache};
-pub use engine::{ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse};
+pub use clock::{Clock, ManualClock, WallClock};
+pub use engine::{
+    ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse,
+};
 pub use error::ServeError;
+pub use queue::{BoundedQueue, Pop, PushError};
 pub use replay::{ReplayConfig, ReplayWorkload};
+pub use runtime::{replay_threaded, RuntimeConfig, ServeRuntime, ThreadedReplayConfig};
 pub use shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
-pub use telemetry::{LatencyHistogram, ServeReport, ServeTelemetry};
+pub use telemetry::{LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};

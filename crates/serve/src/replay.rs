@@ -61,7 +61,10 @@ impl ReplayConfig {
         }
         if !self.offered_qps.is_finite() || self.offered_qps <= 0.0 {
             return Err(ServeError::InvalidConfig {
-                reason: format!("replay needs a positive finite offered_qps, got {}", self.offered_qps),
+                reason: format!(
+                    "replay needs a positive finite offered_qps, got {}",
+                    self.offered_qps
+                ),
             });
         }
         if !self.zipf_exponent.is_finite() {
@@ -176,7 +179,10 @@ mod tests {
         let mut previous = 0.0f64;
         for (i, request) in a.requests().iter().enumerate() {
             assert_eq!(request.id, i as u64);
-            assert!(request.arrival_us >= previous, "arrivals must be non-decreasing");
+            assert!(
+                request.arrival_us >= previous,
+                "arrivals must be non-decreasing"
+            );
             previous = request.arrival_us;
             assert_eq!(request.history.len(), 12);
             assert!(request.history.iter().all(|&row| (row as usize) < 1000));
@@ -206,7 +212,11 @@ mod tests {
             .filter(|&&row| row < 100)
             .count();
         // At exponent 1.2, the top 10 % of items carry well over half the lookups.
-        assert!(head as f64 / total as f64 > 0.6, "head share {}", head as f64 / total as f64);
+        assert!(
+            head as f64 / total as f64 > 0.6,
+            "head share {}",
+            head as f64 / total as f64
+        );
     }
 
     #[test]

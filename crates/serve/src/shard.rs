@@ -168,7 +168,8 @@ impl<T: Lane> ShardedTable<T> {
             }
             return;
         }
-        let mut per_shard: Vec<Vec<(u32, &mut [T])>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut per_shard: Vec<Vec<(u32, &mut [T])>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (row, chunk) in work {
             per_shard[self.shard_of(row)].push((row, chunk));
         }
@@ -229,7 +230,10 @@ impl<T: Lane> ShardedTable<T> {
 /// # Errors
 ///
 /// As for [`ShardedTable::from_rows`].
-pub fn shard_embedding(table: &EmbeddingTable, shards: usize) -> Result<ShardedTable<f32>, ServeError> {
+pub fn shard_embedding(
+    table: &EmbeddingTable,
+    shards: usize,
+) -> Result<ShardedTable<f32>, ServeError> {
     ShardedTable::from_rows(table.iter_rows(), table.dim(), shards)
 }
 
@@ -238,7 +242,10 @@ pub fn shard_embedding(table: &EmbeddingTable, shards: usize) -> Result<ShardedT
 /// # Errors
 ///
 /// As for [`ShardedTable::from_rows`].
-pub fn shard_quantized(table: &QuantizedTable, shards: usize) -> Result<ShardedTable<i8>, ServeError> {
+pub fn shard_quantized(
+    table: &QuantizedTable,
+    shards: usize,
+) -> Result<ShardedTable<i8>, ServeError> {
     let rows: Vec<&[i8]> = (0..table.rows())
         .map(|row| table.row(row).expect("row index in range"))
         .collect();
@@ -294,7 +301,11 @@ mod tests {
         for shards in [1, 2, 3, 8, 97] {
             let sharded = shard_embedding(&t, shards).unwrap();
             for row in 0..97u32 {
-                assert_eq!(sharded.row(row), t.lookup(row as usize).unwrap(), "shards={shards} row={row}");
+                assert_eq!(
+                    sharded.row(row),
+                    t.lookup(row as usize).unwrap(),
+                    "shards={shards} row={row}"
+                );
             }
         }
     }
@@ -346,7 +357,11 @@ mod tests {
     #[test]
     fn i8_pool_batch_matches_packed_table_bit_for_bit() {
         let rows: Vec<Vec<i8>> = (0..64)
-            .map(|r| (0..32).map(|i| ((r * 37 + i * 11) % 255 - 127) as i8).collect())
+            .map(|r| {
+                (0..32)
+                    .map(|i| ((r * 37 + i * 11) % 255 - 127) as i8)
+                    .collect()
+            })
             .collect();
         let packed = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32).unwrap();
         let sharded = ShardedTable::from_rows(rows.iter().map(|r| r.as_slice()), 32, 4).unwrap();

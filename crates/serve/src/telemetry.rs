@@ -64,7 +64,11 @@ impl LatencyHistogram {
 
     /// Record one latency observation (non-finite or negative values clamp to zero).
     pub fn record(&mut self, latency_us: f64) {
-        let latency_us = if latency_us.is_finite() { latency_us.max(0.0) } else { 0.0 };
+        let latency_us = if latency_us.is_finite() {
+            latency_us.max(0.0)
+        } else {
+            0.0
+        };
         self.buckets[Self::bucket_of(latency_us)] += 1;
         self.count += 1;
         self.sum_us += latency_us;
@@ -98,6 +102,19 @@ impl LatencyHistogram {
     /// Largest observation (0 when empty).
     pub fn max_us(&self) -> f64 {
         self.max_us
+    }
+
+    /// Fold another histogram into this one (bucket-wise; min/max/mean stay exact).
+    /// The threaded runtime merges per-worker histograms into the run's report with
+    /// this.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (acc, &count) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *acc += count;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
     }
 
     /// The latency at quantile `q` in `[0, 1]`: the upper edge of the first bucket whose
@@ -188,6 +205,81 @@ impl ServeTelemetry {
             self.total_cost.energy_pj / self.queries as f64
         }
     }
+
+    /// Fold another telemetry block into this one: histograms merge, counters and busy
+    /// time add, the makespan takes the later completion, costs accumulate. The threaded
+    /// runtime merges one block per worker into the run's report with this.
+    pub fn merge(&mut self, other: &ServeTelemetry) {
+        self.latency.merge(&other.latency);
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.batch_size_sum += other.batch_size_sum;
+        self.candidates_sum += other.candidates_sum;
+        self.busy_us += other.busy_us;
+        self.makespan_us = self.makespan_us.max(other.makespan_us);
+        self.cost.merge(&other.cost);
+        self.total_cost += other.total_cost;
+    }
+}
+
+/// Counters specific to the threaded runtime: queueing, backpressure and worker
+/// utilization. Everything here is *measured* on real threads — unlike the modeled
+/// GPCiM cost next to it in the report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Bound of the request queue.
+    pub queue_capacity: usize,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected because the queue was full (load shedding).
+    pub rejected: u64,
+    /// Times the batcher thread stalled pushing a flushed batch to a full batch queue.
+    pub batcher_stalls: u64,
+    /// Total time the batcher thread spent stalled, microseconds.
+    pub batcher_stall_us: f64,
+    /// Deepest request-queue depth observed at a submit.
+    pub queue_depth_max: u64,
+    /// Sum of request-queue depths sampled at each accepted submit.
+    pub queue_depth_sum: u64,
+    /// Number of depth samples (= accepted submits).
+    pub queue_depth_samples: u64,
+    /// Measured busy time per worker, microseconds.
+    pub worker_busy_us: Vec<f64>,
+    /// Wall-clock span from runtime start to the last batch completion, microseconds.
+    pub wall_us: f64,
+}
+
+impl RuntimeStats {
+    /// Mean request-queue depth over the submit samples (0 when nothing was accepted).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+
+    /// Fraction of offered requests rejected by backpressure.
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.submitted + self.rejected;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
+    }
+
+    /// Mean worker utilization: total busy time over `workers × wall span`.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall_us <= 0.0 {
+            0.0
+        } else {
+            let busy: f64 = self.worker_busy_us.iter().sum();
+            (busy / (self.workers as f64 * self.wall_us)).min(1.0)
+        }
+    }
 }
 
 /// The summary of one replay run, ready for printing and JSON serialization.
@@ -205,6 +297,9 @@ pub struct ServeReport {
     pub telemetry: ServeTelemetry,
     /// Cache counters at the end of the run.
     pub cache: CacheStats,
+    /// Threaded-runtime counters; `None` for the discrete-event replay path, where
+    /// latency is simulated rather than measured and there is no queue to backpressure.
+    pub runtime: Option<RuntimeStats>,
 }
 
 impl ServeReport {
@@ -253,6 +348,26 @@ impl ServeReport {
             t.energy_pj_per_query(),
             t.mean_candidates(),
         );
+        if let Some(runtime) = &self.runtime {
+            let _ = writeln!(
+                s,
+                "  runtime: {} workers, queue {} deep (max {} / mean {:.1} observed), {:.1}% utilization",
+                runtime.workers,
+                runtime.queue_capacity,
+                runtime.queue_depth_max,
+                runtime.mean_queue_depth(),
+                runtime.utilization() * 100.0,
+            );
+            let _ = writeln!(
+                s,
+                "  backpressure: {} accepted, {} rejected ({:.1}%), {} batcher stalls ({:.0}us stalled)",
+                runtime.submitted,
+                runtime.rejected,
+                runtime.rejection_rate() * 100.0,
+                runtime.batcher_stalls,
+                runtime.batcher_stall_us,
+            );
+        }
         s
     }
 
@@ -299,7 +414,38 @@ impl ServeReport {
             self.cache.insertions,
             self.cache.evictions,
         );
-        let _ = writeln!(json, "  \"candidates_per_query\": {:.3},", t.mean_candidates());
+        let _ = writeln!(
+            json,
+            "  \"candidates_per_query\": {:.3},",
+            t.mean_candidates()
+        );
+        if let Some(runtime) = &self.runtime {
+            let _ = writeln!(json, "  \"runtime\": {{");
+            let _ = writeln!(json, "    \"workers\": {},", runtime.workers);
+            let _ = writeln!(json, "    \"queue_capacity\": {},", runtime.queue_capacity);
+            let _ = writeln!(json, "    \"submitted\": {},", runtime.submitted);
+            let _ = writeln!(json, "    \"rejected\": {},", runtime.rejected);
+            let _ = writeln!(
+                json,
+                "    \"rejection_rate\": {:.6},",
+                runtime.rejection_rate()
+            );
+            let _ = writeln!(json, "    \"batcher_stalls\": {},", runtime.batcher_stalls);
+            let _ = writeln!(
+                json,
+                "    \"batcher_stall_us\": {:.3},",
+                runtime.batcher_stall_us
+            );
+            let _ = writeln!(
+                json,
+                "    \"queue_depth\": {{\"max\": {}, \"mean\": {:.3}}},",
+                runtime.queue_depth_max,
+                runtime.mean_queue_depth()
+            );
+            let _ = writeln!(json, "    \"utilization\": {:.6},", runtime.utilization());
+            let _ = writeln!(json, "    \"wall_us\": {:.3}", runtime.wall_us);
+            let _ = writeln!(json, "  }},");
+        }
         let _ = writeln!(
             json,
             "  \"modeled_cost\": {{\"energy_pj_per_query\": {:.3}, \"total_energy_pj\": {:.3}, \"total_latency_ns\": {:.3}, \"components\": [",
@@ -384,7 +530,10 @@ mod tests {
             .map(|&q| h.quantile_us(q))
             .collect();
         for pair in quantiles.windows(2) {
-            assert!(pair[0] <= pair[1], "quantiles must be monotone: {quantiles:?}");
+            assert!(
+                pair[0] <= pair[1],
+                "quantiles must be monotone: {quantiles:?}"
+            );
         }
     }
 
@@ -456,6 +605,7 @@ mod tests {
                 insertions: 25,
                 evictions: 3,
             },
+            runtime: None,
         };
         let json = report.to_json();
         for needle in [
@@ -472,7 +622,134 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("unit \\\"test\\\""));
+        assert!(
+            !json.contains("\"runtime\""),
+            "no runtime section for the simulated path"
+        );
         let text = report.summary();
         assert!(text.contains("hit rate 75.0%"));
+    }
+
+    #[test]
+    fn histogram_merge_preserves_exact_aggregates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut reference = LatencyHistogram::new();
+        for i in 1..=100 {
+            a.record(i as f64);
+            reference.record(i as f64);
+        }
+        for i in 500..=900 {
+            b.record(i as f64);
+            reference.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), reference.count());
+        assert_eq!(a.min_us(), reference.min_us());
+        assert_eq!(a.max_us(), reference.max_us());
+        assert!((a.mean_us() - reference.mean_us()).abs() < 1e-9);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_us(q), reference.quantile_us(q), "quantile {q}");
+        }
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn telemetry_merge_adds_counters_and_takes_the_later_makespan() {
+        let mut a = ServeTelemetry {
+            queries: 10,
+            batches: 2,
+            batch_size_sum: 10,
+            candidates_sum: 30,
+            busy_us: 100.0,
+            makespan_us: 1000.0,
+            ..ServeTelemetry::default()
+        };
+        a.total_cost = Cost::new(50.0, 5.0);
+        let mut b = ServeTelemetry {
+            queries: 5,
+            batches: 1,
+            batch_size_sum: 5,
+            candidates_sum: 10,
+            busy_us: 40.0,
+            makespan_us: 2500.0,
+            ..ServeTelemetry::default()
+        };
+        b.total_cost = Cost::new(30.0, 3.0);
+        a.merge(&b);
+        assert_eq!(a.queries, 15);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.batch_size_sum, 15);
+        assert_eq!(a.candidates_sum, 40);
+        assert!((a.busy_us - 140.0).abs() < 1e-12);
+        assert_eq!(a.makespan_us, 2500.0);
+        assert!((a.total_cost.energy_pj - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_stats_derived_rates() {
+        let stats = RuntimeStats {
+            workers: 2,
+            queue_capacity: 16,
+            submitted: 90,
+            rejected: 10,
+            batcher_stalls: 3,
+            batcher_stall_us: 250.0,
+            queue_depth_max: 12,
+            queue_depth_sum: 270,
+            queue_depth_samples: 90,
+            worker_busy_us: vec![600.0, 400.0],
+            wall_us: 1000.0,
+        };
+        assert!((stats.mean_queue_depth() - 3.0).abs() < 1e-12);
+        assert!((stats.rejection_rate() - 0.1).abs() < 1e-12);
+        assert!((stats.utilization() - 0.5).abs() < 1e-12);
+        let empty = RuntimeStats::default();
+        assert_eq!(empty.mean_queue_depth(), 0.0);
+        assert_eq!(empty.rejection_rate(), 0.0);
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn report_with_runtime_stats_renders_the_measured_section() {
+        let report = ServeReport {
+            name: "threaded".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 2,
+            cache_capacity: 32,
+            telemetry: ServeTelemetry::default(),
+            cache: CacheStats::default(),
+            runtime: Some(RuntimeStats {
+                workers: 3,
+                queue_capacity: 64,
+                submitted: 100,
+                rejected: 7,
+                batcher_stalls: 2,
+                batcher_stall_us: 55.0,
+                queue_depth_max: 9,
+                queue_depth_sum: 200,
+                queue_depth_samples: 100,
+                worker_busy_us: vec![10.0, 20.0, 30.0],
+                wall_us: 5000.0,
+            }),
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"runtime\"",
+            "\"workers\": 3",
+            "\"rejected\": 7",
+            "\"batcher_stalls\": 2",
+            "\"queue_depth\"",
+            "\"utilization\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = report.summary();
+        assert!(text.contains("3 workers"));
+        assert!(text.contains("7 rejected"));
     }
 }

@@ -8,9 +8,9 @@ use std::time::Instant;
 
 use imars::core::et_mapping::EtMapping;
 use imars::core::workloads::RecsysWorkload;
+use imars::device::characterization::ArrayFom;
 use imars::fabric::cma::{CmaArray, PackedTable};
 use imars::fabric::FabricConfig;
-use imars::device::characterization::ArrayFom;
 use imars::recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
 use imars::recsys::quantization::QuantizedTable;
 
@@ -75,19 +75,29 @@ fn main() {
     //    charge for the in-memory version.
     let table = &model.embedding_tables()[0];
     let quantized = QuantizedTable::from_table(table);
-    let mut cma = CmaArray::new(fabric.cma_rows, fabric.cma_cols, ArrayFom::paper_reference());
+    let mut cma = CmaArray::new(
+        fabric.cma_rows,
+        fabric.cma_cols,
+        ArrayFom::paper_reference(),
+    );
     let lookup_rows: Vec<usize> = vec![3, 17, 95, 200];
     for &row in &lookup_rows {
         cma.write_embedding(row, quantized.row(row).expect("in range"))
             .expect("fits the array");
     }
-    let outcome = cma.pool_rows(&lookup_rows, config.embedding_dim).expect("valid rows");
-    let packed = PackedTable::from_rows(quantized.iter_rows(), config.embedding_dim).expect("uniform rows");
+    let outcome = cma
+        .pool_rows(&lookup_rows, config.embedding_dim)
+        .expect("valid rows");
+    let packed =
+        PackedTable::from_rows(quantized.iter_rows(), config.embedding_dim).expect("uniform rows");
     let software = packed
         .pool(&lookup_rows.iter().map(|&r| r as u32).collect::<Vec<u32>>())
         .expect("valid rows");
     assert_eq!(outcome.value, software, "CMA and software kernels agree");
-    println!("== GPCiM pooling cost (one {}-way lookup) ==", lookup_rows.len());
+    println!(
+        "== GPCiM pooling cost (one {}-way lookup) ==",
+        lookup_rows.len()
+    );
     println!(
         "  energy {:.1} pJ, latency {:.1} ns, int8 sum[0..4] = {:?}",
         outcome.cost.energy_pj,

@@ -5,11 +5,20 @@
 //!
 //! Run with: `cargo run --release --example serve_replay`
 //! CI smoke mode (short trace): `cargo run --release --example serve_replay -- --smoke`
+//!
+//! With `--threads N` the trace is additionally replayed through the **threaded
+//! runtime** (bounded request queue -> wall-clock batcher -> N workers), pacing the
+//! Poisson arrivals in real time: the run reports *measured* p50/p95/p99 latency, queue
+//! depth, backpressure and worker utilization, asserts the ranking outputs are
+//! bit-identical to the simulated replay, and writes `serve_replay_threaded.json`.
 
 use imars::fabric::cost::CostComponent;
 use imars::recsys::dlrm::{Dlrm, DlrmConfig};
 use imars::recsys::EmbeddingTable;
-use imars::serve::{ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine};
+use imars::serve::{
+    replay_threaded, ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig, ServeEngine,
+    ThreadedReplayConfig,
+};
 
 const NUM_ITEMS: usize = 8192;
 const ITEM_DIM: usize = 32;
@@ -30,12 +39,29 @@ fn model_config() -> DlrmConfig {
 
 fn engine(cache_capacity: usize, items: &EmbeddingTable) -> ServeEngine {
     let config = ServeConfig::paper_serving(cache_capacity).expect("valid config");
-    ServeEngine::new(Dlrm::new(model_config()).expect("valid config"), items, config)
-        .expect("valid engine")
+    ServeEngine::new(
+        Dlrm::new(model_config()).expect("valid config"),
+        items,
+        config,
+    )
+    .expect("valid engine")
 }
 
 fn main() {
-    let smoke = std::env::args().skip(1).any(|arg| arg == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let threads: usize = match args.iter().position(|arg| arg == "--threads") {
+        None => 0,
+        // Fail loudly on a missing or malformed count: silently skipping the threaded
+        // run would let a mis-quoted CI step green-light without exercising it.
+        Some(i) => match args.get(i + 1).and_then(|value| value.parse().ok()) {
+            Some(count) => count,
+            None => {
+                eprintln!("serve_replay: --threads needs a worker count (e.g. --threads 2)");
+                std::process::exit(2);
+            }
+        },
+    };
     let queries = if smoke { 1_000 } else { 10_000 };
 
     let items = EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 77).expect("valid table");
@@ -79,9 +105,20 @@ fn main() {
     // The cache saves CMA row reads; pooling adds and TCAM searches are unaffected, so
     // the read component is where the hit rate shows up.
     let queries_f = cached.responses.len() as f64;
-    let cached_read_pj = cached.report.telemetry.cost.component(CostComponent::CmaRead).energy_pj / queries_f;
-    let uncached_read_pj =
-        uncached.report.telemetry.cost.component(CostComponent::CmaRead).energy_pj / queries_f;
+    let cached_read_pj = cached
+        .report
+        .telemetry
+        .cost
+        .component(CostComponent::CmaRead)
+        .energy_pj
+        / queries_f;
+    let uncached_read_pj = uncached
+        .report
+        .telemetry
+        .cost
+        .component(CostComponent::CmaRead)
+        .energy_pj
+        / queries_f;
     println!("== Cache-off control ==");
     println!(
         "  all {} predictions bit-identical with the cache off; {:.1}% hit rate cuts the CMA read traffic {:.1} -> {:.1} pJ/query ({:.1}x), total GPCiM energy {:.1} -> {:.1} pJ/query",
@@ -93,4 +130,49 @@ fn main() {
         uncached_pj,
         cached_pj,
     );
+
+    // 3. Optional: the same trace on the threaded runtime, arrivals paced in real time.
+    //    The simulated replay above *models* latency on a virtual clock; this measures
+    //    it on real threads, and the ranking outputs must still match bit for bit.
+    if threads > 0 {
+        println!("\n== Threaded runtime: {threads} workers, real-time Poisson pacing ==");
+        let runtime_engine = engine(CACHE_ROWS, &items);
+        let config = ThreadedReplayConfig {
+            runtime: RuntimeConfig::new(threads, 4096).expect("valid runtime config"),
+            speedup: 1.0,
+            shed_on_full: false,
+        };
+        let threaded =
+            replay_threaded(&runtime_engine, &workload, &config).expect("threaded replay succeeds");
+        let mut by_id = threaded.responses.clone();
+        by_id.sort_unstable_by_key(|response| response.id);
+        for (threaded_response, simulated_response) in by_id.iter().zip(cached.responses.iter()) {
+            assert_eq!(threaded_response.id, simulated_response.id);
+            assert_eq!(
+                threaded_response.score.to_bits(),
+                simulated_response.score.to_bits(),
+                "query {}: threaded vs simulated",
+                threaded_response.id
+            );
+        }
+        let mut report = threaded.report;
+        report.name = "serve_replay_threaded".to_string();
+        print!("{}", report.summary());
+        println!(
+            "  all {} threaded predictions bit-identical to the simulated replay",
+            by_id.len()
+        );
+        println!(
+            "  measured vs modeled: wall p50 {:.0}us / p99 {:.0}us over {:.2}s, vs virtual p50 {:.0}us / p99 {:.0}us",
+            report.telemetry.latency.quantile_us(0.50),
+            report.telemetry.latency.quantile_us(0.99),
+            report.runtime.as_ref().map_or(0.0, |stats| stats.wall_us) / 1e6,
+            cached.report.telemetry.latency.quantile_us(0.50),
+            cached.report.telemetry.latency.quantile_us(0.99),
+        );
+        match report.write_json() {
+            Ok(path) => println!("  threaded telemetry JSON written to {}", path.display()),
+            Err(error) => eprintln!("  warning: could not write threaded telemetry: {error}"),
+        }
+    }
 }
