@@ -7,8 +7,8 @@ use imars_bench::{black_box, Harness};
 use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
 use imars_recsys::EmbeddingTable;
 use imars_serve::{
-    replay_threaded, ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig, ServeEngine,
-    ThreadedReplayConfig,
+    replay_threaded, ClusterConfig, Placement, ReplayConfig, ReplayWorkload, RuntimeConfig,
+    ServeConfig, ServeEngine, ThreadedReplayConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +57,7 @@ fn serve_replay(harness: &mut Harness) {
         top_k: 10,
         sparse_cardinalities: serve_model_config().sparse_cardinalities,
         seed: 11,
+        item_permutation_seed: None,
     })
     .expect("valid replay config");
 
@@ -160,6 +161,107 @@ fn serve_replay(harness: &mut Harness) {
     }
 }
 
+/// The multi-node section: the same Zipf trace on a permuted catalogue (ids are not
+/// popularity-sorted), routed across 4 shard nodes under both placement policies.
+/// Placement must not change a single output bit; what it changes — cross-shard bytes,
+/// fan-out, shard imbalance, interconnect energy — is recorded as `serve_sharded/*`
+/// metrics so the telemetry trajectory tracks the partitioning quality.
+fn serve_sharded(harness: &mut Harness) {
+    let queries = if harness.is_smoke() { 512 } else { 10_000 };
+    let items = EmbeddingTable::new(NUM_ITEMS, 32, 77).expect("valid table");
+    let workload = ReplayWorkload::generate(&ReplayConfig {
+        queries,
+        num_users: 4096,
+        num_items: NUM_ITEMS,
+        zipf_exponent: ZIPF_EXPONENT,
+        history_len: 32,
+        offered_qps: 4_000.0,
+        candidates_per_query: 100,
+        top_k: 10,
+        sparse_cardinalities: serve_model_config().sparse_cardinalities,
+        seed: 11,
+        item_permutation_seed: Some(11),
+    })
+    .expect("valid replay config");
+    let histogram = workload
+        .row_histogram(NUM_ITEMS)
+        .expect("histories in range");
+
+    let mut scores: Option<Vec<u32>> = None;
+    for placement in [Placement::Range, Placement::Frequency] {
+        let cluster = ClusterConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            queue_capacity: 256,
+            placement,
+            hot_replicas: if placement == Placement::Frequency {
+                NUM_ITEMS / 8
+            } else {
+                0
+            },
+            interconnect: Default::default(),
+        };
+        let (mut engine, handle) = ServeEngine::new_clustered(
+            Dlrm::new(serve_model_config()).expect("valid config"),
+            &items,
+            ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+            &cluster,
+            Some(&histogram),
+        )
+        .expect("valid clustered engine");
+        let outcome = engine.replay(&workload).expect("clustered replay succeeds");
+        let bits: Vec<u32> = outcome
+            .responses
+            .iter()
+            .map(|response| response.score.to_bits())
+            .collect();
+        match &scores {
+            None => scores = Some(bits),
+            Some(reference) => assert_eq!(
+                reference, &bits,
+                "placement policy must not change ranking outputs"
+            ),
+        }
+        let mut report = outcome.report;
+        report.name = format!("end_to_end_serve_sharded_{}", placement.label());
+        println!("{}", report.summary());
+        match report.write_json() {
+            Ok(path) => println!("sharded serve telemetry written to {}", path.display()),
+            Err(error) => eprintln!("warning: could not write sharded telemetry: {error}"),
+        }
+        let label = placement.label();
+        let stats = report
+            .cluster
+            .expect("clustered reports carry cluster stats");
+        harness.metric(
+            &format!("serve_sharded/cross_shard_kb_{label}"),
+            stats.cross_shard_bytes as f64 / 1e3,
+            "kB",
+        );
+        harness.metric(
+            &format!("serve_sharded/cross_traffic_fraction_{label}"),
+            stats.cross_traffic_fraction(),
+            "fraction",
+        );
+        harness.metric(
+            &format!("serve_sharded/mean_fanout_{label}"),
+            stats.mean_fanout(),
+            "shards/fetch",
+        );
+        harness.metric(
+            &format!("serve_sharded/imbalance_{label}"),
+            stats.imbalance(),
+            "x",
+        );
+        harness.metric(
+            &format!("serve_sharded/energy_per_query_{label}"),
+            report.telemetry.energy_pj_per_query(),
+            "pJ",
+        );
+        handle.shutdown().expect("cluster shuts down cleanly");
+    }
+}
+
 fn main() {
     let mut harness = Harness::from_args("end_to_end");
 
@@ -201,5 +303,6 @@ fn main() {
     );
 
     serve_replay(&mut harness);
+    serve_sharded(&mut harness);
     harness.finish();
 }

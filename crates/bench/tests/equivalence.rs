@@ -15,8 +15,8 @@ use imars_recsys::lsh::RandomHyperplaneLsh;
 use imars_recsys::quantization::QuantizedTable;
 use imars_recsys::EmbeddingTable;
 use imars_serve::{
-    replay_threaded, BatchPolicy, ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig,
-    ServeEngine, ServePrecision, ThreadedReplayConfig,
+    replay_threaded, BatchPolicy, ClusterConfig, Placement, ReplayConfig, ReplayWorkload,
+    RuntimeConfig, ServeConfig, ServeEngine, ServePrecision, ThreadedReplayConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,6 +162,7 @@ fn serve_engine_matches_the_unbatched_primitive_pipeline() {
         top_k: 10,
         sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
         seed: 9,
+        item_permutation_seed: None,
     })
     .unwrap();
     let outcome = engine.replay(&workload).unwrap();
@@ -233,6 +234,7 @@ fn threaded_runtime_matches_the_simulated_replay_bit_for_bit() {
         top_k: 10,
         sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
         seed: 13,
+        item_permutation_seed: None,
     })
     .unwrap();
     let simulated = engine.replay(&workload).unwrap();
@@ -276,6 +278,108 @@ fn threaded_runtime_matches_the_simulated_replay_bit_for_bit() {
         assert_eq!(stats.rejected, 0);
         assert_eq!(threaded.report.telemetry.queries, 500);
         assert_eq!(threaded.report.telemetry.latency.count(), 500);
+    }
+}
+
+#[test]
+fn clustered_serving_matches_single_node_across_placements() {
+    // The multi-node equivalence: catalogue partitions behind per-shard queues and
+    // worker threads, lookups routed and gathered across shards, cross-shard traffic
+    // charged to the RSC bus — and the ranked outputs still bit-identical to the
+    // single-node engine, under both placement policies, fp32 and int8, through both
+    // the simulated and threaded drivers.
+    let items = EmbeddingTable::new(512, 4, 21).unwrap();
+    let workload = ReplayWorkload::generate(&ReplayConfig {
+        queries: 400,
+        num_users: 80,
+        num_items: 512,
+        zipf_exponent: 1.2,
+        history_len: 12,
+        offered_qps: 100_000.0,
+        candidates_per_query: 40,
+        top_k: 10,
+        sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
+        seed: 17,
+        item_permutation_seed: Some(3), // ids are not popularity-sorted
+    })
+    .unwrap();
+    let histogram = workload.row_histogram(512).unwrap();
+    for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+        let config = ServeConfig {
+            shards: 4,
+            cache_capacity: 64,
+            precision,
+            policy: BatchPolicy::new(16, 200.0).unwrap(),
+            signature_bits: 64,
+            search_radius: 26,
+            lsh_seed: 5,
+        };
+        let mut single = ServeEngine::new(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &items,
+            config.clone(),
+        )
+        .unwrap();
+        let expected = single.replay(&workload).unwrap();
+        for placement in [Placement::Range, Placement::Frequency] {
+            let cluster = ClusterConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                queue_capacity: 32,
+                placement,
+                hot_replicas: 64,
+                interconnect: Default::default(),
+            };
+            let (mut engine, handle) = ServeEngine::new_clustered(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &items,
+                config.clone(),
+                &cluster,
+                Some(&histogram),
+            )
+            .unwrap();
+            let outcome = engine.replay(&workload).unwrap();
+            for (a, b) in outcome.responses.iter().zip(&expected.responses) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "query {} ({precision:?}, {placement:?})",
+                    a.id
+                );
+                assert_eq!(a.candidates, b.candidates);
+            }
+            let stats = outcome
+                .report
+                .cluster
+                .expect("clustered reports carry cluster stats");
+            assert_eq!(stats.placement, placement.label());
+            assert!(stats.fetches > 0);
+
+            // Threaded driver over the same cluster: still bit-identical.
+            let threaded = replay_threaded(
+                &engine,
+                &workload,
+                &ThreadedReplayConfig {
+                    runtime: RuntimeConfig::new(2, 1024).unwrap(),
+                    speedup: f64::INFINITY,
+                    shed_on_full: false,
+                },
+            )
+            .unwrap();
+            let mut by_id = threaded.responses.clone();
+            by_id.sort_unstable_by_key(|response| response.id);
+            for (a, b) in by_id.iter().zip(&expected.responses) {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "threaded query {} ({precision:?}, {placement:?})",
+                    a.id
+                );
+            }
+            assert!(threaded.report.cluster.is_some());
+            handle.shutdown().unwrap();
+        }
     }
 }
 

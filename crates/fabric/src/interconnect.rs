@@ -43,6 +43,33 @@ impl RscBus {
     pub fn transfer_embedding(&self, dim: usize, element_bits: usize) -> Outcome<usize> {
         self.transfer_bits(dim * element_bits)
     }
+
+    /// Cost of transferring `bytes` bytes over the serialized bus.
+    pub fn transfer_bytes(&self, bytes: usize) -> Outcome<usize> {
+        self.transfer_bits(bytes * 8)
+    }
+
+    /// Cost of one cross-shard hop moving `request_bytes` to a remote shard and
+    /// `response_bytes` back: both directions serialize on the bus (beats add) and the
+    /// hop pays one controller overhead for the sub-request dispatch. The value is the
+    /// total beat count; the breakdown attributes the transfer to
+    /// [`CostComponent::RscTransfer`] and the overhead to [`CostComponent::Control`].
+    pub fn hop(&self, request_bytes: usize, response_bytes: usize) -> Outcome<usize> {
+        let request = self.transfer_bytes(request_bytes);
+        let response = self.transfer_bytes(response_bytes);
+        let control = Cost::new(
+            self.params.control_energy_pj,
+            self.params.control_latency_ns,
+        );
+        let mut breakdown = request.breakdown;
+        breakdown.merge(&response.breakdown);
+        breakdown.charge(CostComponent::Control, control);
+        Outcome::with_breakdown(
+            request.value + response.value,
+            request.cost.serial(response.cost).serial(control),
+            breakdown,
+        )
+    }
 }
 
 /// The intra-bank communication network moving mat outputs to the intra-bank adder tree.
@@ -113,6 +140,32 @@ mod tests {
         let bus = RscBus::new(params());
         // 32 dimensions x 8 bits = 256 bits = exactly the bus width.
         assert_eq!(bus.transfer_embedding(32, 8).value, 1);
+    }
+
+    #[test]
+    fn rsc_byte_transfers_match_bit_transfers() {
+        let bus = RscBus::new(params());
+        // 32 bytes = 256 bits = one beat; 33 bytes spill into a second beat.
+        assert_eq!(bus.transfer_bytes(32).value, bus.transfer_bits(256).value);
+        assert_eq!(bus.transfer_bytes(33).value, 2);
+        assert_eq!(bus.transfer_bytes(0).value, 1);
+    }
+
+    #[test]
+    fn hop_charges_both_directions_and_control() {
+        let bus = RscBus::new(params());
+        let p = params();
+        // 8 bytes of indices down (1 beat), 128 bytes of rows back (4 beats).
+        let hop = bus.hop(8, 128);
+        assert_eq!(hop.value, 5);
+        let expected_energy = 5.0 * p.rsc_beat_energy_pj + p.control_energy_pj;
+        let expected_latency = 5.0 * p.rsc_beat_latency_ns + p.control_latency_ns;
+        assert!((hop.cost.energy_pj - expected_energy).abs() < 1e-9);
+        assert!((hop.cost.latency_ns - expected_latency).abs() < 1e-9);
+        let transfer = hop.breakdown.component(CostComponent::RscTransfer);
+        assert!((transfer.energy_pj - 5.0 * p.rsc_beat_energy_pj).abs() < 1e-9);
+        let control = hop.breakdown.component(CostComponent::Control);
+        assert!((control.energy_pj - p.control_energy_pj).abs() < 1e-9);
     }
 
     #[test]

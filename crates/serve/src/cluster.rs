@@ -1,0 +1,1195 @@
+//! Multi-node shard routing: catalogue partitions behind per-shard bounded queues, a
+//! router that fans pooled lookups out as per-shard sub-requests, and an RSC-bus
+//! interconnect charge per cross-shard hop.
+//!
+//! The in-process [`ShardedTable`](crate::shard::ShardedTable) partitions rows but
+//! serves them for free; this module makes the partitioning *cost* something, the way
+//! iMARS banks its CMA fabric and pays the RSC bus for cross-bank traffic:
+//!
+//! ```text
+//!                         ┌── shard 0: [bounded queue] -> worker(s) over partition 0
+//! router --split/fan-out--┼── shard 1: [bounded queue] -> worker(s) over partition 1
+//!   (home-shard routing,  └── shard k: ...
+//!    replica resolution)       each sub-response -> gather (canonical merge) -> pool
+//! ```
+//!
+//! Every shard node owns its partition of the catalogue (plus replicas of the hot set)
+//! behind its own [`BoundedQueue`]; worker threads serve row-fetch sub-requests from it.
+//! The router ([`ClusterClient`]) splits a batch's lookups with the deterministic
+//! [`ShardPlan::split`], fans sub-requests out, and gathers the sub-responses. Because
+//! each flat lookup position is served by exactly one shard and the final pooling
+//! accumulates in request order (the single-node order), the ranked outputs are
+//! **bit-identical** to the single-node engine no matter how many shards or workers are
+//! involved — shards move *rows*, not partial sums, precisely so that f32/int8
+//! accumulation order never changes.
+//!
+//! Cross-shard traffic is charged to the RSC bus: every sub-request to a non-home shard
+//! pays one hop — indices down, rows back, both serialized into bus beats plus a
+//! controller overhead ([`RscBus::hop`]) — and the byte/hop/fan-out counters land in
+//! [`ClusterStats`] next to the modeled GPCiM energy.
+//!
+//! Failure is not silent: a panicking shard worker closes its input queue, drains the
+//! sub-requests it strands and closes their reply queues, so routers surface
+//! [`ServeError::ShardFailed`] instead of deadlocking, and queue overflow is counted
+//! per shard before the router falls back to a blocking push.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use imars_fabric::config::InterconnectParams;
+use imars_fabric::cost::{Cost, CostBreakdown};
+use imars_fabric::interconnect::RscBus;
+use imars_recsys::batch::PoolingBatch;
+
+use crate::error::ServeError;
+use crate::placement::{Placement, ShardPlan};
+use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::shard::{pool_from_staging, Lane, RowSource};
+use crate::telemetry::ClusterStats;
+
+/// Configuration of a shard cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Shard nodes to partition the catalogue across.
+    pub shards: usize,
+    /// Worker threads serving each shard's queue.
+    pub workers_per_shard: usize,
+    /// Capacity of each shard's bounded sub-request queue.
+    pub queue_capacity: usize,
+    /// The placement policy assigning rows to shards.
+    pub placement: Placement,
+    /// Hottest rows replicated onto every shard (0 disables replication).
+    pub hot_replicas: usize,
+    /// RSC-bus parameters the cross-shard hops are charged against.
+    pub interconnect: InterconnectParams,
+}
+
+impl ClusterConfig {
+    /// A cluster of `shards` nodes under `placement`, one worker per shard, a 64-deep
+    /// queue per shard, no replication, and the paper's interconnect parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `shards` is zero.
+    pub fn new(shards: usize, placement: Placement) -> Result<Self, ServeError> {
+        let config = Self {
+            shards,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            placement,
+            hot_replicas: 0,
+            interconnect: InterconnectParams::default(),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the zero field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for (name, value) in [
+            ("shards", self.shards),
+            ("workers_per_shard", self.workers_per_shard),
+            ("queue_capacity", self.queue_capacity),
+        ] {
+            if value == 0 {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!("cluster needs a nonzero {name}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sentinel in the slot table for a row this shard does not store.
+const NOT_RESIDENT: u32 = u32::MAX;
+
+/// One shard's resident rows: the plan's partition (plus replicas), indexed by global
+/// row id through a dense slot table — the worker resolves every requested row through
+/// it, so the lookup is a single array load rather than a hash probe.
+#[derive(Debug)]
+struct ShardStorage<T> {
+    dim: usize,
+    /// Global row id -> slot in `data` ([`NOT_RESIDENT`] when the row lives elsewhere).
+    slots: Vec<u32>,
+    /// Row-major storage, one `dim`-wide row per slot.
+    data: Vec<T>,
+}
+
+impl<T: Lane> ShardStorage<T> {
+    fn build(rows: &[&[T]], dim: usize, resident: &[u32]) -> Self {
+        let mut slots = vec![NOT_RESIDENT; rows.len()];
+        let mut data = Vec::with_capacity(resident.len() * dim);
+        for (slot, &row) in resident.iter().enumerate() {
+            slots[row as usize] = slot as u32;
+            data.extend_from_slice(rows[row as usize]);
+        }
+        Self { dim, slots, data }
+    }
+
+    /// The resident copy of `row`. Panics if the row does not live on this shard — the
+    /// router only sends rows the plan assigns here, so a violation is a routing bug
+    /// and must fail the node (the panic guard turns it into [`ServeError::ShardFailed`]).
+    fn row(&self, row: u32) -> &[T] {
+        let slot = self.slots[row as usize];
+        assert!(
+            slot != NOT_RESIDENT,
+            "row {row} is not resident on this shard"
+        );
+        &self.data[slot as usize * self.dim..(slot as usize + 1) * self.dim]
+    }
+}
+
+/// A row-fetch sub-request routed to one shard.
+#[derive(Debug)]
+struct SubRequest<T> {
+    /// The issuing fetch's tag; responses echo it so a router can discard stragglers
+    /// from an earlier, aborted fetch.
+    tag: u64,
+    /// Global row ids to fetch, in the split's canonical order.
+    rows: Vec<u32>,
+    /// Where the serving worker pushes the response.
+    reply: Arc<BoundedQueue<SubResponse<T>>>,
+    /// Test hook: a poisoned sub-request makes the serving worker panic, exercising the
+    /// failure path deterministically.
+    poison: bool,
+}
+
+/// One shard's response to a [`SubRequest`]: the requested rows, concatenated in
+/// request order.
+#[derive(Debug)]
+struct SubResponse<T> {
+    tag: u64,
+    shard: usize,
+    data: Vec<T>,
+}
+
+/// Counters shared by every router clone and the cluster handle.
+#[derive(Debug)]
+pub(crate) struct ClusterCounters {
+    shards: usize,
+    workers_per_shard: usize,
+    placement: Placement,
+    hot_replicas: usize,
+    queue_capacity: usize,
+    /// Rows served per shard (the load-balance / skew signal).
+    served: Vec<AtomicU64>,
+    /// Queue-overflow rejections per shard (counted before the blocking fallback).
+    rejections: Vec<AtomicU64>,
+    /// Deepest observed sub-request queue depth per shard.
+    depth_max: Vec<AtomicU64>,
+    /// Routed fetches (one per batch of misses reaching the cluster).
+    fetches: AtomicU64,
+    /// Sub-requests issued (the fan-out width sum).
+    subrequests: AtomicU64,
+    /// Sub-requests that crossed shards (non-home hops).
+    hops: AtomicU64,
+    /// Row payload bytes served from non-home shards (the bus charge additionally
+    /// covers the sub-request index bytes).
+    cross_bytes: AtomicU64,
+    /// Bytes served home-locally (no bus charge).
+    local_bytes: AtomicU64,
+}
+
+impl ClusterCounters {
+    fn new(
+        shards: usize,
+        config: &ClusterConfig,
+        placement: Placement,
+        hot_replicas: usize,
+    ) -> Self {
+        Self {
+            shards,
+            workers_per_shard: config.workers_per_shard,
+            placement,
+            hot_replicas,
+            queue_capacity: config.queue_capacity,
+            served: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            rejections: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            depth_max: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            fetches: AtomicU64::new(0),
+            subrequests: AtomicU64::new(0),
+            hops: AtomicU64::new(0),
+            cross_bytes: AtomicU64::new(0),
+            local_bytes: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for counter in self
+            .served
+            .iter()
+            .chain(&self.rejections)
+            .chain(&self.depth_max)
+        {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.fetches.store(0, Ordering::Relaxed);
+        self.subrequests.store(0, Ordering::Relaxed);
+        self.hops.store(0, Ordering::Relaxed);
+        self.cross_bytes.store(0, Ordering::Relaxed);
+        self.local_bytes.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ClusterStats {
+        let load = |counters: &[AtomicU64]| -> Vec<u64> {
+            counters.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        };
+        ClusterStats {
+            shards: self.shards,
+            workers_per_shard: self.workers_per_shard,
+            placement: self.placement.label().to_string(),
+            hot_replicas: self.hot_replicas,
+            queue_capacity: self.queue_capacity,
+            fetches: self.fetches.load(Ordering::Relaxed),
+            subrequests: self.subrequests.load(Ordering::Relaxed),
+            cross_shard_hops: self.hops.load(Ordering::Relaxed),
+            cross_shard_bytes: self.cross_bytes.load(Ordering::Relaxed),
+            local_bytes: self.local_bytes.load(Ordering::Relaxed),
+            shard_lookups: load(&self.served),
+            shard_rejections: load(&self.rejections),
+            shard_queue_depth_max: load(&self.depth_max),
+        }
+    }
+}
+
+/// Closes the failing shard's input queue and unblocks every stranded router when a
+/// worker unwinds: the in-flight sub-request's reply queue closes, then the queued
+/// sub-requests this node can no longer serve are drained and their reply queues closed
+/// too. A shard panic must fail its routed batches, never deadlock them.
+struct ShardPanicGuard<'a, T> {
+    input: &'a BoundedQueue<SubRequest<T>>,
+    reply: Arc<BoundedQueue<SubResponse<T>>>,
+}
+
+impl<T> Drop for ShardPanicGuard<'_, T> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.reply.close();
+        self.input.close();
+        // The queue is closed, so this drains the backlog and terminates.
+        while let Pop::Item(stranded) = self.input.pop() {
+            stranded.reply.close();
+        }
+    }
+}
+
+/// A shard node's worker loop: pop sub-requests, copy the resident rows, reply.
+fn run_shard_worker<T: Lane>(
+    shard: usize,
+    storage: Arc<ShardStorage<T>>,
+    input: Arc<BoundedQueue<SubRequest<T>>>,
+    counters: Arc<ClusterCounters>,
+) {
+    loop {
+        let request = match input.pop() {
+            Pop::Item(request) => request,
+            Pop::Closed => return,
+            Pop::TimedOut => continue,
+        };
+        let _guard = ShardPanicGuard {
+            input: &input,
+            reply: request.reply.clone(),
+        };
+        assert!(
+            !request.poison,
+            "shard {shard}: poisoned sub-request (injected failure)"
+        );
+        let mut data = Vec::with_capacity(request.rows.len() * storage.dim);
+        for &row in &request.rows {
+            data.extend_from_slice(storage.row(row));
+        }
+        counters.served[shard].fetch_add(request.rows.len() as u64, Ordering::Relaxed);
+        // A closed reply queue means the router gave up (a sibling shard failed);
+        // dropping the response is correct — the router already surfaced an error.
+        let _ = request.reply.push(SubResponse {
+            tag: request.tag,
+            shard,
+            data,
+        });
+    }
+}
+
+/// The owner of the shard node threads. Keep it alive while any [`ClusterClient`] (or
+/// engine built on one) is serving; [`ClusterHandle::shutdown`] closes every shard
+/// queue, joins the workers and surfaces the first worker panic.
+pub struct ClusterHandle {
+    closers: Vec<Box<dyn Fn() + Send + Sync>>,
+    workers: Vec<(usize, JoinHandle<()>)>,
+    counters: Arc<ClusterCounters>,
+}
+
+impl std::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterHandle")
+            .field("shards", &self.closers.len())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ClusterHandle {
+    /// A snapshot of the cluster's traffic and queue counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.counters.snapshot()
+    }
+
+    /// Close every shard queue, join all workers, and report the first worker panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShardFailed`] naming the first shard whose worker panicked.
+    pub fn shutdown(mut self) -> Result<ClusterStats, ServeError> {
+        self.stop().map(|()| self.counters.snapshot())
+    }
+
+    fn stop(&mut self) -> Result<(), ServeError> {
+        for close in &self.closers {
+            close();
+        }
+        let mut failed = None;
+        for (shard, handle) in self.workers.drain(..) {
+            if handle.join().is_err() {
+                failed = failed.or(Some(shard));
+            }
+        }
+        match failed {
+            Some(shard) => Err(ServeError::ShardFailed { shard }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ClusterHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+/// A router into the cluster: splits fetch work by shard, fans sub-requests out, and
+/// gathers the responses. Cloning creates another independent router over the same
+/// shard nodes (each clone has its own reply queue), which is how the threaded
+/// runtime's per-worker engine clones share one cluster.
+#[derive(Debug)]
+pub struct ClusterClient<T> {
+    plan: Arc<ShardPlan>,
+    inputs: Vec<Arc<BoundedQueue<SubRequest<T>>>>,
+    reply: Arc<BoundedQueue<SubResponse<T>>>,
+    dim: usize,
+    bus: RscBus,
+    counters: Arc<ClusterCounters>,
+    /// Interconnect cost of fetches since the engine last collected it. Hops within one
+    /// fetch compose in parallel (independent bus segments), fetches serially.
+    pending_cost: Cost,
+    pending_breakdown: CostBreakdown,
+    next_tag: u64,
+    poison_next: bool,
+}
+
+impl<T> Clone for ClusterClient<T> {
+    fn clone(&self) -> Self {
+        Self {
+            plan: self.plan.clone(),
+            inputs: self.inputs.clone(),
+            reply: Arc::new(BoundedQueue::new(self.reply.capacity())),
+            dim: self.dim,
+            bus: self.bus,
+            counters: self.counters.clone(),
+            pending_cost: Cost::ZERO,
+            pending_breakdown: CostBreakdown::new(),
+            next_tag: 0,
+            poison_next: false,
+        }
+    }
+}
+
+impl<T> Drop for ClusterClient<T> {
+    /// Close the reply queue so a shard worker holding a straggler response for this
+    /// router sees `Closed` (and drops it) instead of blocking on a full queue nobody
+    /// will ever drain.
+    fn drop(&mut self) {
+        self.reply.close();
+    }
+}
+
+impl<T: Lane> ClusterClient<T> {
+    /// The placement plan the router splits against.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// A snapshot of the shared cluster counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.counters.snapshot()
+    }
+
+    pub(crate) fn counters(&self) -> Arc<ClusterCounters> {
+        self.counters.clone()
+    }
+
+    /// Drain the interconnect cost accumulated since the last call (the engine charges
+    /// it to its telemetry next to the GPCiM components).
+    pub(crate) fn take_interconnect(&mut self) -> (Cost, CostBreakdown) {
+        (
+            std::mem::take(&mut self.pending_cost),
+            std::mem::take(&mut self.pending_breakdown),
+        )
+    }
+
+    /// Test hook: poison the next fetch's sub-requests so the serving workers panic.
+    #[cfg(test)]
+    fn poison_next_fetch(&mut self) {
+        self.poison_next = true;
+    }
+
+    /// Wait out (and discard) the responses of this fetch's already-dispatched
+    /// sub-requests after an abort, so they cannot linger as in-flight stragglers. A
+    /// closed reply queue (a dispatched shard died) ends the wait — its workers' reply
+    /// pushes fail harmlessly from then on.
+    fn absorb_stragglers(&self, tag: u64, awaiting: &mut HashMap<usize, &[u32]>) {
+        while !awaiting.is_empty() {
+            match self.reply.pop() {
+                Pop::Item(response) => {
+                    if response.tag == tag {
+                        awaiting.remove(&response.shard);
+                    }
+                }
+                Pop::Closed => return,
+                Pop::TimedOut => continue,
+            }
+        }
+    }
+
+    fn push_subrequest(&self, shard: usize, request: SubRequest<T>) -> Result<(), ServeError> {
+        let record_depth = |depth: usize| {
+            self.counters.depth_max[shard].fetch_max(depth as u64, Ordering::Relaxed);
+        };
+        match self.inputs[shard].try_push(request) {
+            Ok(depth) => {
+                record_depth(depth);
+                Ok(())
+            }
+            Err(PushError::Full(request)) => {
+                // Overflow is counted per shard, then the router blocks: the shard
+                // queue bound is backpressure, not data loss.
+                self.counters.rejections[shard].fetch_add(1, Ordering::Relaxed);
+                match self.inputs[shard].push(request) {
+                    Ok(depth) => {
+                        record_depth(depth);
+                        Ok(())
+                    }
+                    Err(_) => Err(ServeError::ShardFailed { shard }),
+                }
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShardFailed { shard }),
+        }
+    }
+}
+
+impl<T: Lane> RowSource<T> for ClusterClient<T> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn check_indices(&self, indices: &[u32]) -> Result<(), ServeError> {
+        self.plan.check_indices(indices)
+    }
+
+    fn fetch_rows(&mut self, work: Vec<(u32, &mut [T])>) -> Result<(), ServeError> {
+        if work.is_empty() {
+            return Ok(());
+        }
+        // Discard stragglers a previously aborted fetch left behind, so leftovers can
+        // never accumulate across fetches: at most one aborted fetch's responses
+        // (< num_shards) coexist with the current fetch's (≤ num_shards), which the
+        // 2×num_shards reply capacity absorbs — shard workers never block on a full
+        // reply queue.
+        while let Pop::Item(_) = self.reply.pop_timeout(std::time::Duration::ZERO) {}
+        let rows: Vec<u32> = work.iter().map(|(row, _)| *row).collect();
+        let split = self.plan.split(&rows);
+        let mut chunks: Vec<Option<&mut [T]>> =
+            work.into_iter().map(|(_, chunk)| Some(chunk)).collect();
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let poison = self.poison_next;
+        self.poison_next = false;
+        self.counters.fetches.fetch_add(1, Ordering::Relaxed);
+
+        // Traffic counters and bus charges are recorded only after a sub-request is
+        // actually accepted by its shard queue, so an aborted fan-out never accounts
+        // transfers that did not happen.
+        let element_bytes = std::mem::size_of::<T>();
+        let mut fanout_cost: Option<Cost> = None;
+        let mut awaiting: HashMap<usize, &[u32]> = HashMap::with_capacity(split.fanout());
+        for sub in &split.per_shard {
+            if let Err(error) = self.push_subrequest(
+                sub.shard,
+                SubRequest {
+                    tag,
+                    rows: sub.rows.clone(),
+                    reply: self.reply.clone(),
+                    poison,
+                },
+            ) {
+                // Dispatch failed mid-fan-out: absorb the responses of the shards
+                // already dispatched before surfacing the error, so no more than one
+                // fetch's worth of responses is ever in flight toward the bounded
+                // reply queue (otherwise a worker's reply push could block forever on
+                // a queue nobody drains, wedging a healthy shard).
+                if let Some(cost) = fanout_cost {
+                    self.pending_cost = self.pending_cost.serial(cost);
+                }
+                self.absorb_stragglers(tag, &mut awaiting);
+                return Err(error);
+            }
+            self.counters.subrequests.fetch_add(1, Ordering::Relaxed);
+            let response_bytes = sub.rows.len() * self.dim * element_bytes;
+            if sub.shard == split.home {
+                self.counters
+                    .local_bytes
+                    .fetch_add(response_bytes as u64, Ordering::Relaxed);
+            } else {
+                let request_bytes = sub.rows.len() * std::mem::size_of::<u32>();
+                self.counters.hops.fetch_add(1, Ordering::Relaxed);
+                // Row payload only, symmetric with `local_bytes`, so the cross-traffic
+                // fraction compares like with like; the bus *charge* still covers the
+                // index bytes of the sub-request.
+                self.counters
+                    .cross_bytes
+                    .fetch_add(response_bytes as u64, Ordering::Relaxed);
+                let hop = self.bus.hop(request_bytes, response_bytes);
+                self.pending_breakdown.merge(&hop.breakdown);
+                fanout_cost = Some(match fanout_cost {
+                    None => hop.cost,
+                    Some(cost) => cost.parallel(hop.cost),
+                });
+            }
+            awaiting.insert(sub.shard, &sub.positions);
+        }
+        if let Some(cost) = fanout_cost {
+            self.pending_cost = self.pending_cost.serial(cost);
+        }
+
+        // Gather: sub-responses may arrive in any order; each writes a disjoint set of
+        // positions, so assembly is deterministic regardless of scheduling.
+        while !awaiting.is_empty() {
+            match self.reply.pop() {
+                Pop::Item(response) => {
+                    if response.tag != tag {
+                        continue; // straggler from an earlier, aborted fetch
+                    }
+                    let positions = awaiting
+                        .remove(&response.shard)
+                        .expect("each touched shard responds once");
+                    for (i, &position) in positions.iter().enumerate() {
+                        let chunk = chunks[position as usize]
+                            .take()
+                            .expect("each position is served exactly once");
+                        chunk.copy_from_slice(&response.data[i * self.dim..(i + 1) * self.dim]);
+                    }
+                }
+                Pop::Closed => {
+                    // A shard worker panicked and closed our reply queue. Blame the
+                    // lowest still-unanswered shard (deterministic, and correct when a
+                    // single shard failed).
+                    let shard = awaiting.keys().copied().min().unwrap_or(0);
+                    return Err(ServeError::ShardFailed { shard });
+                }
+                Pop::TimedOut => continue,
+            }
+        }
+        Ok(())
+    }
+
+    fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
+        if out.len() != batch.len() * self.dim {
+            return Err(ServeError::ShapeMismatch {
+                what: "batch pooling output",
+                expected: batch.len() * self.dim,
+                actual: out.len(),
+            });
+        }
+        self.check_indices(batch.indices())?;
+        // Coalesce repeated rows onto a single fetch, exactly like the cached path's
+        // in-flight coalescing: duplicates are copied from the first occurrence's
+        // staging slot, so the routed traffic (and its bus charge) counts each unique
+        // row once per batch and cache-off interconnect numbers stay comparable to
+        // cache-on ones.
+        let dim = self.dim;
+        let mut staging = vec![T::default(); batch.total_lookups() * dim];
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        {
+            let mut first_position: HashMap<u32, usize> = HashMap::new();
+            let mut unique: Vec<(u32, &mut [T])> = Vec::new();
+            for ((position, &row), chunk) in batch
+                .indices()
+                .iter()
+                .enumerate()
+                .zip(staging.chunks_mut(dim))
+            {
+                match first_position.entry(row) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        duplicates.push((position, *entry.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(position);
+                        unique.push((row, chunk));
+                    }
+                }
+            }
+            self.fetch_rows(unique)?;
+        }
+        for &(destination, source) in &duplicates {
+            staging.copy_within(source * dim..(source + 1) * dim, destination * dim);
+        }
+        pool_from_staging(&staging, self.dim, batch.offsets(), out);
+        Ok(())
+    }
+}
+
+/// Spawn the shard nodes for a catalogue and hand back a router plus the owning handle.
+pub(crate) fn spawn_cluster<T: Lane>(
+    rows: &[&[T]],
+    dim: usize,
+    plan: ShardPlan,
+    config: &ClusterConfig,
+) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
+    config.validate()?;
+    let num_shards = plan.num_shards();
+    let counters = Arc::new(ClusterCounters::new(
+        num_shards,
+        config,
+        plan.placement(),
+        plan.hot_replicas(),
+    ));
+    let mut inputs = Vec::with_capacity(num_shards);
+    let mut workers = Vec::with_capacity(num_shards * config.workers_per_shard);
+    let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
+    for shard in 0..num_shards {
+        let storage = Arc::new(ShardStorage::build(rows, dim, plan.rows_on(shard)));
+        let input: Arc<BoundedQueue<SubRequest<T>>> =
+            Arc::new(BoundedQueue::new(config.queue_capacity));
+        for _ in 0..config.workers_per_shard {
+            let storage = storage.clone();
+            let input = input.clone();
+            let counters = counters.clone();
+            workers.push((
+                shard,
+                std::thread::spawn(move || run_shard_worker(shard, storage, input, counters)),
+            ));
+        }
+        closers.push(Box::new({
+            let input = input.clone();
+            move || input.close()
+        }));
+        inputs.push(input);
+    }
+    let client = ClusterClient {
+        plan: Arc::new(plan),
+        inputs,
+        // Room for one response per shard plus stragglers from an aborted fetch.
+        reply: Arc::new(BoundedQueue::new(num_shards.max(1) * 2)),
+        dim,
+        bus: RscBus::new(config.interconnect),
+        counters: counters.clone(),
+        pending_cost: Cost::ZERO,
+        pending_breakdown: CostBreakdown::new(),
+        next_tag: 0,
+        poison_next: false,
+    };
+    let handle = ClusterHandle {
+        closers,
+        workers,
+        counters,
+    };
+    Ok((client, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use crate::clock::ManualClock;
+    use crate::engine::{ServeConfig, ServeEngine, ServePrecision};
+    use crate::replay::{ReplayConfig, ReplayWorkload};
+    use crate::runtime::{RuntimeConfig, ServeRuntime};
+    use imars_fabric::cost::CostComponent;
+    use imars_recsys::dlrm::{Dlrm, DlrmConfig};
+    use imars_recsys::EmbeddingTable;
+    use std::time::{Duration, Instant};
+
+    const ITEM_DIM: usize = 4;
+    const NUM_ITEMS: usize = 512;
+
+    fn items() -> EmbeddingTable {
+        EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 31).unwrap()
+    }
+
+    fn serve_config(cache_capacity: usize, precision: ServePrecision) -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            cache_capacity,
+            precision,
+            policy: BatchPolicy::new(16, 300.0).unwrap(),
+            signature_bits: 64,
+            search_radius: 27,
+            lsh_seed: 7,
+        }
+    }
+
+    fn replay_config(queries: usize) -> ReplayConfig {
+        ReplayConfig {
+            queries,
+            num_users: 100,
+            num_items: NUM_ITEMS,
+            zipf_exponent: 1.2,
+            history_len: 12,
+            offered_qps: 200_000.0,
+            candidates_per_query: 50,
+            top_k: 10,
+            sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
+            seed: 123,
+            item_permutation_seed: None,
+        }
+    }
+
+    fn cluster_config(shards: usize, workers_per_shard: usize) -> ClusterConfig {
+        ClusterConfig {
+            shards,
+            workers_per_shard,
+            queue_capacity: 32,
+            placement: Placement::Range,
+            hot_replicas: 0,
+            interconnect: InterconnectParams::default(),
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_fields() {
+        assert!(ClusterConfig::new(0, Placement::Range).is_err());
+        let mut config = ClusterConfig::new(4, Placement::Range).unwrap();
+        config.workers_per_shard = 0;
+        assert!(config.validate().is_err());
+        config.workers_per_shard = 1;
+        config.queue_capacity = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_fetch_returns_the_exact_table_rows() {
+        let table = items();
+        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let plan = ShardPlan::build(NUM_ITEMS, 4, Placement::Range, 0, None).unwrap();
+        let (mut client, handle) =
+            spawn_cluster(&rows, ITEM_DIM, plan, &cluster_config(4, 2)).unwrap();
+        let wanted: Vec<u32> = vec![0, 511, 17, 17, 300, 42, 128, 200];
+        let mut out = vec![0.0f32; wanted.len() * ITEM_DIM];
+        let work: Vec<(u32, &mut [f32])> = wanted
+            .iter()
+            .copied()
+            .zip(out.chunks_mut(ITEM_DIM))
+            .collect();
+        client.fetch_rows(work).unwrap();
+        for (&row, chunk) in wanted.iter().zip(out.chunks(ITEM_DIM)) {
+            assert_eq!(chunk, table.lookup(row as usize).unwrap(), "row {row}");
+        }
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.fetches, 1);
+        assert_eq!(stats.shard_lookups.iter().sum::<u64>(), wanted.len() as u64);
+        assert!(stats.subrequests >= 1);
+    }
+
+    /// The satellite's deterministic concurrency matrix: seeded traces through the
+    /// cluster at 1/2/8 shards and 1/4 workers, fp32 and int8, cache on and off —
+    /// every configuration bit-identical to the single-node engine.
+    #[test]
+    fn clustered_replay_is_bit_identical_to_single_node() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(400)).unwrap();
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            for cache_capacity in [0usize, 64] {
+                let mut reference = ServeEngine::new(
+                    Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                    &table,
+                    serve_config(cache_capacity, precision),
+                )
+                .unwrap();
+                let expected = reference.replay(&workload).unwrap();
+                for shards in [1usize, 2, 8] {
+                    for workers in [1usize, 4] {
+                        let (mut engine, handle) = ServeEngine::new_clustered(
+                            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                            &table,
+                            serve_config(cache_capacity, precision),
+                            &cluster_config(shards, workers),
+                            None,
+                        )
+                        .unwrap();
+                        let outcome = engine.replay(&workload).unwrap();
+                        assert_eq!(outcome.responses.len(), expected.responses.len());
+                        for (a, b) in outcome.responses.iter().zip(&expected.responses) {
+                            assert_eq!(a.id, b.id);
+                            assert_eq!(
+                                a.score.to_bits(),
+                                b.score.to_bits(),
+                                "query {} ({precision:?}, cache {cache_capacity}, {shards} shards x {workers} workers)",
+                                a.id
+                            );
+                            assert_eq!(a.candidates, b.candidates);
+                        }
+                        // Cache behaviour is unchanged by clustering.
+                        assert_eq!(outcome.report.cache, expected.report.cache);
+                        let stats = handle.shutdown().unwrap();
+                        assert!(stats.fetches > 0);
+                        if shards == 1 {
+                            assert_eq!(stats.cross_shard_hops, 0, "one shard has no hops");
+                            assert_eq!(stats.cross_shard_bytes, 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_replay_charges_the_rsc_bus_for_cross_shard_hops() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(300)).unwrap();
+        let mut single = ServeEngine::new(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            serve_config(64, ServePrecision::Fp32),
+        )
+        .unwrap();
+        let single_outcome = single.replay(&workload).unwrap();
+        assert_eq!(
+            single_outcome
+                .report
+                .telemetry
+                .cost
+                .component(CostComponent::RscTransfer),
+            Cost::ZERO,
+            "no bus charge in-process"
+        );
+        assert!(single_outcome.report.cluster.is_none());
+
+        let (mut clustered, handle) = ServeEngine::new_clustered(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            serve_config(64, ServePrecision::Fp32),
+            &cluster_config(4, 1),
+            None,
+        )
+        .unwrap();
+        let outcome = clustered.replay(&workload).unwrap();
+        let transfer = outcome
+            .report
+            .telemetry
+            .cost
+            .component(CostComponent::RscTransfer);
+        assert!(transfer.energy_pj > 0.0, "cross-shard hops pay the bus");
+        assert!(
+            outcome.report.telemetry.total_cost.energy_pj
+                > single_outcome.report.telemetry.total_cost.energy_pj
+        );
+        let stats = outcome.report.cluster.expect("cluster stats in the report");
+        assert!(stats.cross_shard_hops > 0);
+        assert!(stats.cross_shard_bytes > 0);
+        assert_eq!(stats.shards, 4);
+        // The snapshot agrees with the handle's.
+        assert_eq!(handle.shutdown().unwrap(), stats);
+    }
+
+    /// Frequency-aware placement (from the trace histogram) must cut cross-shard bytes
+    /// versus range placement on a permuted skew-1.2 catalogue, with identical outputs.
+    #[test]
+    fn frequency_placement_cuts_cross_shard_traffic_on_permuted_catalogues() {
+        let table = items();
+        let mut config = replay_config(2000);
+        config.item_permutation_seed = Some(5);
+        let workload = ReplayWorkload::generate(&config).unwrap();
+        let histogram = workload.row_histogram(NUM_ITEMS).unwrap();
+        let run = |placement: Placement, histogram: Option<&[u64]>| {
+            let cluster = ClusterConfig {
+                placement,
+                hot_replicas: if placement == Placement::Frequency {
+                    NUM_ITEMS / 4
+                } else {
+                    0
+                },
+                ..cluster_config(4, 1)
+            };
+            let (mut engine, handle) = ServeEngine::new_clustered(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &table,
+                serve_config(64, ServePrecision::Fp32),
+                &cluster,
+                histogram,
+            )
+            .unwrap();
+            let outcome = engine.replay(&workload).unwrap();
+            handle.shutdown().unwrap();
+            outcome
+        };
+        let range = run(Placement::Range, None);
+        let freq = run(Placement::Frequency, Some(&histogram));
+        for (a, b) in range.responses.iter().zip(&freq.responses) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "placement must not change outputs"
+            );
+        }
+        let range_stats = range.report.cluster.unwrap();
+        let freq_stats = freq.report.cluster.unwrap();
+        assert!(
+            (freq_stats.cross_shard_bytes as f64) < range_stats.cross_shard_bytes as f64 * 0.8,
+            "freq placement must measurably cut cross-shard bytes: {} vs {}",
+            freq_stats.cross_shard_bytes,
+            range_stats.cross_shard_bytes,
+        );
+        assert!(freq_stats.mean_fanout() <= range_stats.mean_fanout());
+    }
+
+    /// The deterministic-concurrency satellite: the threaded runtime over the cluster
+    /// on a frozen manual clock. Size flushes drive the pipeline, a clock advance fires
+    /// the deadline flush, and the drained outputs match the single-node replay bit for
+    /// bit.
+    #[test]
+    fn threaded_cluster_on_manual_clock_matches_single_node() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(200)).unwrap();
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            let mut reference = ServeEngine::new(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &table,
+                serve_config(64, precision),
+            )
+            .unwrap();
+            let expected = reference.replay(&workload).unwrap();
+            for (shards, workers) in [(2usize, 1usize), (8, 4)] {
+                let (engine, handle) = ServeEngine::new_clustered(
+                    Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                    &table,
+                    serve_config(64, precision),
+                    &cluster_config(shards, workers),
+                    None,
+                )
+                .unwrap();
+                let clock = Arc::new(ManualClock::new());
+                let runtime = ServeRuntime::start(
+                    &engine,
+                    RuntimeConfig::new(2, 1024).unwrap(),
+                    clock.clone(),
+                )
+                .unwrap();
+                for (i, request) in workload.requests().iter().enumerate() {
+                    runtime.submit(request.clone()).unwrap();
+                    if i == 100 {
+                        // Fire a deadline flush mid-stream; the frozen clock otherwise
+                        // only allows size flushes.
+                        clock.advance_us(1_000_000.0);
+                    }
+                }
+                let outcome = runtime.shutdown().unwrap();
+                assert_eq!(outcome.responses.len(), 200);
+                let mut by_id = outcome.responses.clone();
+                by_id.sort_unstable_by_key(|response| response.id);
+                for (a, b) in by_id.iter().zip(&expected.responses) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "query {} ({precision:?}, {shards} shards x {workers} workers, manual clock)",
+                        a.id
+                    );
+                    assert_eq!(a.candidates, b.candidates);
+                }
+                let stats = outcome
+                    .report
+                    .cluster
+                    .expect("cluster stats in threaded report");
+                assert!(stats.fetches > 0);
+                handle.shutdown().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_shard_node_surfaces_shard_failed_instead_of_deadlocking() {
+        let table = items();
+        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let plan = ShardPlan::build(NUM_ITEMS, 4, Placement::Range, 0, None).unwrap();
+        let (mut client, handle) =
+            spawn_cluster(&rows, ITEM_DIM, plan, &cluster_config(4, 1)).unwrap();
+        client.poison_next_fetch();
+        let rows_wanted: Vec<u32> = vec![1, 200, 400];
+        let mut out = vec![0.0f32; rows_wanted.len() * ITEM_DIM];
+        let started = Instant::now();
+        let work: Vec<(u32, &mut [f32])> = rows_wanted
+            .iter()
+            .copied()
+            .zip(out.chunks_mut(ITEM_DIM))
+            .collect();
+        let error = client
+            .fetch_rows(work)
+            .expect_err("poisoned fetch must fail");
+        assert!(matches!(error, ServeError::ShardFailed { .. }), "{error}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "failure must not deadlock"
+        );
+        // The failed node's queue is closed: routing to it again fails fast, every
+        // time — repeated retries must neither hang nor wedge the healthy shards.
+        for _ in 0..5 {
+            let mut out2 = vec![0.0f32; ITEM_DIM];
+            let work2: Vec<(u32, &mut [f32])> = vec![(1, &mut out2)];
+            assert!(client.fetch_rows(work2).is_err());
+        }
+        // Shard 2 was never poisoned (the fetch touched 0, 1 and 3): an independent
+        // router can still serve rows that live there.
+        let mut survivor = client.clone();
+        let mut out3 = vec![0.0f32; ITEM_DIM];
+        let work3: Vec<(u32, &mut [f32])> = vec![(300, &mut out3)];
+        survivor.fetch_rows(work3).unwrap();
+        assert_eq!(out3, table.lookup(300).unwrap());
+        // Shutdown reports the panic instead of hanging.
+        let error = handle.shutdown().expect_err("shutdown surfaces the panic");
+        assert!(matches!(error, ServeError::ShardFailed { .. }));
+    }
+
+    #[test]
+    fn poisoned_requests_through_the_engine_error_the_replay() {
+        let table = items();
+        let (mut engine, handle) = ServeEngine::new_clustered(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            serve_config(64, ServePrecision::Fp32),
+            &cluster_config(2, 1),
+            None,
+        )
+        .unwrap();
+        // An out-of-catalogue row is rejected by the router's validation, shards stay up.
+        let mut workload = replay_config(10);
+        workload.num_items = NUM_ITEMS * 2;
+        let bad = ReplayWorkload::generate(&workload).unwrap();
+        assert!(matches!(
+            engine.replay(&bad),
+            Err(ServeError::RowOutOfRange { .. })
+        ));
+        // The cluster is still healthy afterwards.
+        let good = ReplayWorkload::generate(&replay_config(10)).unwrap();
+        assert_eq!(engine.replay(&good).unwrap().responses.len(), 10);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shard_queue_overflow_counts_rejections_then_blocks() {
+        let table = items();
+        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let plan = ShardPlan::build(NUM_ITEMS, 1, Placement::Range, 0, None).unwrap();
+        let config = ClusterConfig {
+            queue_capacity: 1,
+            ..cluster_config(1, 1)
+        };
+        // No workers: build the storage-less routing pieces by hand so the overflow is
+        // deterministic (the queue is pre-filled and nothing drains it until we do).
+        let counters = Arc::new(ClusterCounters::new(1, &config, Placement::Range, 0));
+        let input: Arc<BoundedQueue<SubRequest<f32>>> = Arc::new(BoundedQueue::new(1));
+        let client = ClusterClient {
+            plan: Arc::new(plan),
+            inputs: vec![input.clone()],
+            reply: Arc::new(BoundedQueue::new(2)),
+            dim: ITEM_DIM,
+            bus: RscBus::new(config.interconnect),
+            counters: counters.clone(),
+            pending_cost: Cost::ZERO,
+            pending_breakdown: CostBreakdown::new(),
+            next_tag: 0,
+            poison_next: false,
+        };
+        // Fill the queue so the next push must overflow.
+        input
+            .try_push(SubRequest {
+                tag: 999,
+                rows: vec![],
+                reply: client.reply.clone(),
+                poison: false,
+            })
+            .unwrap();
+        let storage = Arc::new(ShardStorage::build(&rows, ITEM_DIM, &[0, 1, 2]));
+        let fetcher = std::thread::spawn({
+            let mut client = client.clone();
+            move || {
+                let mut out = vec![0.0f32; ITEM_DIM];
+                let work: Vec<(u32, &mut [f32])> = vec![(2, &mut out)];
+                client.fetch_rows(work).map(|()| out)
+            }
+        });
+        // Wait for the deterministic rejection, then play the worker by hand.
+        let waited = Instant::now();
+        while counters.rejections[0].load(Ordering::Relaxed) == 0 {
+            assert!(
+                waited.elapsed() < Duration::from_secs(5),
+                "rejection never counted"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _dummy = input.pop(); // frees the slot; the blocked push lands
+        let request = match input.pop() {
+            Pop::Item(request) => request,
+            other => panic!("expected the real sub-request, got {other:?}"),
+        };
+        let mut data = Vec::new();
+        for &row in &request.rows {
+            data.extend_from_slice(storage.row(row));
+        }
+        request
+            .reply
+            .push(SubResponse {
+                tag: request.tag,
+                shard: 0,
+                data,
+            })
+            .unwrap();
+        let out = fetcher.join().unwrap().unwrap();
+        assert_eq!(out, table.lookup(2).unwrap());
+        assert_eq!(counters.rejections[0].load(Ordering::Relaxed), 1);
+        let stats = counters.snapshot();
+        assert_eq!(stats.total_rejections(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_cluster_but_not_reply_queues() {
+        let table = items();
+        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let plan = ShardPlan::build(NUM_ITEMS, 2, Placement::Range, 0, None).unwrap();
+        let (client, handle) = spawn_cluster(&rows, ITEM_DIM, plan, &cluster_config(2, 1)).unwrap();
+        let mut clones: Vec<ClusterClient<f32>> = (0..4).map(|_| client.clone()).collect();
+        std::thread::scope(|scope| {
+            for (i, clone) in clones.iter_mut().enumerate() {
+                let table = &table;
+                scope.spawn(move || {
+                    for round in 0..50u32 {
+                        let row = (i as u32 * 97 + round * 13) % NUM_ITEMS as u32;
+                        let mut out = vec![0.0f32; ITEM_DIM];
+                        let work: Vec<(u32, &mut [f32])> = vec![(row, &mut out)];
+                        clone.fetch_rows(work).unwrap();
+                        assert_eq!(out, table.lookup(row as usize).unwrap());
+                    }
+                });
+            }
+        });
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.shard_lookups.iter().sum::<u64>(), 4 * 50);
+        assert_eq!(stats.fetches, 4 * 50);
+    }
+}

@@ -27,7 +27,7 @@ use std::time::Instant;
 use imars_device::characterization::ArrayFom;
 use imars_fabric::cma::CmaArray;
 use imars_fabric::cost::{Cost, CostComponent};
-use imars_recsys::batch::{par_runs, PoolingBatch};
+use imars_recsys::batch::PoolingBatch;
 use imars_recsys::dlrm::{Dlrm, DlrmSample};
 use imars_recsys::embedding::EmbeddingTable;
 use imars_recsys::lsh::RandomHyperplaneLsh;
@@ -38,10 +38,14 @@ use imars_datasets::workload::InferenceQuery;
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, FlushedBatch};
 use crate::cache::{CacheStats, HotRowCache};
+use crate::cluster::{spawn_cluster, ClusterClient, ClusterConfig, ClusterCounters, ClusterHandle};
 use crate::error::ServeError;
+use crate::placement::ShardPlan;
 use crate::replay::ReplayWorkload;
-use crate::shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
-use crate::telemetry::{ServeReport, ServeTelemetry};
+use crate::shard::{shard_embedding, shard_quantized, Lane, RowSource, ShardedTable};
+use crate::telemetry::{ClusterStats, ServeReport, ServeTelemetry};
+use imars_fabric::cost::CostBreakdown;
+use std::sync::Arc;
 
 /// Numeric format of the item embedding rows the engine serves from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -133,7 +137,8 @@ pub struct ReplayOutcome {
     pub report: ServeReport,
 }
 
-/// The sharded + cached item row store, in one of the two served precisions.
+/// The sharded + cached item row store: in-process shards or a multi-node cluster, in
+/// one of the two served precisions.
 #[derive(Debug, Clone)]
 enum ItemStore {
     Fp32 {
@@ -145,6 +150,15 @@ enum ItemStore {
         cache: HotRowCache<i8>,
         params: QuantizationParams,
     },
+    ClusterFp32 {
+        client: ClusterClient<f32>,
+        cache: HotRowCache<f32>,
+    },
+    ClusterInt8 {
+        client: ClusterClient<i8>,
+        cache: HotRowCache<i8>,
+        params: QuantizationParams,
+    },
 }
 
 impl ItemStore {
@@ -152,6 +166,8 @@ impl ItemStore {
         match self {
             ItemStore::Fp32 { shards, .. } => shards.num_shards(),
             ItemStore::Int8 { shards, .. } => shards.num_shards(),
+            ItemStore::ClusterFp32 { client, .. } => client.plan().num_shards(),
+            ItemStore::ClusterInt8 { client, .. } => client.plan().num_shards(),
         }
     }
 
@@ -159,6 +175,8 @@ impl ItemStore {
         match self {
             ItemStore::Fp32 { cache, .. } => cache.stats(),
             ItemStore::Int8 { cache, .. } => cache.stats(),
+            ItemStore::ClusterFp32 { cache, .. } => cache.stats(),
+            ItemStore::ClusterInt8 { cache, .. } => cache.stats(),
         }
     }
 
@@ -166,6 +184,42 @@ impl ItemStore {
         match self {
             ItemStore::Fp32 { cache, .. } => cache.reset_stats(),
             ItemStore::Int8 { cache, .. } => cache.reset_stats(),
+            ItemStore::ClusterFp32 { client, cache } => {
+                cache.reset_stats();
+                client.counters().reset();
+            }
+            ItemStore::ClusterInt8 { client, cache, .. } => {
+                cache.reset_stats();
+                client.counters().reset();
+            }
+        }
+    }
+
+    /// The interconnect cost the cluster accumulated since the last collection (zero
+    /// for in-process stores).
+    fn take_interconnect(&mut self) -> (Cost, CostBreakdown) {
+        match self {
+            ItemStore::ClusterFp32 { client, .. } => client.take_interconnect(),
+            ItemStore::ClusterInt8 { client, .. } => client.take_interconnect(),
+            _ => (Cost::ZERO, CostBreakdown::new()),
+        }
+    }
+
+    /// A snapshot of the cluster counters (None for in-process stores).
+    fn cluster_stats(&self) -> Option<ClusterStats> {
+        match self {
+            ItemStore::ClusterFp32 { client, .. } => Some(client.stats()),
+            ItemStore::ClusterInt8 { client, .. } => Some(client.stats()),
+            _ => None,
+        }
+    }
+
+    /// The shared cluster counters, for reporters that outlive this engine clone.
+    pub(crate) fn cluster_counters(&self) -> Option<Arc<ClusterCounters>> {
+        match self {
+            ItemStore::ClusterFp32 { client, .. } => Some(client.counters()),
+            ItemStore::ClusterInt8 { client, .. } => Some(client.counters()),
+            _ => None,
         }
     }
 
@@ -173,45 +227,61 @@ impl ItemStore {
     fn pool_dense(&mut self, batch: &PoolingBatch, dense: &mut [f32]) -> Result<(), ServeError> {
         match self {
             ItemStore::Fp32 { shards, cache } => pool_profiles(shards, cache, batch, dense),
+            ItemStore::ClusterFp32 { client, cache } => pool_profiles(client, cache, batch, dense),
             ItemStore::Int8 {
                 shards,
                 cache,
                 params,
-            } => {
-                let mut profiles = vec![0i8; batch.len() * shards.dim()];
-                pool_profiles(shards, cache, batch, &mut profiles)?;
-                if dense.len() != profiles.len() {
-                    return Err(ServeError::ShapeMismatch {
-                        what: "dense profile buffer",
-                        expected: profiles.len(),
-                        actual: dense.len(),
-                    });
-                }
-                for (out, &quantized) in dense.iter_mut().zip(profiles.iter()) {
-                    *out = params.dequantize(quantized);
-                }
-                Ok(())
-            }
+            } => pool_dense_int8(shards, cache, *params, batch, dense),
+            ItemStore::ClusterInt8 {
+                client,
+                cache,
+                params,
+            } => pool_dense_int8(client, cache, *params, batch, dense),
         }
     }
 }
 
-/// Pool a CSR batch through the cache and the shards: probe the cache per lookup in flat
-/// order (copying hits into a staging buffer), coalesce repeated misses of one row onto
-/// a single in-flight fetch, fetch the unique misses from their shards with one scoped
-/// worker per shard, insert the fetched rows into the cache, then sum-pool each request
-/// from the staging buffer in request order.
+/// The int8 variant of dense pooling: pool quantized profiles, then dequantize into
+/// the model's f32 input.
+fn pool_dense_int8<S: RowSource<i8>>(
+    source: &mut S,
+    cache: &mut HotRowCache<i8>,
+    params: QuantizationParams,
+    batch: &PoolingBatch,
+    dense: &mut [f32],
+) -> Result<(), ServeError> {
+    let mut profiles = vec![0i8; batch.len() * source.dim()];
+    pool_profiles(source, cache, batch, &mut profiles)?;
+    if dense.len() != profiles.len() {
+        return Err(ServeError::ShapeMismatch {
+            what: "dense profile buffer",
+            expected: profiles.len(),
+            actual: dense.len(),
+        });
+    }
+    for (out, &quantized) in dense.iter_mut().zip(profiles.iter()) {
+        *out = params.dequantize(quantized);
+    }
+    Ok(())
+}
+
+/// Pool a CSR batch through the cache and a row source (in-process shards or the
+/// cluster router): probe the cache per lookup in flat order (copying hits into a
+/// staging buffer), coalesce repeated misses of one row onto a single in-flight fetch,
+/// fetch the unique misses from the source, insert the fetched rows into the cache,
+/// then sum-pool each request from the staging buffer in request order.
 ///
 /// Accumulation order is always the request's index order, and cached rows are exact
-/// copies of shard rows, so the pooled profiles are bit-identical with the cache on,
-/// off, or at any capacity.
-fn pool_profiles<T: Lane>(
-    shards: &ShardedTable<T>,
+/// copies of source rows, so the pooled profiles are bit-identical with the cache on,
+/// off, or at any capacity — and identical across the single-node and cluster sources.
+fn pool_profiles<T: Lane, S: RowSource<T>>(
+    source: &mut S,
     cache: &mut HotRowCache<T>,
     batch: &PoolingBatch,
     profiles: &mut [T],
 ) -> Result<(), ServeError> {
-    let dim = shards.dim();
+    let dim = source.dim();
     if profiles.len() != batch.len() * dim {
         return Err(ServeError::ShapeMismatch {
             what: "pooled profile buffer",
@@ -220,13 +290,13 @@ fn pool_profiles<T: Lane>(
         });
     }
     if cache.capacity() == 0 {
-        // Disabled-cache fast path: pool straight off the shards, zero staging. Counted
-        // as all-miss so hit-rate reporting stays comparable across configurations.
-        shards.pool_batch(batch, profiles)?;
+        // Disabled-cache fast path: pool straight off the source, zero cache probes.
+        // Counted as all-miss so hit-rate reporting stays comparable across configs.
+        source.pool_direct(batch, profiles)?;
         cache.record_misses(batch.total_lookups() as u64);
         return Ok(());
     }
-    shards.check_indices(batch.indices())?;
+    source.check_indices(batch.indices())?;
     let mut staging: Vec<T> = vec![T::default(); batch.total_lookups() * dim];
     let mut fetched: Vec<(u32, usize)> = Vec::new();
     // `(destination, source)` staging positions of lookups coalesced onto an earlier
@@ -256,7 +326,7 @@ fn pool_profiles<T: Lane>(
                 },
             }
         }
-        shards.fetch_into(misses);
+        source.fetch_rows(misses)?;
     }
     for &(destination, source) in &coalesced {
         staging.copy_within(source * dim..(source + 1) * dim, destination * dim);
@@ -265,21 +335,7 @@ fn pool_profiles<T: Lane>(
     for &(row, position) in &fetched {
         cache.insert(row, &staging[position * dim..(position + 1) * dim]);
     }
-    let offsets = batch.offsets();
-    let mut slots: Vec<&mut [T]> = profiles.chunks_mut(dim).collect();
-    par_runs(&mut slots, |first, run| {
-        for (i, slot) in run.iter_mut().enumerate() {
-            slot.fill(T::default());
-            for position in offsets[first + i]..offsets[first + i + 1] {
-                for (acc, &value) in slot
-                    .iter_mut()
-                    .zip(&staging[position * dim..(position + 1) * dim])
-                {
-                    T::accumulate(acc, value);
-                }
-            }
-        }
-    });
+    crate::shard::pool_from_staging(&staging, dim, batch.offsets(), profiles);
     Ok(())
 }
 
@@ -313,25 +369,7 @@ impl ServeEngine {
         items: &EmbeddingTable,
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
-        if model.config().num_dense_features != items.dim() {
-            return Err(ServeError::InvalidConfig {
-                reason: format!(
-                    "the DLRM dense input is the pooled item profile: num_dense_features ({}) must equal the item embedding dim ({})",
-                    model.config().num_dense_features,
-                    items.dim()
-                ),
-            });
-        }
-        let lsh = RandomHyperplaneLsh::new(items.dim(), config.signature_bits, config.lsh_seed)?;
-        let mut tcam = CmaArray::new(
-            items.rows(),
-            config.signature_bits,
-            ArrayFom::paper_reference(),
-        );
-        for row in 0..items.rows() {
-            let signature = lsh.signature(items.lookup(row)?)?;
-            tcam.write_row_bits(row, &signature, config.signature_bits)?;
-        }
+        let (lsh, tcam) = Self::build_filter(&model, items, &config)?;
         let store = match config.precision {
             ServePrecision::Fp32 => ItemStore::Fp32 {
                 shards: shard_embedding(items, config.shards)?,
@@ -356,6 +394,107 @@ impl ServeEngine {
         })
     }
 
+    /// Build an engine whose catalogue lives on a multi-node shard cluster instead of
+    /// the in-process table: each shard node owns a partition (placed by
+    /// `cluster.placement`, optionally informed by an access `histogram` — required for
+    /// frequency placement) behind its own bounded queue and worker threads, and every
+    /// cross-shard row fetch is charged to the RSC bus next to the GPCiM cost.
+    ///
+    /// The returned [`ClusterHandle`] owns the shard node threads — keep it alive while
+    /// the engine (or any clone of it) serves, and call
+    /// [`shutdown`](ClusterHandle::shutdown) to join them. Ranked outputs are
+    /// bit-identical to the single-node engine over the same catalogue and trace.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeEngine::new`], plus [`ServeError::InvalidConfig`] for a bad
+    /// cluster shape or a frequency placement without a histogram.
+    pub fn new_clustered(
+        model: Dlrm,
+        items: &EmbeddingTable,
+        config: ServeConfig,
+        cluster: &ClusterConfig,
+        histogram: Option<&[u64]>,
+    ) -> Result<(Self, ClusterHandle), ServeError> {
+        cluster.validate()?;
+        let (lsh, tcam) = Self::build_filter(&model, items, &config)?;
+        let plan = ShardPlan::build(
+            items.rows(),
+            cluster.shards,
+            cluster.placement,
+            cluster.hot_replicas,
+            histogram,
+        )?;
+        let (store, handle) = match config.precision {
+            ServePrecision::Fp32 => {
+                let rows: Vec<&[f32]> = items.iter_rows().collect();
+                let (client, handle) = spawn_cluster(&rows, items.dim(), plan, cluster)?;
+                (
+                    ItemStore::ClusterFp32 {
+                        client,
+                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                    },
+                    handle,
+                )
+            }
+            ServePrecision::Int8 => {
+                let quantized = QuantizedTable::from_table(items);
+                let rows: Vec<&[i8]> = (0..quantized.rows())
+                    .map(|row| quantized.row(row).expect("row index in range"))
+                    .collect();
+                let (client, handle) = spawn_cluster(&rows, items.dim(), plan, cluster)?;
+                (
+                    ItemStore::ClusterInt8 {
+                        client,
+                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                        params: quantized.params(),
+                    },
+                    handle,
+                )
+            }
+        };
+        Ok((
+            Self {
+                model,
+                store,
+                lsh,
+                tcam,
+                config,
+                telemetry: ServeTelemetry::default(),
+            },
+            handle,
+        ))
+    }
+
+    /// The candidate-filtering stage shared by both constructors: the LSH hasher plus a
+    /// TCAM loaded with every item row's signature.
+    fn build_filter(
+        model: &Dlrm,
+        items: &EmbeddingTable,
+        config: &ServeConfig,
+    ) -> Result<(RandomHyperplaneLsh, CmaArray), ServeError> {
+        if model.config().num_dense_features != items.dim() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "the DLRM dense input is the pooled item profile: num_dense_features ({}) must equal the item embedding dim ({})",
+                    model.config().num_dense_features,
+                    items.dim()
+                ),
+            });
+        }
+        let lsh = RandomHyperplaneLsh::new(items.dim(), config.signature_bits, config.lsh_seed)?;
+        let mut tcam = CmaArray::new(
+            items.rows(),
+            config.signature_bits,
+            ArrayFom::paper_reference(),
+        );
+        for row in 0..items.rows() {
+            let signature = lsh.signature(items.lookup(row)?)?;
+            tcam.write_row_bits(row, &signature, config.signature_bits)?;
+        }
+        Ok((lsh, tcam))
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
@@ -375,6 +514,15 @@ impl ServeEngine {
     /// Cache counters accumulated so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.store.cache_stats()
+    }
+
+    /// Shard-cluster counters (None when serving from the in-process table).
+    pub fn cluster_stats(&self) -> Option<ClusterStats> {
+        self.store.cluster_stats()
+    }
+
+    pub(crate) fn cluster_counters(&self) -> Option<Arc<ClusterCounters>> {
+        self.store.cluster_counters()
     }
 
     /// Serving counters accumulated so far.
@@ -428,6 +576,12 @@ impl ServeEngine {
             .cost
             .charge(CostComponent::CmaAdd, add.repeat(adds));
         self.telemetry.total_cost += read.repeat(misses).serial(add.repeat(adds));
+        // Cross-shard fetches pay the RSC bus (multi-node stores only).
+        let (interconnect, interconnect_breakdown) = self.store.take_interconnect();
+        if interconnect != Cost::ZERO {
+            self.telemetry.cost.merge(&interconnect_breakdown);
+            self.telemetry.total_cost += interconnect;
+        }
 
         // 2. Candidate filtering: LSH signatures matched in TCAM mode, one serialized
         //    search per query.
@@ -515,6 +669,7 @@ impl ServeEngine {
             telemetry: self.telemetry.clone(),
             cache: self.store.cache_stats(),
             runtime: None,
+            cluster: self.store.cluster_stats(),
         };
         Ok(ReplayOutcome { responses, report })
     }
@@ -588,6 +743,7 @@ mod tests {
             top_k: 10,
             sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
             seed: 2024,
+            item_permutation_seed: None,
         }
     }
 

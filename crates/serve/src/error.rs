@@ -37,6 +37,12 @@ pub enum ServeError {
     },
     /// The runtime has been shut down (or a worker died) and accepts no more requests.
     RuntimeStopped,
+    /// A shard node of the cluster died (panicked or was shut down) while sub-requests
+    /// were outstanding; the routed batch cannot be completed.
+    ShardFailed {
+        /// The shard whose node failed.
+        shard: usize,
+    },
     /// An error bubbled up from the model layer.
     Recsys(RecsysError),
     /// An error bubbled up from the fabric simulator.
@@ -69,6 +75,9 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::RuntimeStopped => write!(f, "serving runtime is stopped"),
+            ServeError::ShardFailed { shard } => {
+                write!(f, "shard node {shard} failed with sub-requests outstanding")
+            }
             ServeError::Recsys(e) => write!(f, "model layer: {e}"),
             ServeError::Fabric(e) => write!(f, "fabric layer: {e}"),
         }
@@ -111,6 +120,8 @@ mod tests {
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("backpressure"));
         assert!(ServeError::RuntimeStopped.to_string().contains("stopped"));
+        let e = ServeError::ShardFailed { shard: 3 };
+        assert!(e.to_string().contains('3'));
     }
 
     #[test]

@@ -21,14 +21,23 @@
 //!   backpressure (rejections and stalls), and a real-time replay driver with
 //!   *measured* latency — bit-identical outputs to the simulated path;
 //! * [`queue`] — the bounded queue primitive behind the runtime's backpressure;
+//! * [`placement`] — catalogue placement across shard nodes: range vs frequency-aware
+//!   (trace-histogram-driven) partitioning with optional hot-row replication, and the
+//!   deterministic per-shard split of a batch's lookups;
+//! * [`cluster`] — multi-node shard routing: per-shard bounded queues + workers, a
+//!   router/gather pair with bit-identical outputs to the single-node path, and an
+//!   RSC-bus interconnect charge per cross-shard hop;
 //! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99), throughput, cache,
-//!   runtime and modeled-cost reporting with a bench-harness-style JSON summary.
+//!   runtime, cluster and modeled-cost reporting with a bench-harness-style JSON
+//!   summary.
 
 pub mod batcher;
 pub mod cache;
 pub mod clock;
+pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod placement;
 pub mod queue;
 pub mod replay;
 pub mod runtime;
@@ -38,12 +47,14 @@ pub mod telemetry;
 pub use batcher::{BatchPolicy, DynamicBatcher, FlushReason, FlushedBatch};
 pub use cache::{CacheStats, HotRowCache};
 pub use clock::{Clock, ManualClock, WallClock};
+pub use cluster::{ClusterClient, ClusterConfig, ClusterHandle};
 pub use engine::{
     ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse,
 };
 pub use error::ServeError;
+pub use placement::{Placement, ShardPlan, ShardSplit, SubBatch};
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use replay::{ReplayConfig, ReplayWorkload};
 pub use runtime::{replay_threaded, RuntimeConfig, ServeRuntime, ThreadedReplayConfig};
 pub use shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
-pub use telemetry::{LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};
+pub use telemetry::{ClusterStats, LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};

@@ -40,6 +40,12 @@ pub struct ReplayConfig {
     pub sparse_cardinalities: Vec<usize>,
     /// RNG seed; the whole trace is a pure function of it.
     pub seed: u64,
+    /// When set, catalogue row ids are a seeded pseudorandom permutation of the Zipf
+    /// popularity ranks instead of being identical to them. Real catalogues are not
+    /// popularity-sorted; permuting decouples id order from rank order, which is what
+    /// makes range vs frequency-aware shard placement a meaningful comparison. `None`
+    /// keeps the historical rank-ordered traces.
+    pub item_permutation_seed: Option<u64>,
 }
 
 impl ReplayConfig {
@@ -103,6 +109,9 @@ impl ReplayWorkload {
             seed: config.seed,
         });
         let zipf = ZipfSampler::new(config.num_items, config.zipf_exponent);
+        let permutation = config
+            .item_permutation_seed
+            .map(|seed| rank_permutation(config.num_items, seed));
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
         let mut history = vec![0usize; config.history_len];
         let mut arrival_us = 0.0f64;
@@ -126,7 +135,13 @@ impl ReplayWorkload {
                     id: id as u64,
                     arrival_us,
                     query,
-                    history: history.iter().map(|&rank| rank as u32).collect(),
+                    history: history
+                        .iter()
+                        .map(|&rank| match &permutation {
+                            Some(permutation) => permutation[rank],
+                            None => rank as u32,
+                        })
+                        .collect(),
                     sparse,
                 }
             })
@@ -148,6 +163,41 @@ impl ReplayWorkload {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// Per-row access counts over the trace's histories — the measured popularity
+    /// histogram that drives frequency-aware shard placement (and hot-replica choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::RowOutOfRange`] if any history row is outside
+    /// `0..num_items`.
+    pub fn row_histogram(&self, num_items: usize) -> Result<Vec<u64>, ServeError> {
+        let mut histogram = vec![0u64; num_items];
+        for request in &self.requests {
+            for &row in &request.history {
+                let slot = histogram
+                    .get_mut(row as usize)
+                    .ok_or(ServeError::RowOutOfRange {
+                        row: row as usize,
+                        rows: num_items,
+                    })?;
+                *slot += 1;
+            }
+        }
+        Ok(histogram)
+    }
+}
+
+/// A seeded pseudorandom bijection rank -> catalogue row id (Fisher–Yates over
+/// `0..num_items`).
+fn rank_permutation(num_items: usize, seed: u64) -> Vec<u32> {
+    let mut permutation: Vec<u32> = (0..num_items as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(1));
+    for i in (1..permutation.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        permutation.swap(i, j);
+    }
+    permutation
 }
 
 #[cfg(test)]
@@ -166,6 +216,7 @@ mod tests {
             top_k: 10,
             sparse_cardinalities: vec![10, 20, 5],
             seed: 42,
+            item_permutation_seed: None,
         }
     }
 
@@ -217,6 +268,55 @@ mod tests {
             "head share {}",
             head as f64 / total as f64
         );
+    }
+
+    #[test]
+    fn permutation_shuffles_ids_but_preserves_the_popularity_law() {
+        let plain = ReplayWorkload::generate(&config()).unwrap();
+        let mut shuffled_config = config();
+        shuffled_config.item_permutation_seed = Some(9);
+        let shuffled = ReplayWorkload::generate(&shuffled_config).unwrap();
+        let again = ReplayWorkload::generate(&shuffled_config).unwrap();
+        assert_eq!(shuffled, again, "permutation is seeded, not random");
+        assert_ne!(plain, shuffled);
+        // Same arrivals and queries, different row ids.
+        for (a, b) in plain.requests().iter().zip(shuffled.requests()) {
+            assert_eq!(a.arrival_us, b.arrival_us);
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.sparse, b.sparse);
+            assert!(b.history.iter().all(|&row| (row as usize) < 1000));
+        }
+        // The permutation is a bijection: histograms are a permutation of each other,
+        // so the head mass (and hence cache behaviour) is unchanged.
+        let mut h_plain = plain.row_histogram(1000).unwrap();
+        let mut h_shuffled = shuffled.row_histogram(1000).unwrap();
+        assert_eq!(h_plain.iter().sum::<u64>(), h_shuffled.iter().sum::<u64>());
+        h_plain.sort_unstable();
+        h_shuffled.sort_unstable();
+        assert_eq!(h_plain, h_shuffled);
+        // ...but the shuffled trace's head is no longer the low ids.
+        let unshuffled = ReplayWorkload::generate(&config())
+            .unwrap()
+            .row_histogram(1000)
+            .unwrap();
+        let head_mass =
+            |h: &[u64]| h.iter().take(100).sum::<u64>() as f64 / h.iter().sum::<u64>() as f64;
+        assert!(head_mass(&unshuffled) > 0.6);
+        assert!(head_mass(&shuffled.row_histogram(1000).unwrap()) < 0.4);
+    }
+
+    #[test]
+    fn row_histogram_counts_every_lookup_and_validates_range() {
+        let workload = ReplayWorkload::generate(&config()).unwrap();
+        let histogram = workload.row_histogram(1000).unwrap();
+        assert_eq!(histogram.iter().sum::<u64>(), 500 * 12);
+        // Zipf rank 0 is the hottest row in the unpermuted trace.
+        let max = *histogram.iter().max().unwrap();
+        assert_eq!(histogram[0], max);
+        assert!(matches!(
+            workload.row_histogram(10),
+            Err(ServeError::RowOutOfRange { .. })
+        ));
     }
 
     #[test]

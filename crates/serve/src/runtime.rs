@@ -152,6 +152,10 @@ pub struct ServeRuntime {
     report_shards: usize,
     report_cache_capacity: usize,
     report_policy: crate::batcher::BatchPolicy,
+    /// Shared cluster counters when the engine serves from a shard cluster; the
+    /// shutdown report snapshots them once (they are shared across worker clones, so
+    /// per-worker merging would double-count).
+    report_cluster: Option<std::sync::Arc<crate::cluster::ClusterCounters>>,
 }
 
 impl ServeRuntime {
@@ -208,6 +212,7 @@ impl ServeRuntime {
             report_shards: engine.num_shards(),
             report_cache_capacity: engine.config().cache_capacity,
             report_policy: policy,
+            report_cluster: engine.cluster_counters(),
             config,
             start_us,
         })
@@ -363,6 +368,10 @@ impl ServeRuntime {
             telemetry,
             cache,
             runtime: Some(runtime),
+            cluster: self
+                .report_cluster
+                .as_ref()
+                .map(|counters| counters.snapshot()),
         };
         Ok(ReplayOutcome { responses, report })
     }
@@ -681,6 +690,7 @@ mod tests {
             top_k: 10,
             sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
             seed: 77,
+            item_permutation_seed: None,
         }
     }
 

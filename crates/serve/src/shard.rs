@@ -43,6 +43,52 @@ impl Lane for i8 {
     }
 }
 
+/// The engine's abstraction over a row store. The in-process [`ShardedTable`] and the
+/// multi-node [`ClusterClient`](crate::cluster::ClusterClient) both implement it, so
+/// the cache/pooling layer above is byte-for-byte the same code on both paths — which
+/// is what makes the single-node and clustered outputs bit-identical.
+pub(crate) trait RowSource<T: Lane> {
+    /// Elements per row.
+    fn dim(&self) -> usize;
+
+    /// Validate that every index addresses a valid row.
+    fn check_indices(&self, indices: &[u32]) -> Result<(), ServeError>;
+
+    /// Copy the requested rows into the paired output chunks. Indices must be
+    /// pre-validated; chunks are `dim` wide.
+    fn fetch_rows(&mut self, work: Vec<(u32, &mut [T])>) -> Result<(), ServeError>;
+
+    /// Sum-pool a CSR batch straight off the store (the cache-disabled path),
+    /// accumulating each request in index order.
+    fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError>;
+}
+
+/// Accumulate request-order sums from a staged flat-lookup buffer: request `i` pools
+/// `staging[offsets[i]..offsets[i+1]]` rows with [`Lane::accumulate`], fanned across
+/// worker threads. Shared by the cached pooling path and the cluster's direct path —
+/// the accumulation order (flat request order) is the bit-exactness contract.
+pub(crate) fn pool_from_staging<T: Lane>(
+    staging: &[T],
+    dim: usize,
+    offsets: &[usize],
+    out: &mut [T],
+) {
+    let mut slots: Vec<&mut [T]> = out.chunks_mut(dim).collect();
+    par_runs(&mut slots, |first, run| {
+        for (i, slot) in run.iter_mut().enumerate() {
+            slot.fill(T::default());
+            for position in offsets[first + i]..offsets[first + i + 1] {
+                for (acc, &value) in slot
+                    .iter_mut()
+                    .zip(&staging[position * dim..(position + 1) * dim])
+                {
+                    T::accumulate(acc, value);
+                }
+            }
+        }
+    });
+}
+
 /// An embedding table split into contiguous row-range shards.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedTable<T> {
@@ -222,6 +268,25 @@ impl<T: Lane> ShardedTable<T> {
             }
         });
         Ok(())
+    }
+}
+
+impl<T: Lane> RowSource<T> for ShardedTable<T> {
+    fn dim(&self) -> usize {
+        ShardedTable::dim(self)
+    }
+
+    fn check_indices(&self, indices: &[u32]) -> Result<(), ServeError> {
+        ShardedTable::check_indices(self, indices)
+    }
+
+    fn fetch_rows(&mut self, work: Vec<(u32, &mut [T])>) -> Result<(), ServeError> {
+        self.fetch_into(work);
+        Ok(())
+    }
+
+    fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
+        self.pool_batch(batch, out)
     }
 }
 

@@ -282,6 +282,78 @@ impl RuntimeStats {
     }
 }
 
+/// Counters of the multi-node shard cluster: routed traffic, cross-shard bytes, and
+/// per-shard load/queue pressure. Placement quality shows up here — frequency-aware
+/// placement should cut `cross_shard_bytes` on skewed traffic, at the price the
+/// imbalance figure makes visible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Shard nodes in the cluster.
+    pub shards: usize,
+    /// Worker threads per shard node.
+    pub workers_per_shard: usize,
+    /// Placement policy label ("range" / "freq").
+    pub placement: String,
+    /// Hottest rows replicated onto every shard.
+    pub hot_replicas: usize,
+    /// Capacity of each shard's bounded sub-request queue.
+    pub queue_capacity: usize,
+    /// Routed fetches (one per batch of lookups reaching the cluster).
+    pub fetches: u64,
+    /// Sub-requests issued across all fetches (fan-out width sum).
+    pub subrequests: u64,
+    /// Sub-requests that left the batch's home shard.
+    pub cross_shard_hops: u64,
+    /// Row payload bytes served from non-home shards over the RSC bus (the modeled
+    /// bus charge additionally covers the sub-request index bytes).
+    pub cross_shard_bytes: u64,
+    /// Row payload bytes served on the home shard (no bus charge).
+    pub local_bytes: u64,
+    /// Rows served per shard (the skew-induced load-balance signal).
+    pub shard_lookups: Vec<u64>,
+    /// Queue-overflow rejections per shard (counted before the blocking fallback).
+    pub shard_rejections: Vec<u64>,
+    /// Deepest observed sub-request queue depth per shard.
+    pub shard_queue_depth_max: Vec<u64>,
+}
+
+impl ClusterStats {
+    /// Mean shards touched per routed fetch (0 when nothing was routed).
+    pub fn mean_fanout(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.subrequests as f64 / self.fetches as f64
+        }
+    }
+
+    /// Load imbalance: the busiest shard's lookups over the per-shard mean (1.0 is
+    /// perfectly balanced; 0 when no lookups were served).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.shard_lookups.iter().sum();
+        if total == 0 || self.shard_lookups.is_empty() {
+            return 0.0;
+        }
+        let max = *self.shard_lookups.iter().max().expect("nonempty") as f64;
+        max / (total as f64 / self.shard_lookups.len() as f64)
+    }
+
+    /// Fraction of served bytes that crossed shards.
+    pub fn cross_traffic_fraction(&self) -> f64 {
+        let total = self.cross_shard_bytes + self.local_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_shard_bytes as f64 / total as f64
+        }
+    }
+
+    /// Total queue-overflow rejections across shards.
+    pub fn total_rejections(&self) -> u64 {
+        self.shard_rejections.iter().sum()
+    }
+}
+
 /// The summary of one replay run, ready for printing and JSON serialization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -300,6 +372,8 @@ pub struct ServeReport {
     /// Threaded-runtime counters; `None` for the discrete-event replay path, where
     /// latency is simulated rather than measured and there is no queue to backpressure.
     pub runtime: Option<RuntimeStats>,
+    /// Shard-cluster counters; `None` when the engine serves from the in-process table.
+    pub cluster: Option<ClusterStats>,
 }
 
 impl ServeReport {
@@ -348,6 +422,26 @@ impl ServeReport {
             t.energy_pj_per_query(),
             t.mean_candidates(),
         );
+        if let Some(cluster) = &self.cluster {
+            let _ = writeln!(
+                s,
+                "  cluster: {} shard nodes x {} workers ({} placement, {} hot replicas), fan-out {:.2} shards/fetch",
+                cluster.shards,
+                cluster.workers_per_shard,
+                cluster.placement,
+                cluster.hot_replicas,
+                cluster.mean_fanout(),
+            );
+            let _ = writeln!(
+                s,
+                "  interconnect: {} cross-shard hops, {:.2} MB crossed ({:.1}% of served bytes), imbalance {:.2}x, {} queue rejections",
+                cluster.cross_shard_hops,
+                cluster.cross_shard_bytes as f64 / 1e6,
+                cluster.cross_traffic_fraction() * 100.0,
+                cluster.imbalance(),
+                cluster.total_rejections(),
+            );
+        }
         if let Some(runtime) = &self.runtime {
             let _ = writeln!(
                 s,
@@ -419,6 +513,61 @@ impl ServeReport {
             "  \"candidates_per_query\": {:.3},",
             t.mean_candidates()
         );
+        if let Some(cluster) = &self.cluster {
+            let list = |values: &[u64]| -> String {
+                let items: Vec<String> = values.iter().map(u64::to_string).collect();
+                format!("[{}]", items.join(", "))
+            };
+            let _ = writeln!(json, "  \"cluster\": {{");
+            let _ = writeln!(json, "    \"shards\": {},", cluster.shards);
+            let _ = writeln!(
+                json,
+                "    \"workers_per_shard\": {},",
+                cluster.workers_per_shard
+            );
+            let _ = writeln!(
+                json,
+                "    \"placement\": \"{}\",",
+                escape(&cluster.placement)
+            );
+            let _ = writeln!(json, "    \"hot_replicas\": {},", cluster.hot_replicas);
+            let _ = writeln!(json, "    \"queue_capacity\": {},", cluster.queue_capacity);
+            let _ = writeln!(json, "    \"fetches\": {},", cluster.fetches);
+            let _ = writeln!(json, "    \"mean_fanout\": {:.3},", cluster.mean_fanout());
+            let _ = writeln!(
+                json,
+                "    \"cross_shard_hops\": {},",
+                cluster.cross_shard_hops
+            );
+            let _ = writeln!(
+                json,
+                "    \"cross_shard_bytes\": {},",
+                cluster.cross_shard_bytes
+            );
+            let _ = writeln!(json, "    \"local_bytes\": {},", cluster.local_bytes);
+            let _ = writeln!(
+                json,
+                "    \"cross_traffic_fraction\": {:.6},",
+                cluster.cross_traffic_fraction()
+            );
+            let _ = writeln!(json, "    \"imbalance\": {:.3},", cluster.imbalance());
+            let _ = writeln!(
+                json,
+                "    \"shard_lookups\": {},",
+                list(&cluster.shard_lookups)
+            );
+            let _ = writeln!(
+                json,
+                "    \"shard_rejections\": {},",
+                list(&cluster.shard_rejections)
+            );
+            let _ = writeln!(
+                json,
+                "    \"shard_queue_depth_max\": {}",
+                list(&cluster.shard_queue_depth_max)
+            );
+            let _ = writeln!(json, "  }},");
+        }
         if let Some(runtime) = &self.runtime {
             let _ = writeln!(json, "  \"runtime\": {{");
             let _ = writeln!(json, "    \"workers\": {},", runtime.workers);
@@ -606,6 +755,7 @@ mod tests {
                 evictions: 3,
             },
             runtime: None,
+            cluster: None,
         };
         let json = report.to_json();
         for needle in [
@@ -735,6 +885,7 @@ mod tests {
                 worker_busy_us: vec![10.0, 20.0, 30.0],
                 wall_us: 5000.0,
             }),
+            cluster: None,
         };
         let json = report.to_json();
         for needle in [
@@ -751,5 +902,84 @@ mod tests {
         let text = report.summary();
         assert!(text.contains("3 workers"));
         assert!(text.contains("7 rejected"));
+        assert!(
+            !json.contains("\"cluster\""),
+            "no cluster section for single-node serving"
+        );
+    }
+
+    #[test]
+    fn cluster_stats_derived_rates() {
+        let stats = ClusterStats {
+            shards: 4,
+            workers_per_shard: 2,
+            placement: "freq".to_string(),
+            hot_replicas: 16,
+            queue_capacity: 64,
+            fetches: 10,
+            subrequests: 25,
+            cross_shard_hops: 15,
+            cross_shard_bytes: 3000,
+            local_bytes: 7000,
+            shard_lookups: vec![600, 200, 100, 100],
+            shard_rejections: vec![0, 2, 0, 1],
+            shard_queue_depth_max: vec![5, 1, 1, 2],
+        };
+        assert!((stats.mean_fanout() - 2.5).abs() < 1e-12);
+        // max 600 over mean 250 = 2.4x imbalance.
+        assert!((stats.imbalance() - 2.4).abs() < 1e-12);
+        assert!((stats.cross_traffic_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(stats.total_rejections(), 3);
+        let empty = ClusterStats::default();
+        assert_eq!(empty.mean_fanout(), 0.0);
+        assert_eq!(empty.imbalance(), 0.0);
+        assert_eq!(empty.cross_traffic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn report_with_cluster_stats_renders_the_sharded_section() {
+        let report = ServeReport {
+            name: "sharded".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 4,
+            cache_capacity: 32,
+            telemetry: ServeTelemetry::default(),
+            cache: CacheStats::default(),
+            runtime: None,
+            cluster: Some(ClusterStats {
+                shards: 4,
+                workers_per_shard: 1,
+                placement: "range".to_string(),
+                hot_replicas: 0,
+                queue_capacity: 64,
+                fetches: 100,
+                subrequests: 320,
+                cross_shard_hops: 220,
+                cross_shard_bytes: 123_456,
+                local_bytes: 500_000,
+                shard_lookups: vec![10, 20, 30, 40],
+                shard_rejections: vec![0, 0, 1, 0],
+                shard_queue_depth_max: vec![3, 2, 2, 1],
+            }),
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"cluster\"",
+            "\"placement\": \"range\"",
+            "\"cross_shard_bytes\": 123456",
+            "\"cross_shard_hops\": 220",
+            "\"mean_fanout\": 3.200",
+            "\"shard_lookups\": [10, 20, 30, 40]",
+            "\"shard_rejections\": [0, 0, 1, 0]",
+            "\"imbalance\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let text = report.summary();
+        assert!(text.contains("4 shard nodes"));
+        assert!(text.contains("cross-shard hops"));
+        assert!(text.contains("range placement"));
     }
 }

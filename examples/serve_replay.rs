@@ -11,13 +11,22 @@
 //! Poisson arrivals in real time: the run reports *measured* p50/p95/p99 latency, queue
 //! depth, backpressure and worker utilization, asserts the ranking outputs are
 //! bit-identical to the simulated replay, and writes `serve_replay_threaded.json`.
+//!
+//! With `--shards N` the trace is replayed through the **multi-node cluster**: the
+//! catalogue is partitioned across N shard nodes (each behind its own bounded queue
+//! and worker thread) under the policy picked by `--placement {range,freq}`, every
+//! cross-shard row fetch is charged to the RSC bus, and the run reports cross-shard
+//! bytes/hops, fan-out and shard imbalance — with outputs asserted bit-identical to
+//! the single-node engine. The sharded runs use a permuted catalogue (`ids != Zipf
+//! rank`, like a real catalogue), which is what makes the two placements differ; the
+//! telemetry lands in `serve_replay_sharded_<placement>.json`.
 
 use imars::fabric::cost::CostComponent;
 use imars::recsys::dlrm::{Dlrm, DlrmConfig};
 use imars::recsys::EmbeddingTable;
 use imars::serve::{
-    replay_threaded, ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig, ServeEngine,
-    ThreadedReplayConfig,
+    replay_threaded, ClusterConfig, Placement, ReplayConfig, ReplayWorkload, RuntimeConfig,
+    ServeConfig, ServeEngine, ThreadedReplayConfig,
 };
 
 const NUM_ITEMS: usize = 8192;
@@ -47,25 +56,24 @@ fn engine(cache_capacity: usize, items: &EmbeddingTable) -> ServeEngine {
     .expect("valid engine")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|arg| arg == "--smoke");
-    let threads: usize = match args.iter().position(|arg| arg == "--threads") {
+/// Parse `--flag value` as a count, failing loudly on a missing or malformed value:
+/// silently skipping a mode would let a mis-quoted CI step green-light without
+/// exercising it.
+fn parse_count(args: &[String], flag: &str) -> usize {
+    match args.iter().position(|arg| arg == flag) {
         None => 0,
-        // Fail loudly on a missing or malformed count: silently skipping the threaded
-        // run would let a mis-quoted CI step green-light without exercising it.
         Some(i) => match args.get(i + 1).and_then(|value| value.parse().ok()) {
             Some(count) => count,
             None => {
-                eprintln!("serve_replay: --threads needs a worker count (e.g. --threads 2)");
+                eprintln!("serve_replay: {flag} needs a count (e.g. {flag} 2)");
                 std::process::exit(2);
             }
         },
-    };
-    let queries = if smoke { 1_000 } else { 10_000 };
+    }
+}
 
-    let items = EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 77).expect("valid table");
-    let workload = ReplayWorkload::generate(&ReplayConfig {
+fn replay_config(queries: usize, item_permutation_seed: Option<u64>) -> ReplayConfig {
+    ReplayConfig {
         queries,
         num_users: 4096,
         num_items: NUM_ITEMS,
@@ -76,8 +84,31 @@ fn main() {
         top_k: 10,
         sparse_cardinalities: model_config().sparse_cardinalities,
         seed: 11,
-    })
-    .expect("valid replay config");
+        item_permutation_seed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let threads = parse_count(&args, "--threads");
+    let shard_nodes = parse_count(&args, "--shards");
+    let placement = match args.iter().position(|arg| arg == "--placement") {
+        None => Placement::Range,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("range") => Placement::Range,
+            Some("freq") => Placement::Frequency,
+            other => {
+                eprintln!("serve_replay: --placement must be 'range' or 'freq', got {other:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let queries = if smoke { 1_000 } else { 10_000 };
+
+    let items = EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 77).expect("valid table");
+    let workload =
+        ReplayWorkload::generate(&replay_config(queries, None)).expect("valid replay config");
     println!(
         "== Zipf replay: {} queries, {} items (exponent 1.2), history 32, offered 4k qps ==",
         queries, NUM_ITEMS
@@ -174,5 +205,106 @@ fn main() {
             Ok(path) => println!("  threaded telemetry JSON written to {}", path.display()),
             Err(error) => eprintln!("  warning: could not write threaded telemetry: {error}"),
         }
+    }
+
+    // 4. Optional: the multi-node cluster. The catalogue is permuted (ids are not
+    //    popularity-sorted, as in a real catalogue) so shard placement actually
+    //    matters: range placement scatters the hot rows across nodes, frequency-aware
+    //    placement packs them from the trace histogram and replicates the hottest
+    //    eighth — and the cross-shard RSC-bus traffic shows the difference.
+    if shard_nodes > 0 {
+        println!(
+            "\n== Multi-node cluster: {shard_nodes} shard nodes, {} placement, permuted catalogue ==",
+            placement.label()
+        );
+        let sharded_workload = ReplayWorkload::generate(&replay_config(queries, Some(11)))
+            .expect("valid replay config");
+        let histogram = sharded_workload
+            .row_histogram(NUM_ITEMS)
+            .expect("histories are in range");
+        let cluster_config = ClusterConfig {
+            shards: shard_nodes,
+            workers_per_shard: 1,
+            queue_capacity: 256,
+            placement,
+            hot_replicas: if placement == Placement::Frequency {
+                NUM_ITEMS / 8
+            } else {
+                0
+            },
+            interconnect: Default::default(),
+        };
+        // Single-node control on the same permuted trace: the equivalence anchor.
+        let mut control = engine(CACHE_ROWS, &items);
+        let expected = control
+            .replay(&sharded_workload)
+            .expect("control replay succeeds");
+        let (mut clustered, handle) = ServeEngine::new_clustered(
+            Dlrm::new(model_config()).expect("valid config"),
+            &items,
+            ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+            &cluster_config,
+            Some(&histogram),
+        )
+        .expect("valid clustered engine");
+        let outcome = clustered
+            .replay(&sharded_workload)
+            .expect("clustered replay succeeds");
+        for (a, b) in outcome.responses.iter().zip(expected.responses.iter()) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "query {}: clustered vs single-node",
+                a.id
+            );
+            assert_eq!(a.candidates, b.candidates, "query {}", a.id);
+        }
+        let mut report = outcome.report;
+        report.name = format!("serve_replay_sharded_{}", placement.label());
+        print!("{}", report.summary());
+        println!(
+            "  all {} clustered predictions bit-identical to the single-node engine",
+            outcome.responses.len()
+        );
+        match report.write_json() {
+            Ok(path) => println!("  sharded telemetry JSON written to {}", path.display()),
+            Err(error) => eprintln!("  warning: could not write sharded telemetry: {error}"),
+        }
+
+        if threads > 0 {
+            println!("\n== Threaded runtime over the cluster: {threads} workers ==");
+            let threaded = replay_threaded(
+                &clustered,
+                &sharded_workload,
+                &ThreadedReplayConfig {
+                    runtime: RuntimeConfig::new(threads, 4096).expect("valid runtime config"),
+                    speedup: 1.0,
+                    shed_on_full: false,
+                },
+            )
+            .expect("threaded clustered replay succeeds");
+            let mut by_id = threaded.responses.clone();
+            by_id.sort_unstable_by_key(|response| response.id);
+            for (a, b) in by_id.iter().zip(expected.responses.iter()) {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "query {}: threaded clustered vs single-node",
+                    a.id
+                );
+            }
+            let mut threaded_report = threaded.report;
+            threaded_report.name = format!("serve_replay_sharded_{}_threaded", placement.label());
+            print!("{}", threaded_report.summary());
+            println!(
+                "  all {} threaded clustered predictions bit-identical to the single-node engine",
+                by_id.len()
+            );
+            match threaded_report.write_json() {
+                Ok(path) => println!("  sharded threaded telemetry written to {}", path.display()),
+                Err(error) => eprintln!("  warning: could not write telemetry: {error}"),
+            }
+        }
+        handle.shutdown().expect("cluster shuts down cleanly");
     }
 }
