@@ -1,2 +1,232 @@
-//! Placeholder bench — reserved for the design_space reproduction study (see ROADMAP).
-fn main() {}
+//! The design-space exploration: five axes swept around the paper's design point, each
+//! reported as study rows in `design_space_study.json`:
+//!
+//! 1. **CMA array size** (rows) — analytical FOMs + area per array vs the ET-lookup
+//!    stage cost at that geometry;
+//! 2. **TCAM search radius** — recall / candidate-fraction curves (functional searches);
+//! 3. **hot-row cache capacity** — measured hit rate and modeled energy per query from
+//!    real serve replays;
+//! 4. **shard count** — cross-shard interconnect traffic and imbalance from clustered
+//!    replays;
+//! 5. **GPCiM accumulator width** (8 vs 16 bit, the ROADMAP satellite) — pooling error
+//!    versus add energy/latency and accumulator area.
+
+use imars_bench::{black_box, Harness};
+use imars_core::end_to_end::{serve_cluster_study, ServeStudyConfig};
+use imars_core::et_lookup::EtLookupModel;
+use imars_core::nns_eval::{run_nns_study, NnsEvalConfig};
+use imars_core::system::{Study, StudyRow, SweepGrid};
+use imars_core::workloads::RecsysWorkload;
+use imars_device::area::AreaModel;
+use imars_device::characterization::{ArrayCharacterizer, ArrayFom};
+use imars_device::technology::TechnologyParams;
+use imars_fabric::accumulator::GpcimAccumulator;
+use imars_fabric::FabricConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 2024;
+
+fn array_size_axis(study: &mut Study) {
+    let area = AreaModel::new(TechnologyParams::predictive_45nm());
+    let workload = RecsysWorkload::movielens_filtering();
+    for rows in [64usize, 128, 256, 512] {
+        let fom = if rows == 256 {
+            // The paper's geometry uses the published (calibrated) figures.
+            ArrayFom::paper_reference()
+        } else {
+            ArrayCharacterizer::new(TechnologyParams::predictive_45nm())
+                .with_cma_geometry(rows, 256)
+                .analytical_fom()
+                .expect("geometry characterizes")
+        };
+        let config = FabricConfig {
+            cma_rows: rows,
+            ..FabricConfig::paper_design_point()
+        };
+        let model = EtLookupModel::new(config, fom).expect("valid config");
+        let cost = model.stage_cost(&workload).expect("workload maps");
+        let cma_area = area.cma(rows, 256).total_um2();
+        study.push(
+            StudyRow::new()
+                .config_text("axis", "cma_rows")
+                .config_num("cma_rows", rows as f64)
+                .metric("read_energy_pj", fom.cma.read.energy_pj)
+                .metric("search_energy_pj", fom.cma.search.energy_pj)
+                .metric("et_worst_latency_ns", cost.worst.latency_ns)
+                .metric("et_spread_latency_ns", cost.spread.latency_ns)
+                .metric("et_worst_energy_pj", cost.worst.energy_pj)
+                .metric("cma_area_um2", cma_area)
+                .metric(
+                    "subsystem_area_mm2",
+                    area.et_subsystem_mm2(32, 4, 32, rows, 256),
+                ),
+        );
+    }
+}
+
+fn radius_axis(study: &mut Study, smoke: bool) {
+    let config = NnsEvalConfig {
+        queries: if smoke { 8 } else { 32 },
+        radii: vec![70, 80, 90, 100, 110, 120],
+        seed: SEED,
+        ..NnsEvalConfig::movielens_scale()
+    };
+    let result = run_nns_study(&config, &ArrayFom::paper_reference()).expect("valid config");
+    for point in &result.points {
+        let row = point.study_row().config_text_front("axis", "search_radius");
+        study.push(row);
+    }
+}
+
+fn cache_axis(study: &mut Study, smoke: bool) {
+    for cache_rows in [0usize, 128, 512, 2048] {
+        let foms = serve_cluster_study(&ServeStudyConfig {
+            queries: if smoke { 256 } else { 2048 },
+            cache_rows,
+            seed: SEED,
+            ..ServeStudyConfig::small()
+        })
+        .expect("replay runs");
+        let row = foms.study_row().config_text_front("axis", "cache_rows");
+        study.push(row);
+    }
+}
+
+fn shard_axis(study: &mut Study, smoke: bool) {
+    for shards in [1usize, 2, 4, 8] {
+        let foms = serve_cluster_study(&ServeStudyConfig {
+            queries: if smoke { 256 } else { 2048 },
+            shards,
+            seed: SEED,
+            ..ServeStudyConfig::small()
+        })
+        .expect("replay runs");
+        let row = foms.study_row().config_text_front("axis", "shards");
+        study.push(row);
+    }
+}
+
+fn accumulator_axis(study: &mut Study) {
+    // Functional pooling-error measurement: 200 chains of 64 random int8 values,
+    // accumulated at each width and compared against the exact i32 sum.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let chains: Vec<Vec<i8>> = (0..200)
+        .map(|_| (0..64).map(|_| rng.gen_range(-127..=127i8)).collect())
+        .collect();
+    let published = ArrayFom::paper_reference();
+    let workload = RecsysWorkload::movielens_filtering();
+    for accumulator in [GpcimAccumulator::INT8, GpcimAccumulator::INT16] {
+        let mut error_total = 0.0f64;
+        for chain in &chains {
+            let mut lane = [0i32];
+            let mut exact = 0i64;
+            for &value in chain {
+                accumulator.accumulate(&mut lane, &[value]);
+                exact += value as i64;
+            }
+            error_total += (lane[0] as i64 - exact).unsigned_abs() as f64;
+        }
+        let add = accumulator.add_fom(published.cma.add);
+        let cost = EtLookupModel::paper_reference()
+            .with_accumulator(accumulator)
+            .stage_cost(&workload)
+            .expect("workload maps");
+        study.push(
+            StudyRow::new()
+                .config_text("axis", "accumulator_bits")
+                .config_num("accumulator_bits", accumulator.bits() as f64)
+                .metric("mean_abs_pooling_error", error_total / chains.len() as f64)
+                .metric("add_energy_pj", add.energy_pj)
+                .metric("add_latency_ns", add.latency_ns)
+                .metric("accumulator_area_um2", accumulator.area_um2(256))
+                .metric("et_worst_latency_ns", cost.worst.latency_ns)
+                .metric("et_worst_energy_pj", cost.worst.energy_pj),
+        );
+    }
+}
+
+fn main() {
+    let mut harness = Harness::from_args("design_space");
+    let smoke = harness.is_smoke();
+
+    // Timed: the analytical cost model itself (the thing every sweep point evaluates).
+    let model = EtLookupModel::paper_reference();
+    let workload = RecsysWorkload::movielens_ranking();
+    harness.bench("model/et_stage_cost_eval", || {
+        black_box(model.stage_cost(&workload).expect("workload maps"));
+    });
+    let grid = SweepGrid::new()
+        .axis("cma_rows", &[64.0, 128.0, 256.0, 512.0])
+        .axis("radius", &[70.0, 80.0, 90.0, 100.0, 110.0, 120.0])
+        .axis("cache_rows", &[0.0, 128.0, 512.0, 2048.0])
+        .axis("shards", &[1.0, 2.0, 4.0, 8.0])
+        .axis("accumulator_bits", &[8.0, 16.0]);
+    harness.bench("model/sweep_grid_enumeration", || {
+        black_box(grid.points());
+    });
+
+    let mut study = Study::new("design_space_study", SEED);
+    study.note(
+        "method",
+        "one axis swept at a time around the paper design point; cache and shard axes \
+         replay real Zipf traffic through the serve engine; the full cartesian grid is \
+         enumerated for the record",
+    );
+    study.note("grid_points", &grid.len().to_string());
+    array_size_axis(&mut study);
+    radius_axis(&mut study, smoke);
+    cache_axis(&mut study, smoke);
+    shard_axis(&mut study, smoke);
+    accumulator_axis(&mut study);
+
+    // Headline metrics pulled from the axes for the harness summary.
+    let hit_at_2048 = study
+        .rows()
+        .iter()
+        .filter(|r| {
+            r.config.iter().any(|(k, v)| {
+                k == "axis"
+                    && matches!(v, imars_core::system::ParamValue::Text(t) if t == "cache_rows")
+            }) && r.config.iter().any(|(k, v)| {
+                k == "cache_rows"
+                    && matches!(v, imars_core::system::ParamValue::Num(n) if *n == 2048.0)
+            })
+        })
+        .find_map(|r| r.get_metric("cache_hit_rate"));
+    if let Some(hit) = hit_at_2048 {
+        harness.metric("cache_hit_rate_at_2048_rows", hit, "fraction");
+    }
+    let cross_shard_8 = study
+        .rows()
+        .iter()
+        .filter(|r| {
+            r.config.iter().any(|(k, v)| {
+                k == "shards" && matches!(v, imars_core::system::ParamValue::Num(n) if *n == 8.0)
+            })
+        })
+        .find_map(|r| r.get_metric("cross_shard_kb"));
+    if let Some(kb) = cross_shard_8 {
+        harness.metric("cross_shard_kb_at_8_shards", kb, "kB");
+    }
+    let int16_error = study
+        .rows()
+        .iter()
+        .filter(|r| {
+            r.config.iter().any(|(k, v)| {
+                k == "accumulator_bits"
+                    && matches!(v, imars_core::system::ParamValue::Num(n) if *n == 16.0)
+            })
+        })
+        .find_map(|r| r.get_metric("mean_abs_pooling_error"));
+    if let Some(error) = int16_error {
+        harness.metric("int16_mean_abs_pooling_error", error, "lsb");
+    }
+    harness.metric("study_rows", study.rows().len() as f64, "rows");
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+    harness.finish();
+}

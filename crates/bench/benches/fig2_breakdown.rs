@@ -1,2 +1,169 @@
-//! Placeholder bench — reserved for the fig2_breakdown reproduction study (see ROADMAP).
-fn main() {}
+//! The Fig. 2 stage-breakdown study: filtering and ranking decomposed into
+//! {ET lookup, DNN stack, NNS/TopK} on both the iMARS model and the GPU baseline —
+//! plus the measured before/after of the blocked, batched mat-vec that un-hid the
+//! DLRM batch speedup on the 1-core container (ROADMAP "end-to-end batch speedup").
+//!
+//! Timed benches: a naive single-accumulator mat-vec (the seed's kernel shape) versus
+//! the blocked kernel the MLPs now share, single-sample versus batched-GEMM MLP forward
+//! via the public API, and DLRM one-at-a-time versus `predict_batch`.
+
+use imars_bench::{black_box, Harness};
+use imars_core::et_lookup::EtLookupModel;
+use imars_core::pipeline::fig2_comparisons;
+use imars_core::system::{Study, StudyRow};
+use imars_gpu::GpuModel;
+use imars_recsys::dlrm::{Dlrm, DlrmConfig, DlrmSample};
+use imars_recsys::mlp::{Activation, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CANDIDATES: usize = 100;
+const MLP_BATCH: usize = 64;
+const DLRM_BATCH: usize = 128;
+
+/// The seed's mat-vec shape: one sequential accumulator per output row. Kept here as the
+/// measured "before" of the blocked-kernel satellite.
+fn naive_matvec(weights: &[f32], inputs: usize, outputs: usize, x: &[f32], out: &mut [f32]) {
+    for (o, slot) in out.iter_mut().take(outputs).enumerate() {
+        let row = &weights[o * inputs..(o + 1) * inputs];
+        let mut sum = 0.0f32;
+        for (w, v) in row.iter().zip(x.iter()) {
+            sum += w * v;
+        }
+        *slot = sum;
+    }
+}
+
+fn main() {
+    let mut harness = Harness::from_args("fig2_breakdown");
+    let model = EtLookupModel::paper_reference();
+    let gpu = GpuModel::gtx_1080();
+    let mut study = Study::new("fig2_breakdown_study", 11);
+    study.note(
+        "figure",
+        "Fig. 2 of the paper: per-operation stage breakdowns, GPU vs iMARS",
+    );
+
+    // Modeled stage breakdowns (the Fig. 2 reproduction).
+    let comparisons = fig2_comparisons(&model, &gpu, CANDIDATES).expect("paper workloads map");
+    for comparison in &comparisons {
+        for row in comparison.study_rows() {
+            study.push(row);
+        }
+        harness.metric(
+            &format!("{}/dnn_stack_speedup", comparison.stage),
+            comparison.operation_speedup("DNN Stack"),
+            "x",
+        );
+    }
+    harness.metric(
+        "paper_dnn_stack_speedup",
+        imars_gpu::reference::SPEEDUP_DNN_STACK,
+        "x",
+    );
+
+    // Measured: naive vs blocked mat-vec on the DLRM top-MLP shape (383 x 256).
+    let (inputs, outputs) = (383usize, 256usize);
+    let mut rng = StdRng::seed_from_u64(3);
+    let weights: Vec<f32> = (0..inputs * outputs)
+        .map(|_| rng.gen_range(-0.1..0.1f32))
+        .collect();
+    let x: Vec<f32> = (0..inputs).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let mut out = vec![0.0f32; outputs];
+    let naive_ns = harness.bench("matvec/naive_383x256", || {
+        naive_matvec(&weights, inputs, outputs, &x, &mut out);
+        black_box(&out);
+    });
+    let mlp = Mlp::new(&[inputs, outputs], Activation::Linear, 9).expect("valid shape");
+    let mut scratch = mlp.scratch();
+    let blocked_ns = harness.bench("matvec/blocked_383x256", || {
+        black_box(mlp.forward_into(&x, &mut scratch).expect("valid input"));
+    });
+    harness.metric(
+        "matvec_blocked_speedup",
+        naive_ns / blocked_ns.max(f64::MIN_POSITIVE),
+        "x",
+    );
+
+    // Measured: single-sample vs batched-GEMM forward of the DLRM top-MLP stack.
+    let stack = Mlp::new(&[inputs, 256, 64, 1], Activation::Sigmoid, 10).expect("valid shape");
+    let batch_inputs: Vec<f32> = (0..MLP_BATCH * inputs)
+        .map(|_| rng.gen_range(-1.0..1.0f32))
+        .collect();
+    let mut single_scratch = stack.scratch();
+    let single_ns = harness.bench("mlp/forward_single_x64", || {
+        for s in 0..MLP_BATCH {
+            black_box(
+                stack
+                    .forward_into(
+                        &batch_inputs[s * inputs..(s + 1) * inputs],
+                        &mut single_scratch,
+                    )
+                    .expect("valid input"),
+            );
+        }
+    });
+    let mut batch_scratch = stack.batch_scratch(MLP_BATCH);
+    let batch_ns = harness.bench("mlp/forward_batch_64", || {
+        black_box(
+            stack
+                .forward_batch_into(&batch_inputs, &mut batch_scratch)
+                .expect("valid batch"),
+        );
+    });
+    let mlp_batch_speedup = single_ns / batch_ns.max(f64::MIN_POSITIVE);
+    harness.metric("mlp_batch_speedup", mlp_batch_speedup, "x");
+
+    // Measured: the DLRM end-to-end batch speedup the ROADMAP item asked to un-hide.
+    let config = DlrmConfig {
+        num_dense_features: 13,
+        sparse_cardinalities: vec![1000; 26],
+        embedding_dim: 32,
+        bottom_hidden: vec![256, 128, 32],
+        top_hidden: vec![256, 64, 1],
+        seed: 42,
+    };
+    let dlrm = Dlrm::new(config.clone()).expect("valid config");
+    let samples: Vec<DlrmSample> = (0..DLRM_BATCH)
+        .map(|_| DlrmSample {
+            dense: (0..config.num_dense_features)
+                .map(|_| rng.gen_range(-1.0..1.0f32))
+                .collect(),
+            sparse: config
+                .sparse_cardinalities
+                .iter()
+                .map(|&cardinality| rng.gen_range(0..cardinality))
+                .collect(),
+        })
+        .collect();
+    let one_at_a_time_ns = harness.bench("dlrm/predict_one_at_a_time_x128", || {
+        for sample in &samples {
+            black_box(dlrm.predict(sample).expect("valid sample"));
+        }
+    });
+    let batch_dlrm_ns = harness.bench("dlrm/predict_batch_128", || {
+        black_box(dlrm.predict_batch(&samples).expect("valid samples"));
+    });
+    let dlrm_batch_speedup = one_at_a_time_ns / batch_dlrm_ns.max(f64::MIN_POSITIVE);
+    harness.metric("dlrm_batch_speedup", dlrm_batch_speedup, "x");
+
+    study.push(
+        StudyRow::new()
+            .config_text("stage", "software")
+            .config_text("operation", "blocked_batched_matvec")
+            .metric("naive_matvec_ns", naive_ns)
+            .metric("blocked_matvec_ns", blocked_ns)
+            .metric(
+                "matvec_speedup",
+                naive_ns / blocked_ns.max(f64::MIN_POSITIVE),
+            )
+            .metric("mlp_batch_speedup", mlp_batch_speedup)
+            .metric("dlrm_batch_speedup", dlrm_batch_speedup),
+    );
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+    harness.finish();
+}

@@ -1,2 +1,122 @@
-//! Placeholder bench — reserved for the nns_comparison reproduction study (see ROADMAP).
-fn main() {}
+//! The Sec. IV-C2 nearest-neighbour-search comparison: TCAM fixed-radius (functional
+//! CMA searches) versus LSH Hamming top-k versus exact cosine, as recall / candidate
+//! ratio / energy curves over the radius sweep, with the paper's ~3.8×10⁴ latency and
+//! ~2.8×10⁴ energy claims next to the modeled ratios.
+//!
+//! Timed benches measure the software counterparts (TCAM functional search and exact
+//! cosine top-k over the MovieLens-scale catalogue).
+
+use imars_bench::{black_box, Harness};
+use imars_core::nns_eval::{run_nns_study, NnsEvalConfig};
+use imars_core::system::{Study, StudyRow};
+use imars_device::characterization::ArrayFom;
+use imars_fabric::CmaArray;
+use imars_recsys::lsh::RandomHyperplaneLsh;
+use imars_recsys::nns::{ExactIndex, Metric};
+use imars_recsys::EmbeddingTable;
+
+fn main() {
+    let mut harness = Harness::from_args("nns_comparison");
+    let fom = ArrayFom::paper_reference();
+    let config = if harness.is_smoke() {
+        NnsEvalConfig {
+            queries: 8,
+            ..NnsEvalConfig::movielens_scale()
+        }
+    } else {
+        NnsEvalConfig::movielens_scale()
+    };
+
+    // Timed: the functional TCAM search and the exact-cosine baseline it replaces.
+    let items = EmbeddingTable::new(config.items, config.dim, config.seed).expect("valid shape");
+    let lsh = RandomHyperplaneLsh::new(config.dim, config.signature_bits, config.seed ^ 0x5f5f)
+        .expect("valid LSH");
+    let rows_per_array = fom.cma_geometry.rows;
+    let mut arrays: Vec<CmaArray> = (0..config.items.div_ceil(rows_per_array))
+        .map(|_| CmaArray::new(rows_per_array, fom.cma_geometry.cols, fom))
+        .collect();
+    for (item, row) in items.iter_rows().enumerate() {
+        let signature = lsh.signature(row).expect("valid row");
+        arrays[item / rows_per_array]
+            .write_row_bits(item % rows_per_array, &signature, config.signature_bits)
+            .expect("row in range");
+    }
+    let index = ExactIndex::new(config.dim, items.iter_rows().map(|r| r.to_vec()).collect())
+        .expect("valid index");
+    let query_vec: Vec<f32> = items.row(0).to_vec();
+    let query_signature = lsh.signature(&query_vec).expect("valid query");
+    let radius = config.radii[config.radii.len() / 2];
+    harness.bench("software/tcam_search_catalogue", || {
+        for array in &arrays {
+            black_box(array.search(&query_signature, radius).expect("valid query"));
+        }
+    });
+    harness.bench("software/exact_cosine_topk", || {
+        black_box(
+            index
+                .top_k(&query_vec, config.k, Metric::Cosine)
+                .expect("valid query"),
+        );
+    });
+
+    // The modeled + functional study.
+    let study_result = run_nns_study(&config, &fom).expect("valid study config");
+    let mut study = Study::new("nns_comparison_study", config.seed);
+    study.note(
+        "method",
+        "queries are noise-perturbed item vectors; ground truth is exact cosine top-k; \
+         TCAM matches come from functional CmaArray searches over stored signatures",
+    );
+    for point in &study_result.points {
+        study.push(point.study_row());
+    }
+    study.push(
+        StudyRow::new()
+            .config_text("comparison", "tcam_vs_gpu_lsh")
+            .metric("tcam_latency_ns", study_result.tcam_cost().latency_ns)
+            .metric("tcam_energy_pj", study_result.tcam_cost().energy_pj)
+            .metric("gpu_lsh_latency_us", study_result.gpu_lsh.latency_us)
+            .metric("gpu_lsh_energy_uj", study_result.gpu_lsh.energy_uj)
+            .metric("gpu_cosine_latency_us", study_result.gpu_cosine.latency_us)
+            .metric("latency_speedup", study_result.tcam_latency_speedup())
+            .metric("energy_ratio", study_result.tcam_energy_ratio())
+            .metric(
+                "paper_latency_speedup",
+                imars_gpu::reference::SPEEDUP_NNS.latency,
+            )
+            .metric(
+                "paper_energy_ratio",
+                imars_gpu::reference::SPEEDUP_NNS.energy,
+            )
+            .metric("lsh_topk_recall", study_result.lsh_topk_recall),
+    );
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+
+    // Headline metrics.
+    harness.metric(
+        "tcam_latency_speedup_vs_gpu_lsh",
+        study_result.tcam_latency_speedup(),
+        "x",
+    );
+    harness.metric(
+        "tcam_energy_ratio_vs_gpu_lsh",
+        study_result.tcam_energy_ratio(),
+        "x",
+    );
+    harness.metric("lsh_topk_recall", study_result.lsh_topk_recall, "fraction");
+    if let Some(best) = study_result.best_radius_within(0.10) {
+        harness.metric("best_radius_within_10pct", best.radius as f64, "bits");
+        harness.metric("best_radius_recall", best.recall_at_k, "fraction");
+    }
+    for point in &study_result.points {
+        harness.metric(
+            &format!("recall_at_radius_{}", point.radius),
+            point.recall_at_k,
+            "fraction",
+        );
+    }
+    harness.finish();
+}

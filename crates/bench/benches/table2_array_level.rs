@@ -1,2 +1,183 @@
-//! Placeholder bench — reserved for the table2_array_level reproduction study (see ROADMAP).
-fn main() {}
+//! The Table II array-level study: the paper's published per-operation figures of merit
+//! next to the device crate's analytical characterization, the GPCiM accumulator-width
+//! variants, and the per-row iMARS-vs-GPU comparison that anchors everything above it.
+//!
+//! Timed benches cover the functional CMA simulator's hot operations (GPCiM pooling,
+//! TCAM search, int8 SWAR pooling and the widened int16 accumulator) so the simulator
+//! itself stays on the perf trajectory; the study JSON
+//! (`table2_array_level_study.json`) records the analytical-vs-published FOM ratios and
+//! the accumulator trade-off.
+
+use imars_bench::{black_box, Harness};
+use imars_core::system::{FomComparison, Study, StudyRow};
+use imars_device::area::AreaModel;
+use imars_device::characterization::{ArrayCharacterizer, ArrayFom, OperationFom};
+use imars_device::technology::TechnologyParams;
+use imars_fabric::accumulator::GpcimAccumulator;
+use imars_fabric::cma::{CmaArray, PackedTable};
+use imars_fabric::Cost;
+use imars_gpu::kernels::TableAccess;
+use imars_gpu::model::EtLookupWorkload;
+use imars_gpu::GpuModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 32;
+const POOL_ROWS: usize = 64;
+
+fn fom_rows(study: &mut Study, analytical: &ArrayFom, published: &ArrayFom) {
+    let pairs: [(&str, OperationFom, OperationFom); 7] = [
+        ("cma_write", analytical.cma.write, published.cma.write),
+        ("cma_read", analytical.cma.read, published.cma.read),
+        ("cma_add", analytical.cma.add, published.cma.add),
+        ("cma_search", analytical.cma.search, published.cma.search),
+        (
+            "intra_mat_add",
+            analytical.intra_mat_add,
+            published.intra_mat_add,
+        ),
+        (
+            "intra_bank_add",
+            analytical.intra_bank_add,
+            published.intra_bank_add,
+        ),
+        (
+            "crossbar_matmul",
+            analytical.crossbar_matmul,
+            published.crossbar_matmul,
+        ),
+    ];
+    for (name, model, paper) in pairs {
+        study.push(
+            StudyRow::new()
+                .config_text("operation", name)
+                .metric("analytical_energy_pj", model.energy_pj)
+                .metric("analytical_latency_ns", model.latency_ns)
+                .metric("published_energy_pj", paper.energy_pj)
+                .metric("published_latency_ns", paper.latency_ns)
+                .metric("energy_ratio", model.energy_pj / paper.energy_pj)
+                .metric("latency_ratio", model.latency_ns / paper.latency_ns),
+        );
+    }
+}
+
+fn main() {
+    let mut harness = Harness::from_args("table2_array_level");
+    let published = ArrayFom::paper_reference();
+
+    // Functional simulator hot paths.
+    let mut cma = CmaArray::new(256, 256, published);
+    let mut rng = StdRng::seed_from_u64(5);
+    for row in 0..256 {
+        let values: Vec<i8> = (0..DIM).map(|_| rng.gen_range(-127..=127i8)).collect();
+        cma.write_embedding(row, &values).expect("row in range");
+    }
+    let pool_selection: Vec<usize> = (0..POOL_ROWS).map(|i| (i * 37) % 256).collect();
+    harness.bench("cma/pool_rows_64", || {
+        black_box(
+            cma.pool_rows(&pool_selection, DIM)
+                .expect("valid selection"),
+        );
+    });
+    harness.bench("cma/pool_rows_with_int16_64", || {
+        black_box(
+            cma.pool_rows_with(&pool_selection, DIM, GpcimAccumulator::INT16)
+                .expect("valid selection"),
+        );
+    });
+    let query = vec![0x1234_5678_9abc_def0u64, 0, 0, 0];
+    harness.bench("cma/tcam_search", || {
+        black_box(cma.search(&query, 100).expect("valid query"));
+    });
+    let rows: Vec<Vec<i8>> = (0..256)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-127..=127i8)).collect())
+        .collect();
+    let packed = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), DIM).expect("uniform");
+    let indices: Vec<u32> = (0..POOL_ROWS as u32).map(|i| (i * 37) % 256).collect();
+    let mut acc = vec![0u64; packed.words_per_row()];
+    let mut out = vec![0i8; DIM];
+    harness.bench("packed/pool_int8_swar", || {
+        packed
+            .pool_into(&indices, &mut acc, &mut out)
+            .expect("valid selection");
+        black_box(&out);
+    });
+
+    // Analytical characterization vs the published Table II.
+    let characterizer = ArrayCharacterizer::new(TechnologyParams::predictive_45nm());
+    let analytical = characterizer
+        .analytical_fom()
+        .expect("paper design point characterizes");
+    let mut study = Study::new("table2_array_level_study", 5);
+    study.note(
+        "source",
+        "Table II of the paper vs the analytical circuit models of imars-device",
+    );
+    fom_rows(&mut study, &analytical, &published);
+
+    // The accumulator-width trade-off (satellite of the design-space sweep).
+    let area = AreaModel::new(TechnologyParams::predictive_45nm());
+    let cma_area = area.cma(256, 256).total_um2();
+    for accumulator in [GpcimAccumulator::INT8, GpcimAccumulator::INT16] {
+        let add = accumulator.add_fom(published.cma.add);
+        study.push(
+            StudyRow::new()
+                .config_text("operation", "gpcim_add")
+                .config_num("accumulator_bits", accumulator.bits() as f64)
+                .metric("energy_pj", add.energy_pj)
+                .metric("latency_ns", add.latency_ns)
+                .metric("accumulator_area_um2", accumulator.area_um2(256))
+                .metric(
+                    "cma_area_overhead_fraction",
+                    (accumulator.area_um2(256) - GpcimAccumulator::INT8.area_um2(256)) / cma_area,
+                )
+                .metric(
+                    "exact_pooling_rows",
+                    accumulator.exact_pooling_rows() as f64,
+                ),
+        );
+    }
+
+    // The per-row anchor of every higher-level comparison: pooling POOL_ROWS rows inside
+    // one CMA versus gathering and summing them on the GPU.
+    let imars_pool = Cost::from_fom(published.cma.read)
+        .serial(Cost::from_fom(published.cma.add).repeat(POOL_ROWS - 1));
+    let gpu = GpuModel::gtx_1080().et_lookup(&EtLookupWorkload {
+        tables: vec![TableAccess {
+            rows: 30_000,
+            lookups: POOL_ROWS,
+        }],
+        dim: DIM,
+    });
+    let comparison = FomComparison::new("pool_64_rows_one_table", imars_pool, gpu);
+    harness.metric(
+        "pool64/latency_speedup_vs_gpu",
+        comparison.latency_speedup(),
+        "x",
+    );
+    harness.metric("pool64/energy_ratio_vs_gpu", comparison.energy_ratio(), "x");
+    study.push(comparison.study_row());
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+
+    // Headline calibration metrics for the summary JSON.
+    harness.metric(
+        "analytical_read_energy_ratio",
+        analytical.cma.read.energy_pj / published.cma.read.energy_pj,
+        "x",
+    );
+    harness.metric(
+        "analytical_search_latency_ratio",
+        analytical.cma.search.latency_ns / published.cma.search.latency_ns,
+        "x",
+    );
+    harness.metric(
+        "int16_accumulator_area_overhead",
+        GpcimAccumulator::INT16.area_um2(256) / GpcimAccumulator::INT8.area_um2(256),
+        "x",
+    );
+    harness.finish();
+}

@@ -1,2 +1,100 @@
-//! Placeholder bench — reserved for the table3_et_lookup reproduction study (see ROADMAP).
-fn main() {}
+//! The Table III embedding-table-lookup study: per-workload iMARS cost (worst-case and
+//! spread accountings bracketing the paper's reported factors) versus the calibrated GPU
+//! baseline, plus the table-size × pooling-factor × dimensionality design sweep.
+//!
+//! The timed benches keep the software gather/pool hot path (the measured counterpart
+//! of the modeled numbers) on the perf trajectory; `table3_et_lookup_study.json`
+//! carries the full comparison table.
+
+use imars_bench::{black_box, Harness};
+use imars_core::et_lookup::{et_lookup_sweep, table3_comparisons, EtLookupModel};
+use imars_core::system::Study;
+use imars_gpu::GpuModel;
+use imars_recsys::batch::{PoolingBatch, PoolingMode};
+use imars_recsys::EmbeddingTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 30_000;
+const DIM: usize = 32;
+const BATCH: usize = 256;
+const POOLING_FACTOR: usize = 50; // the MovieLens watch-history length of the model
+
+fn main() {
+    let mut harness = Harness::from_args("table3_et_lookup");
+    let model = EtLookupModel::paper_reference();
+    let gpu = GpuModel::gtx_1080();
+
+    // Timed: the measured software counterpart of the modeled ET-lookup stage.
+    let table = EmbeddingTable::new(ROWS, DIM, 42).expect("valid shape");
+    let mut rng = StdRng::seed_from_u64(7);
+    let requests: Vec<Vec<u32>> = (0..BATCH)
+        .map(|_| {
+            (0..POOLING_FACTOR)
+                .map(|_| rng.gen_range(0..ROWS as u32))
+                .collect()
+        })
+        .collect();
+    let batch = PoolingBatch::from_requests(&requests);
+    let mut out = vec![0.0f32; BATCH * DIM];
+    let gather_ns = harness.bench("software/gather_pool_batch_256x50", || {
+        table
+            .gather_pool_batch(&batch, PoolingMode::Sum, &mut out)
+            .expect("validated geometry");
+        black_box(&out);
+    });
+    harness.metric(
+        "software/lookup_throughput",
+        (BATCH * POOLING_FACTOR) as f64 / gather_ns * 1e3,
+        "Mlookups/s",
+    );
+
+    // The Table III comparison.
+    let mut study = Study::new("table3_et_lookup_study", 42);
+    study.note(
+        "accounting",
+        "imars worst = all lookups serialize in one CMA (Sec. IV-C1); spread = lookups \
+         balance across the table's arrays; the paper's factors fall between the brackets",
+    );
+    let comparisons = table3_comparisons(&model, &gpu).expect("paper workloads map");
+    for comparison in &comparisons {
+        study.push(comparison.study_row());
+        let slug = comparison
+            .label
+            .to_lowercase()
+            .replace([' ', '/'], "_")
+            .replace("__", "_");
+        harness.metric(
+            &format!("{slug}/latency_speedup_worst"),
+            comparison.latency_speedup_worst(),
+            "x",
+        );
+        harness.metric(
+            &format!("{slug}/latency_speedup_spread"),
+            comparison.latency_speedup_spread(),
+            "x",
+        );
+        if let Some(paper) = comparison.paper_latency_speedup {
+            harness.metric(&format!("{slug}/paper_latency_speedup"), paper, "x");
+        }
+    }
+
+    // Design sweep: table size x pooling factor x dimensionality.
+    let sweep = et_lookup_sweep(
+        &model,
+        &gpu,
+        &[1_024, 4_096, 30_000],
+        &[1, 8, 32, 50, 128],
+        &[16, 32],
+    );
+    for point in &sweep {
+        study.push(point.study_row());
+    }
+    harness.metric("sweep_points", sweep.len() as f64, "rows");
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+    harness.finish();
+}

@@ -1,0 +1,163 @@
+//! Cross-crate guarantees of the evaluation subsystem:
+//!
+//! * the sweep/study runner is deterministic — same seed, same inputs → byte-identical
+//!   report JSON;
+//! * the accuracy study's fp32-vs-int8 score deltas stay within the analytic bound
+//!   derived from `QuantizedTable::max_quantization_error`;
+//! * the NNS study's functional TCAM matches equal the software fixed-radius reference
+//!   and its headline speedup stays in the paper's order of magnitude;
+//! * every study driver renders rows the JSON writer round-trips through the gate's
+//!   parser.
+
+use imars_bench::gate::Json;
+use imars_core::accuracy::{
+    criteo_accuracy, movielens_accuracy, CriteoAccuracyConfig, MovieLensAccuracyConfig,
+};
+use imars_core::et_lookup::{table3_comparisons, EtLookupModel};
+use imars_core::nns_eval::{run_nns_study, NnsEvalConfig};
+use imars_core::system::{Study, StudyRow, SweepGrid};
+use imars_device::characterization::ArrayFom;
+use imars_gpu::GpuModel;
+
+/// Build a representative study twice from the same seed and compare the serialized
+/// bytes. The rows come from a real (seeded) NNS run plus a sweep grid, so this pins
+/// determinism of the whole chain: RNG seeding, float formatting, map ordering.
+#[test]
+fn study_json_is_byte_identical_for_a_seed() {
+    let build = || {
+        let mut study = Study::new("determinism_probe", 77);
+        study.note("purpose", "same seed -> byte-identical bytes");
+        let nns = run_nns_study(
+            &NnsEvalConfig {
+                seed: 77,
+                ..NnsEvalConfig::small()
+            },
+            &ArrayFom::paper_reference(),
+        )
+        .expect("valid config");
+        for point in &nns.points {
+            study.push(point.study_row());
+        }
+        for point in SweepGrid::new()
+            .axis("a", &[1.0, 2.0])
+            .axis("b", &[0.5, 0.25])
+            .points()
+        {
+            let mut row = StudyRow::new();
+            for (name, value) in &point {
+                row = row.config_num(name, *value);
+            }
+            study.push(row.metric("sum", point.iter().map(|(_, v)| v).sum()));
+        }
+        study.to_json()
+    };
+    let first = build();
+    let second = build();
+    assert_eq!(first, second);
+}
+
+/// Study JSON must parse with the same minimal parser the bench gate uses, so the CI
+/// artifacts stay machine-readable end to end.
+#[test]
+fn study_json_round_trips_through_the_gate_parser() {
+    let mut study = Study::new("parser_probe", 1);
+    study.note("k", "v with \"quotes\" and \\ backslash");
+    let comparisons = table3_comparisons(&EtLookupModel::paper_reference(), &GpuModel::gtx_1080())
+        .expect("paper workloads map");
+    for comparison in &comparisons {
+        study.push(comparison.study_row());
+    }
+    let parsed = Json::parse(&study.to_json()).expect("well-formed JSON");
+    assert_eq!(
+        parsed.get("study").and_then(Json::as_str),
+        Some("parser_probe")
+    );
+    let rows = parsed.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 3);
+    for row in rows {
+        let metrics = row.get("metrics").expect("metrics object");
+        assert!(
+            metrics
+                .get("latency_speedup")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 1.0
+        );
+    }
+}
+
+/// The fp32-vs-int8 dot-product deltas of the accuracy study must respect the analytic
+/// bound `|⟨u,v⟩ − ⟨û,v̂⟩| ≤ ‖u‖₁·ε_v + ‖v̂‖₁·ε_u` built from
+/// `QuantizedTable::max_quantization_error`.
+#[test]
+fn accuracy_deltas_match_quantization_error_bounds() {
+    let study = movielens_accuracy(&MovieLensAccuracyConfig::small()).expect("study runs");
+    assert!(study.deltas_within_bound);
+    assert!(
+        study.max_score_delta > 0.0,
+        "quantization must move something"
+    );
+    assert!(
+        study.max_score_delta <= study.score_delta_bound + 1e-4,
+        "observed {} vs bound {}",
+        study.max_score_delta,
+        study.score_delta_bound
+    );
+    // And the bound is meaningful, not vacuous: within two orders of magnitude.
+    assert!(study.score_delta_bound < study.max_score_delta * 100.0);
+}
+
+/// The DLRM side of the same guarantee: int8 embedding round-tripping moves CTR
+/// predictions by a bounded amount and barely moves the AUC.
+#[test]
+fn criteo_int8_predictions_stay_bounded() {
+    let study = criteo_accuracy(&CriteoAccuracyConfig::small()).expect("study runs");
+    assert!(study.max_prediction_delta < 0.25);
+    assert!((study.auc_fp32 - study.auc_int8).abs() < 0.05);
+    assert!(study.max_quantization_error > 0.0);
+}
+
+/// The modeled TCAM-vs-GPU-LSH speedup must stay in the paper's order of magnitude
+/// (reported: 3.8e4 latency) at the MovieLens scale.
+#[test]
+fn nns_speedup_matches_paper_order_of_magnitude() {
+    let study = run_nns_study(
+        &NnsEvalConfig {
+            queries: 8,
+            ..NnsEvalConfig::movielens_scale()
+        },
+        &ArrayFom::paper_reference(),
+    )
+    .expect("valid config");
+    let speedup = study.tcam_latency_speedup();
+    assert!(
+        speedup > 3.8e3 && speedup < 3.8e5,
+        "tcam latency speedup {speedup:.0}x vs paper 3.8e4"
+    );
+    // At the paper's serving radius the fixed-radius search keeps high recall while
+    // passing a few percent of the catalogue.
+    let at_100 = study
+        .points
+        .iter()
+        .find(|p| p.radius == 100)
+        .expect("radius 100 swept");
+    assert!(at_100.recall_at_k >= 0.9, "recall {}", at_100.recall_at_k);
+    assert!(
+        at_100.candidate_fraction <= 0.15,
+        "candidates {}",
+        at_100.candidate_fraction
+    );
+}
+
+/// Table III comparisons bracket the paper's reported MovieLens factors between the
+/// worst-case (serialized) and spread accountings.
+#[test]
+fn table3_brackets_hold_cross_crate() {
+    let comparisons = table3_comparisons(&EtLookupModel::paper_reference(), &GpuModel::gtx_1080())
+        .expect("paper workloads map");
+    for comparison in &comparisons[..2] {
+        let paper = comparison.paper_latency_speedup.expect("tabulated");
+        assert!(comparison.latency_speedup_worst() <= paper);
+        assert!(paper <= comparison.latency_speedup_spread());
+    }
+}

@@ -1,0 +1,518 @@
+//! The algorithm-level accuracy study (Sec. IV-B of the paper).
+//!
+//! The paper's accuracy argument is that mapping the models onto iMARS costs little:
+//! int8 embeddings lose ~0.6 % filtering hit rate versus FP32, and the LSH + Hamming
+//! retrieval the TCAM implements trades a few more points for its enormous speedup. This
+//! module reproduces that experiment end to end on synthetic MovieLens data — train the
+//! YouTubeDNN filtering tower, then retrieve the held-out item under four configurations
+//! (FP32 cosine, int8 cosine, int8 LSH Hamming top-k, int8 TCAM fixed radius) and score
+//! hit rate / MRR / AUC for each — plus the DLRM side: fp32-vs-int8 CTR AUC on synthetic
+//! Criteo traffic.
+//!
+//! The study also records the observed fp32-vs-int8 dot-product deltas next to the
+//! analytic bound derived from [`QuantizedTable::max_quantization_error`]
+//! (`|⟨u,v⟩ − ⟨û,v̂⟩| ≤ ‖u‖₁·ε_v + ‖v̂‖₁·ε_u`), which the cross-crate equivalence tests
+//! pin down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use imars_datasets::{
+    SyntheticCriteo, SyntheticCriteoConfig, SyntheticMovieLens, SyntheticMovieLensConfig,
+};
+use imars_recsys::dlrm::{Dlrm, DlrmConfig};
+use imars_recsys::lsh::RandomHyperplaneLsh;
+use imars_recsys::metrics::{hit_rate, mean_reciprocal_rank, roc_auc};
+use imars_recsys::nns::{cosine_similarity, ExactIndex, Metric};
+use imars_recsys::quantization::{QuantizationParams, QuantizedTable};
+use imars_recsys::training::{train_filtering, TrainingConfig};
+use imars_recsys::youtube_dnn::{YoutubeDnn, YoutubeDnnConfig};
+
+use crate::error::CoreError;
+use crate::system::StudyRow;
+
+/// Configuration of the MovieLens filtering-accuracy study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovieLensAccuracyConfig {
+    /// The synthetic dataset to generate.
+    pub dataset: SyntheticMovieLensConfig,
+    /// Embedding dimensionality of the trained model.
+    pub embedding_dim: usize,
+    /// Hidden sizes of the filtering tower (last entry = user-embedding width).
+    pub filtering_hidden: Vec<usize>,
+    /// BPR training hyper-parameters.
+    pub training: TrainingConfig,
+    /// Number of candidates retrieved per user (the paper's filtering depth).
+    pub k: usize,
+    /// LSH signature length in bits.
+    pub signature_bits: usize,
+    /// TCAM fixed radius (in signature bits).
+    pub radius: u32,
+    /// Negative items sampled per test user for the AUC metric.
+    pub negatives_per_user: usize,
+    /// Every n-th user is held out as a test user.
+    pub holdout_every: usize,
+    /// RNG seed for negative sampling.
+    pub seed: u64,
+}
+
+impl MovieLensAccuracyConfig {
+    /// A configuration small enough for unit tests and bench smoke runs (a few hundred
+    /// users, a couple of training epochs) that still shows the fp32 ≥ int8 ≥ LSH
+    /// ordering.
+    pub fn small() -> Self {
+        Self {
+            dataset: SyntheticMovieLensConfig::small(),
+            embedding_dim: 16,
+            filtering_hidden: vec![32, 16],
+            training: TrainingConfig {
+                epochs: 4,
+                learning_rate: 0.05,
+                negatives_per_positive: 4,
+                seed: 1,
+            },
+            k: 20,
+            signature_bits: 128,
+            radius: 52,
+            negatives_per_user: 20,
+            holdout_every: 5,
+            seed: 11,
+        }
+    }
+}
+
+/// Accuracy of one retrieval configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalVariant {
+    /// Configuration label (`fp32_cosine`, `int8_cosine`, ...).
+    pub label: String,
+    /// Fraction of test users whose held-out item was retrieved.
+    pub hit_rate: f64,
+    /// Mean reciprocal rank of the held-out item in the candidate list.
+    pub mrr: f64,
+    /// AUC of the variant's similarity score (held-out positive vs sampled negatives).
+    pub auc: f64,
+    /// Mean number of candidates retrieved per user.
+    pub mean_candidates: f64,
+}
+
+impl RetrievalVariant {
+    /// Render as a study row.
+    pub fn study_row(&self) -> StudyRow {
+        StudyRow::new()
+            .config_text("variant", &self.label)
+            .metric("hit_rate", self.hit_rate)
+            .metric("mrr", self.mrr)
+            .metric("auc", self.auc)
+            .metric("mean_candidates", self.mean_candidates)
+    }
+}
+
+/// The complete MovieLens accuracy study result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovieLensAccuracyStudy {
+    /// Per-configuration accuracies, in order: fp32 cosine, int8 cosine, int8 LSH
+    /// Hamming top-k, int8 TCAM fixed radius.
+    pub variants: Vec<RetrievalVariant>,
+    /// Whether the BPR training loss improved first→last epoch.
+    pub training_improved: bool,
+    /// Number of evaluated test users.
+    pub test_users: usize,
+    /// The item table's quantization step (ε of the error bound).
+    pub max_quantization_error: f32,
+    /// Largest observed |⟨u,v⟩ − ⟨û,v̂⟩| across all scored user/item pairs.
+    pub max_score_delta: f32,
+    /// Largest analytic bound `‖u‖₁·ε_v + ‖v̂‖₁·ε_u` across the same pairs.
+    pub score_delta_bound: f32,
+    /// Whether every observed delta stayed within its per-pair analytic bound.
+    pub deltas_within_bound: bool,
+}
+
+impl MovieLensAccuracyStudy {
+    /// The variant with the given label.
+    pub fn variant(&self, label: &str) -> Option<&RetrievalVariant> {
+        self.variants.iter().find(|v| v.label == label)
+    }
+}
+
+/// Run the MovieLens filtering-accuracy study.
+///
+/// # Errors
+///
+/// Propagates model/training errors for inconsistent configurations.
+pub fn movielens_accuracy(
+    config: &MovieLensAccuracyConfig,
+) -> Result<MovieLensAccuracyStudy, CoreError> {
+    let dataset = SyntheticMovieLens::generate(config.dataset.clone());
+    let (train, test) = dataset.train_test_split(config.holdout_every);
+    if train.is_empty() || test.is_empty() {
+        return Err(CoreError::InvalidExperiment {
+            reason: "accuracy study needs non-empty train and test splits".to_string(),
+        });
+    }
+
+    let mut model = YoutubeDnn::new(YoutubeDnnConfig {
+        num_items: config.dataset.num_items,
+        num_genres: config.dataset.num_genres,
+        num_age_groups: config.dataset.num_age_groups,
+        num_genders: config.dataset.num_genders,
+        num_occupations: config.dataset.num_occupations,
+        num_ranking_contexts: config.dataset.num_ranking_contexts,
+        embedding_dim: config.embedding_dim,
+        filtering_hidden: config.filtering_hidden.clone(),
+        ranking_hidden: vec![16, 1],
+        seed: config.seed,
+    })?;
+    let report = train_filtering(&mut model, &train, &config.training)?;
+
+    // User embeddings of the test users (batched, bit-identical to the serial path).
+    let profiles: Vec<_> = test.iter().map(|e| e.profile.clone()).collect();
+    let users_flat = model.user_embedding_batch(&profiles)?;
+    let dim = config.embedding_dim;
+    let users: Vec<&[f32]> = (0..test.len())
+        .map(|i| &users_flat[i * dim..(i + 1) * dim])
+        .collect();
+
+    // FP32 item index and its int8 round trip.
+    let item_table = model.item_table();
+    let quantized_items = QuantizedTable::from_table(item_table);
+    let epsilon_items = quantized_items.max_quantization_error();
+    let items_fp32: Vec<Vec<f32>> = item_table.iter_rows().map(|r| r.to_vec()).collect();
+    let items_int8: Vec<Vec<f32>> = (0..quantized_items.rows())
+        .map(|i| quantized_items.dequantized_row(i))
+        .collect::<Result<_, _>>()?;
+    let index_fp32 = ExactIndex::new(dim, items_fp32.clone())?;
+    let index_int8 = ExactIndex::new(dim, items_int8.clone())?;
+
+    // Per-user quantized embeddings (one symmetric scale per user vector, as the CMA
+    // row format stores them) and the fp32-vs-int8 dot-product delta audit.
+    let mut users_int8: Vec<Vec<f32>> = Vec::with_capacity(users.len());
+    let mut epsilon_users: Vec<f32> = Vec::with_capacity(users.len());
+    for user in &users {
+        let params = QuantizationParams::fit(user.iter().copied());
+        users_int8.push(params.dequantize_vec(&params.quantize_vec(user)));
+        epsilon_users.push(params.scale * 0.5);
+    }
+    let mut max_score_delta = 0.0f32;
+    let mut score_delta_bound = 0.0f32;
+    let mut deltas_within_bound = true;
+    for ((user, user_int8), &epsilon_user) in users
+        .iter()
+        .zip(users_int8.iter())
+        .zip(epsilon_users.iter())
+    {
+        let user_l1: f32 = user.iter().map(|v| v.abs()).sum();
+        for (item, item_int8) in items_fp32.iter().zip(items_int8.iter()) {
+            let exact: f32 = user.iter().zip(item.iter()).map(|(a, b)| a * b).sum();
+            let rounded: f32 = user_int8
+                .iter()
+                .zip(item_int8.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let delta = (exact - rounded).abs();
+            let item_l1: f32 = item_int8.iter().map(|v| v.abs()).sum();
+            let bound = user_l1 * epsilon_items + item_l1 * epsilon_user;
+            max_score_delta = max_score_delta.max(delta);
+            score_delta_bound = score_delta_bound.max(bound);
+            // Small slack for the float summation itself.
+            if delta > bound + 1e-4 {
+                deltas_within_bound = false;
+            }
+        }
+    }
+
+    // LSH signatures over the int8 item rows (what the ItET rows actually store).
+    let lsh = RandomHyperplaneLsh::new(dim, config.signature_bits, config.seed ^ 0xa5a5)?;
+    let signatures: Vec<Vec<u64>> = items_int8
+        .iter()
+        .map(|row| lsh.signature(row))
+        .collect::<Result<_, _>>()?;
+
+    // Retrieval per variant.
+    let mut fp32_results = Vec::with_capacity(test.len());
+    let mut int8_results = Vec::with_capacity(test.len());
+    let mut lsh_results = Vec::with_capacity(test.len());
+    let mut tcam_results = Vec::with_capacity(test.len());
+    for ((example, user), user_int8) in test.iter().zip(users.iter()).zip(users_int8.iter()) {
+        let positive = example.positive_item;
+        fp32_results.push((index_fp32.top_k(user, config.k, Metric::Cosine)?, positive));
+        int8_results.push((
+            index_int8.top_k(user_int8, config.k, Metric::Cosine)?,
+            positive,
+        ));
+        let query_signature = lsh.signature(user_int8)?;
+        lsh_results.push((
+            RandomHyperplaneLsh::top_k_by_hamming(&query_signature, &signatures, config.k),
+            positive,
+        ));
+        // Fixed radius: candidates ordered by Hamming distance (the post-filter order).
+        let mut matches: Vec<(usize, u32)> =
+            RandomHyperplaneLsh::within_radius(&query_signature, &signatures, config.radius)
+                .into_iter()
+                .map(|item| {
+                    (
+                        item,
+                        RandomHyperplaneLsh::hamming(&query_signature, &signatures[item]),
+                    )
+                })
+                .collect();
+        matches.sort_by_key(|&(item, distance)| (distance, item));
+        tcam_results.push((
+            matches
+                .into_iter()
+                .map(|(item, _)| item)
+                .collect::<Vec<_>>(),
+            positive,
+        ));
+    }
+
+    // AUC: score the held-out positive against sampled negatives per variant.
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(31).wrapping_add(7));
+    let mut scored_fp32 = Vec::new();
+    let mut scored_int8 = Vec::new();
+    let mut scored_hamming = Vec::new();
+    for ((example, user), user_int8) in test.iter().zip(users.iter()).zip(users_int8.iter()) {
+        let query_signature = lsh.signature(user_int8)?;
+        let score_all = |item: usize,
+                         label: bool,
+                         scored_fp32: &mut Vec<(f32, bool)>,
+                         scored_int8: &mut Vec<(f32, bool)>,
+                         scored_hamming: &mut Vec<(f32, bool)>| {
+            scored_fp32.push((cosine_similarity(user, &items_fp32[item]), label));
+            scored_int8.push((cosine_similarity(user_int8, &items_int8[item]), label));
+            let distance = RandomHyperplaneLsh::hamming(&query_signature, &signatures[item]);
+            scored_hamming.push((-(distance as f32), label));
+        };
+        score_all(
+            example.positive_item,
+            true,
+            &mut scored_fp32,
+            &mut scored_int8,
+            &mut scored_hamming,
+        );
+        for _ in 0..config.negatives_per_user {
+            let mut negative = rng.gen_range(0..config.dataset.num_items);
+            while negative == example.positive_item {
+                negative = rng.gen_range(0..config.dataset.num_items);
+            }
+            score_all(
+                negative,
+                false,
+                &mut scored_fp32,
+                &mut scored_int8,
+                &mut scored_hamming,
+            );
+        }
+    }
+
+    let variant =
+        |label: &str, results: &[(Vec<usize>, usize)], scored: &[(f32, bool)]| RetrievalVariant {
+            label: label.to_string(),
+            hit_rate: hit_rate(results),
+            mrr: mean_reciprocal_rank(results),
+            auc: roc_auc(scored),
+            mean_candidates: results.iter().map(|(c, _)| c.len() as f64).sum::<f64>()
+                / results.len().max(1) as f64,
+        };
+    let variants = vec![
+        variant("fp32_cosine", &fp32_results, &scored_fp32),
+        variant("int8_cosine", &int8_results, &scored_int8),
+        variant("int8_lsh_hamming", &lsh_results, &scored_hamming),
+        variant("int8_tcam_radius", &tcam_results, &scored_hamming),
+    ];
+
+    Ok(MovieLensAccuracyStudy {
+        variants,
+        training_improved: report.improved(),
+        test_users: test.len(),
+        max_quantization_error: epsilon_items,
+        max_score_delta,
+        score_delta_bound,
+        deltas_within_bound,
+    })
+}
+
+/// Configuration of the Criteo DLRM fp32-vs-int8 study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriteoAccuracyConfig {
+    /// The synthetic traffic generator.
+    pub dataset: SyntheticCriteoConfig,
+    /// Model configuration (must match the dataset's field shapes).
+    pub model: DlrmConfig,
+    /// Number of training samples drawn from the generator.
+    pub train_samples: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Number of held-out samples scored for the AUC.
+    pub eval_samples: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl CriteoAccuracyConfig {
+    /// A configuration small enough for tests and smoke runs. The field cardinalities
+    /// are chosen so the generator's head-value click rule has variance in every field
+    /// (a field whose whole domain is "head" carries no signal).
+    pub fn small() -> Self {
+        let dataset = SyntheticCriteoConfig {
+            num_dense_features: 4,
+            sparse_cardinalities: vec![200, 100, 150, 300, 120, 250, 180, 90],
+            popularity_exponent: 1.0,
+            base_ctr: 0.3,
+            seed: 5,
+        };
+        let model = DlrmConfig {
+            num_dense_features: dataset.num_dense_features,
+            sparse_cardinalities: dataset.sparse_cardinalities.clone(),
+            embedding_dim: 8,
+            bottom_hidden: vec![16, 8],
+            top_hidden: vec![16, 1],
+            seed: 3,
+        };
+        Self {
+            dataset,
+            model,
+            train_samples: 3000,
+            epochs: 6,
+            eval_samples: 1000,
+            learning_rate: 0.02,
+        }
+    }
+}
+
+/// The Criteo fp32-vs-int8 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriteoAccuracyStudy {
+    /// CTR AUC of the fp32 model on held-out samples.
+    pub auc_fp32: f64,
+    /// CTR AUC of the same model with int8 round-tripped embedding tables.
+    pub auc_int8: f64,
+    /// Largest observed |p_fp32 − p_int8| over the held-out samples.
+    pub max_prediction_delta: f32,
+    /// Largest per-table quantization step of the int8 model.
+    pub max_quantization_error: f32,
+}
+
+impl CriteoAccuracyStudy {
+    /// Render as a study row.
+    pub fn study_row(&self) -> StudyRow {
+        StudyRow::new()
+            .config_text("variant", "dlrm_criteo")
+            .metric("auc_fp32", self.auc_fp32)
+            .metric("auc_int8", self.auc_int8)
+            .metric("auc_delta", self.auc_fp32 - self.auc_int8)
+            .metric("max_prediction_delta", self.max_prediction_delta as f64)
+            .metric("max_quantization_error", self.max_quantization_error as f64)
+    }
+}
+
+/// Run the Criteo DLRM fp32-vs-int8 study: train briefly on synthetic traffic, quantize
+/// the embedding tables, and compare the CTR AUC of both models on held-out samples.
+///
+/// # Errors
+///
+/// Propagates model errors for inconsistent configurations.
+pub fn criteo_accuracy(config: &CriteoAccuracyConfig) -> Result<CriteoAccuracyStudy, CoreError> {
+    let mut generator = SyntheticCriteo::new(config.dataset.clone());
+    let mut model = Dlrm::new(config.model.clone())?;
+    let train = generator.batch(config.train_samples);
+    for _ in 0..config.epochs {
+        for (sample, label) in &train {
+            model.train_step(sample, *label, config.learning_rate)?;
+        }
+    }
+    let (int8_model, max_quantization_error) = model.with_quantized_embeddings();
+
+    let held_out = generator.batch(config.eval_samples);
+    let samples: Vec<_> = held_out.iter().map(|(s, _)| s.clone()).collect();
+    let fp32_scores = model.predict_batch(&samples)?;
+    let int8_scores = int8_model.predict_batch(&samples)?;
+    let mut max_prediction_delta = 0.0f32;
+    let mut scored_fp32 = Vec::with_capacity(held_out.len());
+    let mut scored_int8 = Vec::with_capacity(held_out.len());
+    for (((_, label), &p_fp32), &p_int8) in held_out
+        .iter()
+        .zip(fp32_scores.iter())
+        .zip(int8_scores.iter())
+    {
+        max_prediction_delta = max_prediction_delta.max((p_fp32 - p_int8).abs());
+        scored_fp32.push((p_fp32, *label > 0.5));
+        scored_int8.push((p_int8, *label > 0.5));
+    }
+    Ok(CriteoAccuracyStudy {
+        auc_fp32: roc_auc(&scored_fp32),
+        auc_int8: roc_auc(&scored_int8),
+        max_prediction_delta,
+        max_quantization_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movielens_accuracy_reproduces_the_paper_ordering() {
+        let study = movielens_accuracy(&MovieLensAccuracyConfig::small()).unwrap();
+        assert!(study.training_improved);
+        assert_eq!(study.variants.len(), 4);
+        let fp32 = study.variant("fp32_cosine").unwrap();
+        let int8 = study.variant("int8_cosine").unwrap();
+        let lsh = study.variant("int8_lsh_hamming").unwrap();
+        // A trained model must beat random retrieval (k/items ≈ 6.7 %) by a wide margin.
+        assert!(
+            fp32.hit_rate > 3.0 * 20.0 / 300.0,
+            "fp32 hit rate {}",
+            fp32.hit_rate
+        );
+        // Quantization costs little; LSH costs more but stays useful.
+        assert!(
+            int8.hit_rate >= fp32.hit_rate - 0.1,
+            "int8 {} vs fp32 {}",
+            int8.hit_rate,
+            fp32.hit_rate
+        );
+        assert!(lsh.auc > 0.5, "lsh auc {}", lsh.auc);
+        assert!(fp32.auc > 0.55, "fp32 auc {}", fp32.auc);
+        assert!(fp32.auc >= lsh.auc - 0.05);
+    }
+
+    #[test]
+    fn quantization_deltas_respect_the_analytic_bound() {
+        let study = movielens_accuracy(&MovieLensAccuracyConfig::small()).unwrap();
+        assert!(study.deltas_within_bound);
+        assert!(study.max_score_delta <= study.score_delta_bound + 1e-4);
+        assert!(study.max_quantization_error > 0.0);
+        assert!(study.max_score_delta > 0.0);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = movielens_accuracy(&MovieLensAccuracyConfig::small()).unwrap();
+        let b = movielens_accuracy(&MovieLensAccuracyConfig::small()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn criteo_int8_tracks_fp32_auc() {
+        let study = criteo_accuracy(&CriteoAccuracyConfig::small()).unwrap();
+        // The trained model must be better than chance, and quantization must not
+        // destroy it.
+        assert!(study.auc_fp32 > 0.55, "fp32 auc {}", study.auc_fp32);
+        assert!(
+            (study.auc_fp32 - study.auc_int8).abs() < 0.1,
+            "fp32 {} vs int8 {}",
+            study.auc_fp32,
+            study.auc_int8
+        );
+        assert!(study.max_prediction_delta < 0.5);
+        assert!(study.max_quantization_error > 0.0);
+    }
+
+    #[test]
+    fn empty_split_is_rejected() {
+        let mut config = MovieLensAccuracyConfig::small();
+        config.dataset.num_users = 1;
+        assert!(movielens_accuracy(&config).is_err());
+    }
+}

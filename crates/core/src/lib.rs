@@ -8,16 +8,30 @@
 //!   bank/mat/array hierarchy (Table I of the paper);
 //! * [`workloads`] — the paper's two evaluation workloads (YouTubeDNN on MovieLens-1M,
 //!   DLRM on Criteo Kaggle) expressed as embedding-lookup traffic;
-//! * [`error`] — the unified error type wrapping the device/fabric/recsys layers.
-//!
-//! Higher-level evaluation drivers (ET-lookup cost comparison, NNS comparison,
-//! end-to-end latency/energy, accuracy studies) are tracked as open roadmap items; the
-//! benchmark crate (`imars-bench`) currently provides the measured-performance view.
+//! * [`error`] — the unified error type wrapping the device/fabric/recsys layers;
+//! * [`system`] — the generic study/sweep runner (cartesian grids, deterministic seeded
+//!   JSON reports to `target/imars-bench/`);
+//! * [`et_lookup`] — the Table III embedding-table-lookup study (iMARS cost model vs the
+//!   calibrated GPU baseline, plus table-size/pooling/dim sweeps);
+//! * [`nns_eval`] — the Sec. IV-C2 NNS comparison (TCAM fixed radius vs LSH vs exact
+//!   cosine: recall, candidate ratio, energy);
+//! * [`accuracy`] — the Sec. IV-B accuracy study (fp32 vs int8 vs LSH retrieval on
+//!   synthetic MovieLens; fp32-vs-int8 DLRM CTR AUC on synthetic Criteo);
+//! * [`pipeline`] — the Fig. 2 stage-level latency/energy breakdowns;
+//! * [`end_to_end`] — full-system per-query FOMs and the serve-cluster replay path.
 
+pub mod accuracy;
+pub mod end_to_end;
 pub mod error;
+pub mod et_lookup;
 pub mod et_mapping;
+pub mod nns_eval;
+pub mod pipeline;
+pub mod system;
 pub mod workloads;
 
 pub use error::CoreError;
+pub use et_lookup::EtLookupModel;
 pub use et_mapping::{EtMapping, EtSpec, MappingSummary};
+pub use system::{FomComparison, ParamValue, Study, StudyRow, SweepGrid};
 pub use workloads::{RecsysWorkload, WorkloadKind};

@@ -9,6 +9,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::technology::TechnologyParams;
 
+/// Area of the 8-bit per-column GPCiM accumulator in µm² per column (~8 gates per
+/// accumulator bit-column at 45 nm). Shared with the fabric-level accumulator-width
+/// model so wider variants stay anchored to the same figure.
+pub const INT8_ACCUMULATOR_UM2_PER_COL: f64 = 8.0;
+
 /// Area breakdown of one CMA array including its peripherals, in square micrometres.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CmaArea {
@@ -63,7 +68,7 @@ impl AreaModel {
         // One CAM SA per row plus searchline drivers per column plus priority encoder.
         let cam_periphery_um2 = rows as f64 * 14.0 + cols as f64 * 6.0 + rows as f64 * 3.0;
         // 256-bit accumulator (~8 gates/bit).
-        let accumulator_um2 = cols as f64 * 8.0;
+        let accumulator_um2 = cols as f64 * INT8_ACCUMULATOR_UM2_PER_COL;
         CmaArea {
             cell_matrix_um2,
             decoders_um2,

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use imars_device::characterization::ArrayFom;
 
+use crate::accumulator::GpcimAccumulator;
 use crate::cost::{Cost, CostComponent, Outcome};
 use crate::error::FabricError;
 
@@ -397,21 +398,7 @@ impl CmaArray {
     /// [`FabricError::RowOutOfRange`] if any row is outside the array, or
     /// [`FabricError::DimensionMismatch`] if `dim` elements do not fit in a row.
     pub fn pool_rows(&self, rows: &[usize], dim: usize) -> Result<Outcome<Vec<i8>>, FabricError> {
-        if rows.is_empty() {
-            return Err(FabricError::EmptySelection {
-                operation: "pool_rows",
-            });
-        }
-        if dim * 8 > self.cols {
-            return Err(FabricError::DimensionMismatch {
-                expected: self.cols / 8,
-                actual: dim,
-                what: "embedding elements",
-            });
-        }
-        for &row in rows {
-            self.check_row(row)?;
-        }
+        self.check_pool_selection(rows, dim, "pool_rows")?;
         // Shared quantized pooling kernel: lane-wise saturating adds on the packed words
         // (identical per-element semantics to unpacking and saturating_add-ing one row at
         // a time, since no carry crosses a lane). Unwritten rows contribute zero.
@@ -423,19 +410,76 @@ impl CmaArray {
         }
         let mut sum = vec![0i8; dim];
         unpack_embedding_into(&acc, &mut sum);
-        let cost = Cost::from_fom(self.fom.cma.read)
-            .serial(Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1));
-        let mut outcome = Outcome::single(
-            sum,
-            CostComponent::CmaRead,
-            Cost::from_fom(self.fom.cma.read),
-        );
-        outcome.cost = cost;
-        outcome.breakdown.charge(
-            CostComponent::CmaAdd,
-            Cost::from_fom(self.fom.cma.add).repeat(rows.len() - 1),
-        );
-        Ok(outcome)
+        Ok(self.pool_outcome(sum, rows.len(), Cost::from_fom(self.fom.cma.add)))
+    }
+
+    /// GPCiM-mode pooling with an explicit accumulator width: like
+    /// [`CmaArray::pool_rows`] but the running sums live in an accumulator of the given
+    /// precision, clamping per addition at that precision's range, and the in-memory
+    /// additions are charged the width-scaled figure of merit (the GPCiM add is
+    /// bit-serial over the accumulator).
+    ///
+    /// With [`GpcimAccumulator::INT8`] the returned sums equal [`CmaArray::pool_rows`]
+    /// widened to `i32`, at identical cost. With [`GpcimAccumulator::INT16`] pooling
+    /// chains up to 256 rows are exact, at 2× the per-addition energy and latency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CmaArray::pool_rows`].
+    pub fn pool_rows_with(
+        &self,
+        rows: &[usize],
+        dim: usize,
+        accumulator: GpcimAccumulator,
+    ) -> Result<Outcome<Vec<i32>>, FabricError> {
+        self.check_pool_selection(rows, dim, "pool_rows_with")?;
+        let mut acc = vec![0i32; dim];
+        let mut scratch = vec![0i8; dim];
+        for &row in rows {
+            // Unwritten rows contribute zero, as in pool_rows.
+            if let Some(stored) = self.data.get(&row) {
+                unpack_embedding_into(&stored.bits, &mut scratch);
+                accumulator.accumulate(&mut acc, &scratch);
+            }
+        }
+        let add = Cost::from_fom(accumulator.add_fom(self.fom.cma.add));
+        Ok(self.pool_outcome(acc, rows.len(), add))
+    }
+
+    /// Shared validation of a pooling selection: non-empty, the embedding fits one row,
+    /// every index is inside the array.
+    fn check_pool_selection(
+        &self,
+        rows: &[usize],
+        dim: usize,
+        operation: &'static str,
+    ) -> Result<(), FabricError> {
+        if rows.is_empty() {
+            return Err(FabricError::EmptySelection { operation });
+        }
+        if dim * 8 > self.cols {
+            return Err(FabricError::DimensionMismatch {
+                expected: self.cols / 8,
+                actual: dim,
+                what: "embedding elements",
+            });
+        }
+        for &row in rows {
+            self.check_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Shared cost assembly of a pooling result: `1 read + (n−1)` in-memory additions of
+    /// the given per-addition cost, attributed to the read/add components.
+    fn pool_outcome<T>(&self, value: T, pooled_rows: usize, add: Cost) -> Outcome<T> {
+        let read = Cost::from_fom(self.fom.cma.read);
+        let mut outcome = Outcome::single(value, CostComponent::CmaRead, read);
+        outcome.cost = read.serial(add.repeat(pooled_rows - 1));
+        outcome
+            .breakdown
+            .charge(CostComponent::CmaAdd, add.repeat(pooled_rows - 1));
+        outcome
     }
 
     fn check_query_width(&self, query: &[u64]) -> Result<(), FabricError> {
@@ -760,6 +804,59 @@ mod tests {
             cma.pool_rows(&[], 32),
             Err(FabricError::EmptySelection { .. })
         ));
+    }
+
+    #[test]
+    fn pool_rows_with_int8_matches_pool_rows() {
+        let mut cma = array();
+        for row in 0..6 {
+            let values: Vec<i8> = (0..32)
+                .map(|i| ((row as i32 * 43 + i * 29) % 255 - 127) as i8)
+                .collect();
+            cma.write_embedding(row, &values).unwrap();
+        }
+        let rows = vec![0, 2, 5, 2, 4];
+        let narrow = cma.pool_rows(&rows, 32).unwrap();
+        let wide = cma
+            .pool_rows_with(&rows, 32, GpcimAccumulator::INT8)
+            .unwrap();
+        let widened: Vec<i32> = narrow.value.iter().map(|&v| v as i32).collect();
+        assert_eq!(wide.value, widened);
+        assert_eq!(wide.cost, narrow.cost);
+    }
+
+    #[test]
+    fn pool_rows_with_int16_avoids_saturation_at_double_add_cost() {
+        let mut cma = array();
+        cma.write_embedding(0, &[100i8; 32]).unwrap();
+        cma.write_embedding(1, &[100i8; 32]).unwrap();
+        cma.write_embedding(2, &[100i8; 32]).unwrap();
+        let rows = vec![0, 1, 2];
+        let wide = cma
+            .pool_rows_with(&rows, 32, GpcimAccumulator::INT16)
+            .unwrap();
+        assert!(wide.value.iter().all(|&v| v == 300));
+        let narrow = cma.pool_rows(&rows, 32).unwrap();
+        assert!(narrow.value.iter().all(|&v| v == 127));
+        // 1 read + 2 additions at twice the int8 add figure of merit.
+        let expected = Cost::new(3.2 + 2.0 * 216.0, 0.3 + 2.0 * 16.2);
+        assert!((wide.cost.energy_pj - expected.energy_pj).abs() < 1e-9);
+        assert!((wide.cost.latency_ns - expected.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_rows_with_validates_like_pool_rows() {
+        let cma = array();
+        assert!(matches!(
+            cma.pool_rows_with(&[], 32, GpcimAccumulator::INT16),
+            Err(FabricError::EmptySelection { .. })
+        ));
+        assert!(cma
+            .pool_rows_with(&[999], 32, GpcimAccumulator::INT16)
+            .is_err());
+        assert!(cma
+            .pool_rows_with(&[0], 33, GpcimAccumulator::INT16)
+            .is_err());
     }
 
     #[test]

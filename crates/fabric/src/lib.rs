@@ -35,6 +35,7 @@
 //! assert!(outcome.cost.energy_pj > 0.0);
 //! ```
 
+pub mod accumulator;
 pub mod bank;
 pub mod cma;
 pub mod config;
@@ -45,6 +46,7 @@ pub mod error;
 pub mod interconnect;
 pub mod mat;
 
+pub use accumulator::GpcimAccumulator;
 pub use bank::CmaBank;
 pub use cma::{CmaArray, PackedTable};
 pub use config::FabricConfig;

@@ -17,8 +17,9 @@ use serde::{Deserialize, Serialize};
 use crate::batch::par_runs;
 use crate::embedding::EmbeddingTable;
 use crate::error::RecsysError;
-use crate::mlp::{Activation, Mlp, MlpScratch};
+use crate::mlp::{Activation, Mlp, MlpBatchScratch};
 use crate::nns::dot;
+use crate::quantization::QuantizedTable;
 
 /// Structural configuration of the DLRM model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,12 +152,20 @@ pub struct Dlrm {
 /// (dense first), and the pairwise interactions.
 type ForwardFeatures = (Vec<f32>, Vec<Vec<f32>>, Vec<f32>);
 
-/// Per-worker buffers for allocation-free batched DLRM inference.
+/// Number of samples each worker processes per batched-GEMM block: large enough to
+/// amortize the weight-row streaming of the two MLPs across samples, small enough that
+/// one block's activations stay cache-resident.
+const MLP_BLOCK: usize = 8;
+
+/// Per-worker buffers for allocation-free batched DLRM inference: block-sized MLP
+/// scratch plus staging buffers for one block of bottom inputs, dense embeddings and
+/// top inputs.
 #[derive(Debug, Clone)]
 struct DlrmScratch {
-    bottom: MlpScratch,
-    top: MlpScratch,
-    dense_embedding: Vec<f32>,
+    bottom: MlpBatchScratch,
+    top: MlpBatchScratch,
+    bottom_input: Vec<f32>,
+    dense_embeddings: Vec<f32>,
     top_input: Vec<f32>,
 }
 
@@ -279,10 +288,11 @@ impl Dlrm {
     /// Build per-worker scratch buffers for batched inference.
     fn inference_scratch(&self) -> DlrmScratch {
         DlrmScratch {
-            bottom: self.bottom_mlp.scratch(),
-            top: self.top_mlp.scratch(),
-            dense_embedding: vec![0.0; self.config.embedding_dim],
-            top_input: vec![0.0; self.config.top_input_width()],
+            bottom: self.bottom_mlp.batch_scratch(MLP_BLOCK),
+            top: self.top_mlp.batch_scratch(MLP_BLOCK),
+            bottom_input: vec![0.0; MLP_BLOCK * self.config.num_dense_features],
+            dense_embeddings: vec![0.0; MLP_BLOCK * self.config.embedding_dim],
+            top_input: vec![0.0; MLP_BLOCK * self.config.top_input_width()],
         }
     }
 
@@ -302,35 +312,57 @@ impl Dlrm {
         }
     }
 
-    /// Score one pre-validated sample using only the scratch buffers (no allocation, no
-    /// error path). Arithmetic is identical to [`Dlrm::predict`], so results match
-    /// bit-for-bit.
-    fn predict_validated(&self, sample: &DlrmSample, scratch: &mut DlrmScratch) -> f32 {
+    /// Score one block of pre-validated samples using only the scratch buffers (no
+    /// allocation, no error path): both MLPs run as a batched GEMM over the block's
+    /// sample dimension, so every weight row is streamed once per block instead of once
+    /// per sample. Arithmetic is identical per sample to [`Dlrm::predict`], so results
+    /// match bit-for-bit.
+    fn predict_block(&self, samples: &[DlrmSample], scratch: &mut DlrmScratch, out: &mut [f32]) {
+        let count = samples.len();
         let dim = self.config.embedding_dim;
+        let dense_width = self.config.num_dense_features;
+        let top_width = self.config.top_input_width();
+        for (s, sample) in samples.iter().enumerate() {
+            scratch.bottom_input[s * dense_width..(s + 1) * dense_width]
+                .copy_from_slice(&sample.dense);
+        }
         let dense = self
             .bottom_mlp
-            .forward_into(&sample.dense, &mut scratch.bottom)
-            .expect("sample validated before batch dispatch");
-        scratch.dense_embedding.copy_from_slice(dense);
-        scratch.top_input[..dim].copy_from_slice(&scratch.dense_embedding);
+            .forward_batch_into(
+                &scratch.bottom_input[..count * dense_width],
+                &mut scratch.bottom,
+            )
+            .expect("samples validated before batch dispatch");
+        scratch.dense_embeddings[..count * dim].copy_from_slice(dense);
         let vectors = self.embedding_tables.len() + 1;
-        let mut offset = dim;
-        for i in 0..vectors {
-            let vi = self.feature_vector(sample, &scratch.dense_embedding, i);
-            for j in (i + 1)..vectors {
-                let vj = self.feature_vector(sample, &scratch.dense_embedding, j);
-                scratch.top_input[offset] = dot(vi, vj);
-                offset += 1;
+        for (s, sample) in samples.iter().enumerate() {
+            let dense_embedding = &scratch.dense_embeddings[s * dim..(s + 1) * dim];
+            let top_row = &mut scratch.top_input[s * top_width..(s + 1) * top_width];
+            top_row[..dim].copy_from_slice(dense_embedding);
+            let mut offset = dim;
+            for i in 0..vectors {
+                let vi = self.feature_vector(sample, dense_embedding, i);
+                for j in (i + 1)..vectors {
+                    let vj = self.feature_vector(sample, dense_embedding, j);
+                    top_row[offset] = dot(vi, vj);
+                    offset += 1;
+                }
             }
         }
-        self.top_mlp
-            .forward_into(&scratch.top_input, &mut scratch.top)
-            .expect("top input width is fixed by the config")[0]
+        let scores = self
+            .top_mlp
+            .forward_batch_into(&scratch.top_input[..count * top_width], &mut scratch.top)
+            .expect("top input width is fixed by the config");
+        for (slot, score) in out.iter_mut().zip(scores.iter()) {
+            *slot = *score;
+        }
     }
 
     /// Batched forward pass: the predicted click-through rate for every sample, with zero
     /// per-lookup allocation (embedding rows are gathered as slices, activations live in
-    /// per-worker scratch buffers) and the samples fanned out across CPU cores.
+    /// per-worker scratch buffers), the samples fanned out across CPU cores and both MLPs
+    /// evaluated as blocked GEMMs over the sample dimension so weight-row traffic is
+    /// amortized across each block.
     ///
     /// Per sample the result is bit-identical to [`Dlrm::predict`].
     ///
@@ -348,11 +380,42 @@ impl Dlrm {
         let mut out = vec![0.0f32; samples.len()];
         par_runs(&mut out, |first, run| {
             let mut scratch = self.inference_scratch();
-            for (i, slot) in run.iter_mut().enumerate() {
-                *slot = self.predict_validated(&samples[first + i], &mut scratch);
+            let mut done = 0usize;
+            while done < run.len() {
+                let block = (run.len() - done).min(MLP_BLOCK);
+                self.predict_block(
+                    &samples[first + done..first + done + block],
+                    &mut scratch,
+                    &mut run[done..done + block],
+                );
+                done += block;
             }
         });
         Ok(out)
+    }
+
+    /// A copy of this model whose embedding tables went through an int8
+    /// quantize-dequantize round trip (one symmetric scale per table, the format the CMA
+    /// rows store) — the software twin of serving the embeddings from the in-memory
+    /// fabric. The MLPs are untouched. Returns the model together with the largest
+    /// per-table quantization step (worst-case absolute row error).
+    pub fn with_quantized_embeddings(&self) -> (Dlrm, f32) {
+        let mut model = self.clone();
+        let mut max_error = 0.0f32;
+        for table in &mut model.embedding_tables {
+            let quantized = QuantizedTable::from_table(table);
+            max_error = max_error.max(quantized.max_quantization_error());
+            for index in 0..table.rows() {
+                let row = quantized
+                    .dequantized_row(index)
+                    .expect("row index is in range");
+                table
+                    .lookup_mut(index)
+                    .expect("row index is in range")
+                    .copy_from_slice(&row);
+            }
+        }
+        (model, max_error)
     }
 
     /// One binary-cross-entropy SGD step on a labelled sample (`label` 1.0 = click).
@@ -591,6 +654,30 @@ mod tests {
         bad.dense.pop();
         assert!(model.predict_batch(&[bad]).is_err());
         assert!(model.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn quantized_embedding_model_stays_close_to_fp32() {
+        let model = Dlrm::new(DlrmConfig::tiny()).unwrap();
+        let (quantized, max_error) = model.with_quantized_embeddings();
+        assert!(max_error > 0.0);
+        // Every table row moved by at most the quantization step.
+        for (original, rounded) in model
+            .embedding_tables()
+            .iter()
+            .zip(quantized.embedding_tables().iter())
+        {
+            for index in 0..original.rows() {
+                for (a, b) in original.row(index).iter().zip(rounded.row(index).iter()) {
+                    assert!((a - b).abs() <= max_error + 1e-6);
+                }
+            }
+        }
+        // Predictions shift, but stay probabilities and mostly agree.
+        let p_fp32 = model.predict(&tiny_sample()).unwrap();
+        let p_int8 = quantized.predict(&tiny_sample()).unwrap();
+        assert!(p_int8 > 0.0 && p_int8 < 1.0);
+        assert!((p_fp32 - p_int8).abs() < 0.2);
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use embedding::EmbeddingTable;
 pub use error::RecsysError;
 pub use features::{DenseFeatures, SparseFeatures, SparseFieldSpec};
 pub use lsh::RandomHyperplaneLsh;
-pub use mlp::{Mlp, MlpScratch};
+pub use mlp::{Mlp, MlpBatchScratch, MlpScratch};
 pub use quantization::{QuantizationParams, QuantizedTable};
 pub use youtube_dnn::{YoutubeDnn, YoutubeDnnConfig};

@@ -1,1 +1,90 @@
-fn main() {}
+//! The Criteo ranking driver: the DLRM column of the paper — Table I memory mapping,
+//! Table III ET-lookup comparison, the Sec. IV-C3 end-to-end figures of merit, and the
+//! fp32-vs-int8 CTR accuracy of a DLRM trained on synthetic Criteo traffic.
+//!
+//! Run with: `cargo run --release --example criteo_ranking [-- --smoke]`
+//! Writes `target/imars-bench/criteo_ranking.json`.
+
+use imars::core::accuracy::{criteo_accuracy, CriteoAccuracyConfig};
+use imars::core::end_to_end::criteo_end_to_end;
+use imars::core::et_lookup::{table3_comparisons, EtLookupModel};
+use imars::core::et_mapping::EtMapping;
+use imars::core::system::Study;
+use imars::core::workloads::RecsysWorkload;
+use imars::fabric::FabricConfig;
+use imars::gpu::GpuModel;
+
+const CANDIDATES: usize = 100;
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|arg| arg == "--smoke");
+    let model = EtLookupModel::paper_reference();
+    let gpu = GpuModel::gtx_1080();
+    let workload = RecsysWorkload::criteo_ranking();
+    let mut study = Study::new("criteo_ranking", 42);
+
+    println!("== Table I: Criteo embedding-table mapping ==");
+    let mapping = EtMapping::map(&workload.et_specs(), &FabricConfig::paper_design_point())
+        .expect("workload fits the fabric");
+    let summary = mapping.summary();
+    println!(
+        "  {} tables -> {} banks, {} mats, {} CMAs ({:.1}% of the fabric)",
+        summary.tables,
+        summary.banks,
+        summary.mats,
+        summary.cmas,
+        mapping.utilization() * 100.0
+    );
+
+    println!("== Table III: ET lookup, iMARS vs GPU ==");
+    let comparisons = table3_comparisons(&model, &gpu).expect("paper workloads map");
+    let criteo = comparisons
+        .iter()
+        .find(|c| c.label.contains("Criteo"))
+        .expect("criteo row present");
+    println!(
+        "  imars {:.3} us (worst) vs gpu {:.2} us -> {:.1}x latency (paper: {:.1}x), \
+         {:.0}x energy (paper: {:.1}x)",
+        criteo.imars.worst.latency_us(),
+        criteo.gpu.latency_us,
+        criteo.latency_speedup_worst(),
+        criteo.paper_latency_speedup.unwrap_or(0.0),
+        criteo.energy_ratio_worst(),
+        criteo.paper_energy_ratio.unwrap_or(0.0),
+    );
+    study.push(criteo.study_row());
+
+    println!("== Sec. IV-C3: end-to-end ranking of {CANDIDATES} candidates ==");
+    let end_to_end = criteo_end_to_end(&model, &gpu, CANDIDATES).expect("paper workloads map");
+    println!(
+        "  modeled: imars {:.1} qps vs gpu {:.1} qps ({:.1}x latency; paper: {:.1}x)",
+        end_to_end.imars_qps(),
+        end_to_end.gpu_qps(),
+        end_to_end.latency_speedup(),
+        end_to_end.paper_latency_speedup,
+    );
+    study.push(end_to_end.study_row());
+
+    println!("== Sec. IV-B: fp32 vs int8 DLRM on synthetic Criteo ==");
+    let mut accuracy_config = CriteoAccuracyConfig::small();
+    if smoke {
+        accuracy_config.epochs = 1;
+        accuracy_config.train_samples = 500;
+        accuracy_config.eval_samples = 200;
+    }
+    let accuracy = criteo_accuracy(&accuracy_config).expect("study runs");
+    println!(
+        "  CTR AUC fp32 {:.4} vs int8 {:.4}; max prediction delta {:.4} \
+         (quantization step {:.5})",
+        accuracy.auc_fp32,
+        accuracy.auc_int8,
+        accuracy.max_prediction_delta,
+        accuracy.max_quantization_error,
+    );
+    study.push(accuracy.study_row());
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+}

@@ -1,1 +1,150 @@
-fn main() {}
+//! The design-space exploration driver: sweep the CMA geometry, TCAM radius, cache
+//! capacity, shard count and GPCiM accumulator width around the paper's design point
+//! and print the trade-off table each axis exposes.
+//!
+//! This is the interactive twin of the `design_space` bench (which writes the full
+//! study JSON); the example keeps each axis small so it runs in seconds.
+//!
+//! Run with: `cargo run --release --example design_space_exploration [-- --smoke]`
+//! Writes `target/imars-bench/design_space_exploration.json`.
+
+use imars::core::end_to_end::{serve_cluster_study, ServeStudyConfig};
+use imars::core::et_lookup::EtLookupModel;
+use imars::core::nns_eval::{run_nns_study, NnsEvalConfig};
+use imars::core::system::{Study, StudyRow};
+use imars::core::workloads::RecsysWorkload;
+use imars::device::area::AreaModel;
+use imars::device::characterization::{ArrayCharacterizer, ArrayFom};
+use imars::device::technology::TechnologyParams;
+use imars::fabric::accumulator::GpcimAccumulator;
+use imars::fabric::FabricConfig;
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|arg| arg == "--smoke");
+    let queries = if smoke { 256 } else { 1024 };
+    let mut study = Study::new("design_space_exploration", 2024);
+    let workload = RecsysWorkload::movielens_filtering();
+    let area = AreaModel::new(TechnologyParams::predictive_45nm());
+
+    println!("== Axis 1: CMA array rows (analytical FOMs; 256 = published) ==");
+    for rows in [128usize, 256, 512] {
+        let fom = if rows == 256 {
+            ArrayFom::paper_reference()
+        } else {
+            ArrayCharacterizer::new(TechnologyParams::predictive_45nm())
+                .with_cma_geometry(rows, 256)
+                .analytical_fom()
+                .expect("geometry characterizes")
+        };
+        let config = FabricConfig {
+            cma_rows: rows,
+            ..FabricConfig::paper_design_point()
+        };
+        let cost = EtLookupModel::new(config, fom)
+            .expect("valid config")
+            .stage_cost(&workload)
+            .expect("workload maps");
+        println!(
+            "  {rows:>4} rows: ET stage {:>7.1} ns (spread) / {:>7.1} ns (worst), \
+             CMA area {:>9.0} um2",
+            cost.spread.latency_ns,
+            cost.worst.latency_ns,
+            area.cma(rows, 256).total_um2(),
+        );
+        study.push(
+            StudyRow::new()
+                .config_text("axis", "cma_rows")
+                .config_num("cma_rows", rows as f64)
+                .metric("et_spread_latency_ns", cost.spread.latency_ns)
+                .metric("et_worst_latency_ns", cost.worst.latency_ns)
+                .metric("cma_area_um2", area.cma(rows, 256).total_um2()),
+        );
+    }
+
+    println!("== Axis 2: TCAM search radius (recall vs candidate fraction) ==");
+    let nns = run_nns_study(
+        &NnsEvalConfig {
+            queries: if smoke { 8 } else { 32 },
+            ..NnsEvalConfig::movielens_scale()
+        },
+        &ArrayFom::paper_reference(),
+    )
+    .expect("valid config");
+    for point in &nns.points {
+        println!(
+            "  radius {:>4}: recall@10 {:.3}, candidates {:>5.1}% of the catalogue",
+            point.radius,
+            point.recall_at_k,
+            point.candidate_fraction * 100.0
+        );
+        let row = point.study_row().config_text_front("axis", "search_radius");
+        study.push(row);
+    }
+
+    println!("== Axis 3: hot-row cache capacity (measured replay) ==");
+    for cache_rows in [0usize, 256, 1024] {
+        let foms = serve_cluster_study(&ServeStudyConfig {
+            queries,
+            cache_rows,
+            ..ServeStudyConfig::small()
+        })
+        .expect("replay runs");
+        println!(
+            "  {cache_rows:>5} rows: hit rate {:>5.1}%, {:>8.0} pJ/query",
+            foms.cache_hit_rate * 100.0,
+            foms.energy_pj_per_query
+        );
+        let row = foms.study_row().config_text_front("axis", "cache_rows");
+        study.push(row);
+    }
+
+    println!("== Axis 4: shard count (measured clustered replay) ==");
+    for shards in [1usize, 2, 4] {
+        let foms = serve_cluster_study(&ServeStudyConfig {
+            queries,
+            shards,
+            ..ServeStudyConfig::small()
+        })
+        .expect("replay runs");
+        println!(
+            "  {shards} shard(s): cross-shard {:>7.1} kB, imbalance {:>5.2}x",
+            foms.cross_shard_bytes.unwrap_or(0) as f64 / 1e3,
+            foms.shard_imbalance.unwrap_or(1.0)
+        );
+        let row = foms.study_row().config_text_front("axis", "shards");
+        study.push(row);
+    }
+
+    println!("== Axis 5: GPCiM accumulator width ==");
+    for accumulator in [GpcimAccumulator::INT8, GpcimAccumulator::INT16] {
+        let add = accumulator.add_fom(ArrayFom::paper_reference().cma.add);
+        let cost = EtLookupModel::paper_reference()
+            .with_accumulator(accumulator)
+            .stage_cost(&workload)
+            .expect("workload maps");
+        println!(
+            "  int{:>2}: add {:>5.1} pJ / {:>4.1} ns, ET stage {:>7.1} ns (worst), \
+             accumulator area {:>6.0} um2, exact up to {:>3} pooled rows",
+            accumulator.bits(),
+            add.energy_pj,
+            add.latency_ns,
+            cost.worst.latency_ns,
+            accumulator.area_um2(256),
+            accumulator.exact_pooling_rows(),
+        );
+        study.push(
+            StudyRow::new()
+                .config_text("axis", "accumulator_bits")
+                .config_num("accumulator_bits", accumulator.bits() as f64)
+                .metric("add_energy_pj", add.energy_pj)
+                .metric("add_latency_ns", add.latency_ns)
+                .metric("et_worst_latency_ns", cost.worst.latency_ns)
+                .metric("accumulator_area_um2", accumulator.area_um2(256)),
+        );
+    }
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+}

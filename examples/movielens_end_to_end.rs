@@ -1,1 +1,84 @@
-fn main() {}
+//! The MovieLens end-to-end driver: Fig. 2 stage breakdowns (filtering and ranking,
+//! iMARS vs GPU) and the Sec. IV-C3 full-query figures of merit, including the serving
+//! engine's replay path on top of the same fabric cost model.
+//!
+//! Run with: `cargo run --release --example movielens_end_to_end [-- --smoke]`
+//! Writes `target/imars-bench/movielens_end_to_end.json`.
+
+use imars::core::end_to_end::{movielens_end_to_end, serve_cluster_study, ServeStudyConfig};
+use imars::core::et_lookup::EtLookupModel;
+use imars::core::pipeline::fig2_comparisons;
+use imars::core::system::Study;
+use imars::gpu::GpuModel;
+
+const CANDIDATES: usize = 100;
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|arg| arg == "--smoke");
+    let model = EtLookupModel::paper_reference();
+    let gpu = GpuModel::gtx_1080();
+    let mut study = Study::new("movielens_end_to_end", 11);
+
+    println!("== Fig. 2: stage breakdowns (latency fractions) ==");
+    let comparisons = fig2_comparisons(&model, &gpu, CANDIDATES).expect("paper workloads map");
+    for comparison in &comparisons {
+        println!("  {} stage:", comparison.stage);
+        let imars_fractions = comparison.imars.latency_fractions();
+        for ((name, gpu_fraction), (_, imars_fraction)) in comparison
+            .gpu
+            .fractions()
+            .iter()
+            .zip(imars_fractions.iter())
+        {
+            println!(
+                "    {:<10} gpu {:>5.1}%  imars {:>5.1}%  (speedup {:>8.1}x)",
+                name,
+                gpu_fraction * 100.0,
+                imars_fraction * 100.0,
+                comparison.operation_speedup(name)
+            );
+        }
+        for row in comparison.study_rows() {
+            study.push(row);
+        }
+    }
+
+    println!("== Sec. IV-C3: end-to-end figures of merit ==");
+    let end_to_end = movielens_end_to_end(&model, &gpu, CANDIDATES).expect("paper workloads map");
+    println!(
+        "  modeled: imars {:.1} qps vs gpu {:.1} qps ({:.1}x latency, {:.0}x energy)",
+        end_to_end.imars_qps(),
+        end_to_end.gpu_qps(),
+        end_to_end.latency_speedup(),
+        end_to_end.gpu.energy_uj / end_to_end.imars.energy_uj().max(f64::MIN_POSITIVE),
+    );
+    println!(
+        "  paper:   imars 22025 qps vs gpu 1311 qps ({}x latency, {}x energy)",
+        end_to_end.paper_latency_speedup, end_to_end.paper_energy_ratio
+    );
+    study.push(end_to_end.study_row());
+
+    println!("== Serve cluster path (Zipf replay through imars-serve) ==");
+    let serve = serve_cluster_study(&ServeStudyConfig {
+        queries: if smoke { 256 } else { 2048 },
+        shards: 4,
+        ..ServeStudyConfig::small()
+    })
+    .expect("replay runs");
+    println!(
+        "  4 shard nodes: {:.1} qps served, cache hit rate {:.1}%, {:.0} pJ/query, \
+         p50 {:.1} us, p95 {:.1} us, cross-shard {:.1} kB",
+        serve.served_qps,
+        serve.cache_hit_rate * 100.0,
+        serve.energy_pj_per_query,
+        serve.p50_us,
+        serve.p95_us,
+        serve.cross_shard_bytes.unwrap_or(0) as f64 / 1e3,
+    );
+    study.push(serve.study_row());
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+}
