@@ -200,6 +200,7 @@ fn serve_sharded(harness: &mut Harness) {
                 0
             },
             interconnect: Default::default(),
+            resilience: None,
         };
         let (mut engine, handle) = ServeEngine::new_clustered(
             Dlrm::new(serve_model_config()).expect("valid config"),

@@ -329,6 +329,7 @@ fn clustered_serving_matches_single_node_across_placements() {
                 placement,
                 hot_replicas: 64,
                 interconnect: Default::default(),
+                resilience: None,
             };
             let (mut engine, handle) = ServeEngine::new_clustered(
                 Dlrm::new(DlrmConfig::tiny()).unwrap(),

@@ -275,6 +275,7 @@ pub fn serve_cluster_study(config: &ServeStudyConfig) -> Result<ServeClusterFoms
             placement: Placement::Range,
             hot_replicas: 0,
             interconnect: Default::default(),
+            resilience: None,
         };
         let (mut engine, handle) =
             ServeEngine::new_clustered(model, &items, serve_config, &cluster, None)

@@ -32,22 +32,41 @@
 //! sub-requests it strands and closes their reply queues, so routers surface
 //! [`ServeError::ShardFailed`] instead of deadlocking, and queue overflow is counted
 //! per shard before the router falls back to a blocking push.
+//!
+//! With a [`ResilienceConfig`] (or a socket transport), failure graduates from an error
+//! path to a survivable scenario. The router then runs a deadline-driven gather:
+//! sub-requests carry per-attempt tags, a silent shard **times out** against the
+//! injected [`Clock`], timed-out work is **retried** with backoff, slow primaries are
+//! **hedged** onto a replica-holding shard once `hedge_after_us` elapses, and when a
+//! shard is dead its hot rows are **promoted** — the frequency-placement replicas
+//! ([`ShardPlan::is_replicated`]) serve them from any healthy shard — while cold rows
+//! degrade gracefully to zero-filled lookups recorded as *missing*. Every decision is
+//! counted (`timeouts`/`retries`/`hedges`/`hedge_wins`/`promotions`/`missing_rows` in
+//! [`ClusterStats`]), so a chaos replay can account for every degraded query. Shards
+//! still move rows, never partial sums, so any query untouched by missing rows stays
+//! bit-identical to the healthy run. The strict queue path (no resilience, in-process
+//! links) remains byte-for-byte the deterministic oracle.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use imars_fabric::config::InterconnectParams;
 use imars_fabric::cost::{Cost, CostBreakdown};
 use imars_fabric::interconnect::RscBus;
 use imars_recsys::batch::PoolingBatch;
 
+use crate::chaos::{ChaosPlan, FaultAction};
+use crate::clock::{Clock, WallClock};
 use crate::error::ServeError;
 use crate::placement::{Placement, ShardPlan};
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::{pool_from_staging, Lane, RowSource};
 use crate::telemetry::ClusterStats;
+use crate::transport::{self, SocketLink};
 
 /// Configuration of a shard cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +83,77 @@ pub struct ClusterConfig {
     pub hot_replicas: usize,
     /// RSC-bus parameters the cross-shard hops are charged against.
     pub interconnect: InterconnectParams,
+    /// Fault-tolerance policy. `None` keeps the strict fail-fast path (the bit-identity
+    /// oracle); `Some` arms timeouts, retries, hedging and replica promotion. A socket
+    /// transport always runs the resilient path, with [`ResilienceConfig::default`]
+    /// when this is `None`.
+    pub resilience: Option<ResilienceConfig>,
+}
+
+/// The fault-tolerance policy of a [`ClusterClient`]: how long to wait, how often to
+/// retry, and when to hedge. Plain data so [`ClusterConfig`] stays comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Deadline per sub-request attempt, microseconds (on the injected clock). A shard
+    /// silent past this is timed out and the attempt failed over.
+    pub request_timeout_us: f64,
+    /// Hedge a still-unanswered sub-request onto a replica-holding shard after this
+    /// long, microseconds. `INFINITY` disables hedging.
+    pub hedge_after_us: f64,
+    /// Re-dispatches allowed per sub-request (over the initial attempt) before its
+    /// rows degrade to zero-filled lookups.
+    pub max_retries: u32,
+    /// Backoff before a same-shard retry, microseconds (scaled by the attempt count).
+    pub backoff_us: f64,
+}
+
+impl Default for ResilienceConfig {
+    /// Generous production-shaped defaults: 2 s deadline, two retries with 1 ms
+    /// backoff, hedging disabled.
+    fn default() -> Self {
+        Self {
+            request_timeout_us: 2_000_000.0,
+            hedge_after_us: f64::INFINITY,
+            max_retries: 2,
+            backoff_us: 1_000.0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Validate the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for non-positive deadlines or a negative
+    /// backoff.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.request_timeout_us <= 0.0 || self.request_timeout_us.is_nan() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "resilience needs a positive request_timeout_us, got {}",
+                    self.request_timeout_us
+                ),
+            });
+        }
+        if self.hedge_after_us <= 0.0 || self.hedge_after_us.is_nan() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "resilience needs a positive hedge_after_us, got {}",
+                    self.hedge_after_us
+                ),
+            });
+        }
+        if self.backoff_us < 0.0 || !self.backoff_us.is_finite() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "resilience needs a finite non-negative backoff_us, got {}",
+                    self.backoff_us
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl ClusterConfig {
@@ -81,6 +171,7 @@ impl ClusterConfig {
             placement,
             hot_replicas: 0,
             interconnect: InterconnectParams::default(),
+            resilience: None,
         };
         config.validate()?;
         Ok(config)
@@ -103,12 +194,24 @@ impl ClusterConfig {
                 });
             }
         }
+        if let Some(resilience) = &self.resilience {
+            resilience.validate()?;
+        }
         Ok(())
     }
 }
 
 /// Sentinel in the slot table for a row this shard does not store.
 const NOT_RESIDENT: u32 = u32::MAX;
+
+/// Real-time slice of one resilient gather poll: short enough that injected-clock
+/// deadlines are rechecked promptly, long enough not to spin.
+const GATHER_POLL: Duration = Duration::from_micros(500);
+
+/// Consecutive timeout strikes after which a client declares a shard dead. One deeper
+/// than the default transient drop burst ([`crate::chaos`]'s `drop` fault), so retries
+/// rescue a short burst with zero degradation before the breaker trips.
+const DEAD_AFTER_STRIKES: u32 = 3;
 
 /// One shard's resident rows: the plan's partition (plus replicas), indexed by global
 /// row id through a dense slot table — the worker resolves every requested row through
@@ -148,7 +251,7 @@ impl<T: Lane> ShardStorage<T> {
 
 /// A row-fetch sub-request routed to one shard.
 #[derive(Debug)]
-struct SubRequest<T> {
+pub(crate) struct SubRequest<T> {
     /// The issuing fetch's tag; responses echo it so a router can discard stragglers
     /// from an earlier, aborted fetch.
     tag: u64,
@@ -159,15 +262,19 @@ struct SubRequest<T> {
     /// Test hook: a poisoned sub-request makes the serving worker panic, exercising the
     /// failure path deterministically.
     poison: bool,
+    /// Strict-path requests fail fast: a worker panic closes their reply queue so the
+    /// router surfaces [`ServeError::ShardFailed`]. Resilient requests keep their reply
+    /// queue open — the router recovers through its own timeout/retry machinery.
+    fail_fast: bool,
 }
 
 /// One shard's response to a [`SubRequest`]: the requested rows, concatenated in
 /// request order.
 #[derive(Debug)]
-struct SubResponse<T> {
-    tag: u64,
-    shard: usize,
-    data: Vec<T>,
+pub(crate) struct SubResponse<T> {
+    pub(crate) tag: u64,
+    pub(crate) shard: usize,
+    pub(crate) data: Vec<T>,
 }
 
 /// Counters shared by every router clone and the cluster handle.
@@ -195,6 +302,18 @@ pub(crate) struct ClusterCounters {
     cross_bytes: AtomicU64,
     /// Bytes served home-locally (no bus charge).
     local_bytes: AtomicU64,
+    /// Sub-request attempts that blew their deadline (resilient path).
+    timeouts: AtomicU64,
+    /// Re-dispatches of timed-out or failed sub-requests.
+    retries: AtomicU64,
+    /// Speculative duplicate dispatches against a slow primary.
+    hedges: AtomicU64,
+    /// Hedged dispatches whose response arrived before the primary's.
+    hedge_wins: AtomicU64,
+    /// Sub-requests served by a replica-holding shard other than their owner.
+    promotions: AtomicU64,
+    /// Row lookups degraded to zero-filled results (no healthy shard held the row).
+    missing_rows: AtomicU64,
 }
 
 impl ClusterCounters {
@@ -218,6 +337,12 @@ impl ClusterCounters {
             hops: AtomicU64::new(0),
             cross_bytes: AtomicU64::new(0),
             local_bytes: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            missing_rows: AtomicU64::new(0),
         }
     }
 
@@ -235,6 +360,12 @@ impl ClusterCounters {
         self.hops.store(0, Ordering::Relaxed);
         self.cross_bytes.store(0, Ordering::Relaxed);
         self.local_bytes.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.hedges.store(0, Ordering::Relaxed);
+        self.hedge_wins.store(0, Ordering::Relaxed);
+        self.promotions.store(0, Ordering::Relaxed);
+        self.missing_rows.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> ClusterStats {
@@ -255,6 +386,12 @@ impl ClusterCounters {
             shard_lookups: load(&self.served),
             shard_rejections: load(&self.rejections),
             shard_queue_depth_max: load(&self.depth_max),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            missing_rows: self.missing_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -266,6 +403,9 @@ impl ClusterCounters {
 struct ShardPanicGuard<'a, T> {
     input: &'a BoundedQueue<SubRequest<T>>,
     reply: Arc<BoundedQueue<SubResponse<T>>>,
+    /// Whether the in-flight request wanted its reply queue closed on failure.
+    /// Resilient routers keep theirs open and recover via timeouts instead.
+    fail_fast: bool,
 }
 
 impl<T> Drop for ShardPanicGuard<'_, T> {
@@ -273,21 +413,29 @@ impl<T> Drop for ShardPanicGuard<'_, T> {
         if !std::thread::panicking() {
             return;
         }
-        self.reply.close();
+        if self.fail_fast {
+            self.reply.close();
+        }
         self.input.close();
         // The queue is closed, so this drains the backlog and terminates.
         while let Pop::Item(stranded) = self.input.pop() {
-            stranded.reply.close();
+            if stranded.fail_fast {
+                stranded.reply.close();
+            }
         }
     }
 }
 
-/// A shard node's worker loop: pop sub-requests, copy the resident rows, reply.
+/// A shard node's worker loop: pop sub-requests, copy the resident rows, reply. A
+/// [`ChaosPlan`] aimed at this shard injects its fault here: a kill panics through the
+/// panic guard (exactly the organic failure path), a stall parks the worker without
+/// dying, slow sleeps before serving, and a dropped reply is served but never sent.
 fn run_shard_worker<T: Lane>(
     shard: usize,
     storage: Arc<ShardStorage<T>>,
     input: Arc<BoundedQueue<SubRequest<T>>>,
     counters: Arc<ClusterCounters>,
+    chaos: Option<Arc<ChaosPlan>>,
 ) {
     loop {
         let request = match input.pop() {
@@ -298,7 +446,27 @@ fn run_shard_worker<T: Lane>(
         let _guard = ShardPanicGuard {
             input: &input,
             reply: request.reply.clone(),
+            fail_fast: request.fail_fast,
         };
+        match chaos
+            .as_deref()
+            .map_or(FaultAction::None, |plan| plan.action(shard))
+        {
+            FaultAction::None => {}
+            FaultAction::Kill => panic!("shard {shard}: chaos kill"),
+            FaultAction::Stall => {
+                // Stay "up" but never answer (or pop) again; exit only when the
+                // cluster shuts the queue down so the test harness can still join us.
+                while !input.is_closed() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return;
+            }
+            FaultAction::SlowUs(delay_us) => {
+                std::thread::sleep(Duration::from_micros(delay_us));
+            }
+            FaultAction::DropReply => continue,
+        }
         assert!(
             !request.poison,
             "shard {shard}: poisoned sub-request (injected failure)"
@@ -374,6 +542,73 @@ impl Drop for ClusterHandle {
     }
 }
 
+/// The router's channel to one shard node: an in-process bounded queue, or a socket
+/// link to a shard-node process ([`crate::transport`]). Both give the router the same
+/// three verbs — non-blocking send, deadline send, closed? — so the resilient fetch
+/// path is transport-agnostic.
+pub(crate) enum ShardLink<T> {
+    Queue(Arc<BoundedQueue<SubRequest<T>>>),
+    Socket(SocketLink<T>),
+}
+
+impl<T> std::fmt::Debug for ShardLink<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardLink::Queue(_) => f.write_str("ShardLink::Queue"),
+            ShardLink::Socket(_) => f.write_str("ShardLink::Socket"),
+        }
+    }
+}
+
+impl<T: Lane> ShardLink<T> {
+    /// Whether the channel can no longer deliver: a closed queue (the in-process node
+    /// died or shut down) or a broken socket.
+    fn is_down(&self) -> bool {
+        match self {
+            ShardLink::Queue(input) => input.is_closed(),
+            ShardLink::Socket(link) => link.is_closed(),
+        }
+    }
+}
+
+/// Why a sub-request dispatch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchFail {
+    /// The shard's channel is closed — it is dead, route around it.
+    Closed,
+    /// The shard's queue stayed full past the deadline — treat as a timeout.
+    Timeout,
+}
+
+/// In-flight bookkeeping for one dispatched attempt of a resilient sub-request.
+#[derive(Debug)]
+struct Attempt {
+    tag: u64,
+    shard: usize,
+    sent_us: f64,
+}
+
+/// One shard's slice of a resilient fetch, tracked until its rows are written (by a
+/// response) or degraded (zero-filled).
+#[derive(Debug)]
+struct FetchUnit {
+    rows: Vec<u32>,
+    /// Flat output positions, parallel to `rows`.
+    positions: Vec<u32>,
+    /// The shard the plan routed this slice to.
+    origin: usize,
+    /// The shard the most recent dispatch targeted.
+    last_target: usize,
+    /// Dispatches so far (initial + retries + promotions; hedges do not count against
+    /// the retry budget).
+    dispatches: u32,
+    attempts: Vec<Attempt>,
+    /// Backoff gate: `(target shard, clock time the retry may go out)`.
+    waiting: Option<(usize, f64)>,
+    hedged: bool,
+    done: bool,
+}
+
 /// A router into the cluster: splits fetch work by shard, fans sub-requests out, and
 /// gathers the responses. Cloning creates another independent router over the same
 /// shard nodes (each clone has its own reply queue), which is how the threaded
@@ -381,7 +616,7 @@ impl Drop for ClusterHandle {
 #[derive(Debug)]
 pub struct ClusterClient<T> {
     plan: Arc<ShardPlan>,
-    inputs: Vec<Arc<BoundedQueue<SubRequest<T>>>>,
+    links: Vec<ShardLink<T>>,
     reply: Arc<BoundedQueue<SubResponse<T>>>,
     dim: usize,
     bus: RscBus,
@@ -392,14 +627,40 @@ pub struct ClusterClient<T> {
     pending_breakdown: CostBreakdown,
     next_tag: u64,
     poison_next: bool,
+    /// Fault-tolerance policy; `None` keeps the strict fail-fast path on queue links.
+    resilience: Option<ResilienceConfig>,
+    /// Deadline source for the resilient path (injectable for deterministic tests).
+    clock: Arc<dyn Clock>,
+    /// Shards this router has concluded are dead (closed link, or
+    /// [`DEAD_AFTER_STRIKES`] timeout strikes).
+    dead: Vec<bool>,
+    /// Consecutive attempt timeouts per shard; [`DEAD_AFTER_STRIKES`] strikes declare
+    /// the shard dead so a stalled node stops costing a full deadline on every
+    /// subsequent fetch.
+    timeout_strikes: Vec<u32>,
+    /// Row ids degraded to zero-filled lookups since the engine last collected them.
+    missing: Vec<u32>,
 }
 
-impl<T> Clone for ClusterClient<T> {
+impl<T: Lane> Clone for ClusterClient<T> {
     fn clone(&self) -> Self {
+        let reply = Arc::new(BoundedQueue::new(self.reply.capacity()));
+        let links = self
+            .links
+            .iter()
+            .map(|link| match link {
+                ShardLink::Queue(input) => ShardLink::Queue(input.clone()),
+                ShardLink::Socket(socket) => ShardLink::Socket(
+                    socket
+                        .reconnect(reply.clone())
+                        .expect("reconnecting a router clone to its shard node"),
+                ),
+            })
+            .collect();
         Self {
             plan: self.plan.clone(),
-            inputs: self.inputs.clone(),
-            reply: Arc::new(BoundedQueue::new(self.reply.capacity())),
+            links,
+            reply,
             dim: self.dim,
             bus: self.bus,
             counters: self.counters.clone(),
@@ -407,6 +668,11 @@ impl<T> Clone for ClusterClient<T> {
             pending_breakdown: CostBreakdown::new(),
             next_tag: 0,
             poison_next: false,
+            resilience: self.resilience,
+            clock: self.clock.clone(),
+            dead: vec![false; self.dead.len()],
+            timeout_strikes: vec![0; self.timeout_strikes.len()],
+            missing: Vec::new(),
         }
     }
 }
@@ -468,11 +734,32 @@ impl<T: Lane> ClusterClient<T> {
         }
     }
 
+    /// Swap the deadline source (timeouts, backoff and hedging run off it). Tests use a
+    /// [`ManualClock`](crate::clock::ManualClock) to make the resilient path
+    /// deterministic.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Arm (or disarm) the fault-tolerance policy on this router.
+    pub fn set_resilience(&mut self, resilience: Option<ResilienceConfig>) {
+        self.resilience = resilience;
+    }
+
+    /// Row ids zero-filled since the last call (the engine excludes them from the
+    /// cache and counts the degraded queries).
+    pub fn take_missing_rows(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.missing)
+    }
+
     fn push_subrequest(&self, shard: usize, request: SubRequest<T>) -> Result<(), ServeError> {
+        let ShardLink::Queue(input) = &self.links[shard] else {
+            unreachable!("the strict path only runs over in-process queue links")
+        };
         let record_depth = |depth: usize| {
             self.counters.depth_max[shard].fetch_max(depth as u64, Ordering::Relaxed);
         };
-        match self.inputs[shard].try_push(request) {
+        match input.try_push(request) {
             Ok(depth) => {
                 record_depth(depth);
                 Ok(())
@@ -481,7 +768,7 @@ impl<T: Lane> ClusterClient<T> {
                 // Overflow is counted per shard, then the router blocks: the shard
                 // queue bound is backpressure, not data loss.
                 self.counters.rejections[shard].fetch_add(1, Ordering::Relaxed);
-                match self.inputs[shard].push(request) {
+                match input.push(request) {
                     Ok(depth) => {
                         record_depth(depth);
                         Ok(())
@@ -490,6 +777,276 @@ impl<T: Lane> ClusterClient<T> {
                 }
             }
             Err(PushError::Closed(_)) => Err(ServeError::ShardFailed { shard }),
+        }
+    }
+
+    /// The first shard whose link is still up and that this router has not declared
+    /// dead — preferring any shard other than `avoid`, falling back to `avoid` itself
+    /// (a same-shard retry) when it is the only one left.
+    fn healthy_shard(&self, avoid: usize) -> Option<usize> {
+        let alive = |shard: &usize| !self.dead[*shard] && !self.links[*shard].is_down();
+        (0..self.links.len())
+            .filter(|&shard| shard != avoid)
+            .find(alive)
+            .or_else(|| Some(avoid).filter(alive))
+    }
+
+    /// Send one attempt's sub-request down a link without committing to wait forever:
+    /// `try` first, then a deadline push so a wedged shard queue surfaces as
+    /// [`DispatchFail::Timeout`] instead of blocking the router.
+    fn dispatch_raw(
+        &self,
+        shard: usize,
+        tag: u64,
+        rows: &[u32],
+        push_wait: Duration,
+    ) -> Result<(), DispatchFail> {
+        let record_depth = |depth: usize| {
+            self.counters.depth_max[shard].fetch_max(depth as u64, Ordering::Relaxed);
+        };
+        match &self.links[shard] {
+            ShardLink::Queue(input) => {
+                let request = SubRequest {
+                    tag,
+                    rows: rows.to_vec(),
+                    reply: self.reply.clone(),
+                    poison: false,
+                    fail_fast: false,
+                };
+                match input.try_push(request) {
+                    Ok(depth) => {
+                        record_depth(depth);
+                        Ok(())
+                    }
+                    Err(PushError::Full(request)) => {
+                        self.counters.rejections[shard].fetch_add(1, Ordering::Relaxed);
+                        match input.push_timeout(request, push_wait) {
+                            Ok(depth) => {
+                                record_depth(depth);
+                                Ok(())
+                            }
+                            Err(PushError::Full(_)) => Err(DispatchFail::Timeout),
+                            Err(PushError::Closed(_)) => Err(DispatchFail::Closed),
+                        }
+                    }
+                    Err(PushError::Closed(_)) => Err(DispatchFail::Closed),
+                }
+            }
+            ShardLink::Socket(link) => {
+                // A remote node can't bump this process's counters, so its served-rows
+                // share (shard imbalance in the report) is accounted at dispatch.
+                let record_served = || {
+                    self.counters.served[shard].fetch_add(rows.len() as u64, Ordering::Relaxed);
+                };
+                let frame = transport::encode_fetch(shard as u32, tag, rows);
+                match link.try_send(frame) {
+                    Ok(depth) => {
+                        record_depth(depth);
+                        record_served();
+                        Ok(())
+                    }
+                    Err(PushError::Full(frame)) => {
+                        self.counters.rejections[shard].fetch_add(1, Ordering::Relaxed);
+                        match link.send_timeout(frame, push_wait) {
+                            Ok(depth) => {
+                                record_depth(depth);
+                                record_served();
+                                Ok(())
+                            }
+                            Err(PushError::Full(_)) => Err(DispatchFail::Timeout),
+                            Err(PushError::Closed(_)) => Err(DispatchFail::Closed),
+                        }
+                    }
+                    Err(PushError::Closed(_)) => Err(DispatchFail::Closed),
+                }
+            }
+        }
+    }
+
+    /// Dispatch unit `i` at `target`, charging traffic counters and the bus on success
+    /// and registering the attempt's tag for the gather loop. On failure the target is
+    /// marked dead (closed link) or struck (deadline), and the caller recovers.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_unit(
+        &mut self,
+        units: &mut [FetchUnit],
+        tags: &mut HashMap<u64, (usize, bool)>,
+        fanout_cost: &mut Option<Cost>,
+        home: usize,
+        i: usize,
+        target: usize,
+        hedge: bool,
+        push_wait: Duration,
+    ) -> Result<(), DispatchFail> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        units[i].dispatches += u32::from(!hedge);
+        units[i].last_target = target;
+        let outcome = self.dispatch_raw(target, tag, &units[i].rows, push_wait);
+        match outcome {
+            Ok(()) => {
+                self.counters.subrequests.fetch_add(1, Ordering::Relaxed);
+                let response_bytes = units[i].rows.len() * self.dim * std::mem::size_of::<T>();
+                if target == home {
+                    self.counters
+                        .local_bytes
+                        .fetch_add(response_bytes as u64, Ordering::Relaxed);
+                } else {
+                    let request_bytes = units[i].rows.len() * std::mem::size_of::<u32>();
+                    self.counters.hops.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .cross_bytes
+                        .fetch_add(response_bytes as u64, Ordering::Relaxed);
+                    let hop = self.bus.hop(request_bytes, response_bytes);
+                    self.pending_breakdown.merge(&hop.breakdown);
+                    *fanout_cost = Some(match fanout_cost.take() {
+                        None => hop.cost,
+                        Some(cost) => cost.parallel(hop.cost),
+                    });
+                }
+                units[i].attempts.push(Attempt {
+                    tag,
+                    shard: target,
+                    sent_us: self.clock.now_us(),
+                });
+                tags.insert(tag, (i, hedge));
+                Ok(())
+            }
+            Err(DispatchFail::Closed) => {
+                self.dead[target] = true;
+                Err(DispatchFail::Closed)
+            }
+            Err(DispatchFail::Timeout) => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.strike(target);
+                Err(DispatchFail::Timeout)
+            }
+        }
+    }
+
+    /// Record a timeout strike; [`DEAD_AFTER_STRIKES`] consecutive strikes declare the
+    /// shard dead so a stalled node stops costing a full deadline per fetch. The
+    /// budget is one deeper than the transient faults retries are expected to rescue
+    /// (a default drop burst resolves with zero degradation), while a genuinely silent
+    /// shard still trips the breaker within a bounded number of deadlines.
+    fn strike(&mut self, shard: usize) {
+        self.timeout_strikes[shard] += 1;
+        if self.timeout_strikes[shard] >= DEAD_AFTER_STRIKES {
+            self.dead[shard] = true;
+        }
+    }
+
+    /// Give up on `rows[keep..]` of unit `i` — zero-fill their output chunks and record
+    /// them missing. `keep == 0` degrades (and finishes) the whole unit.
+    fn degrade_unit(&mut self, units: &mut [FetchUnit], chunks: &mut [Option<&mut [T]>], i: usize) {
+        let unit = &mut units[i];
+        for (&row, &position) in unit.rows.iter().zip(&unit.positions) {
+            let chunk = chunks[position as usize]
+                .take()
+                .expect("each position is served exactly once");
+            chunk.fill(T::default());
+            self.missing.push(row);
+        }
+        self.counters
+            .missing_rows
+            .fetch_add(unit.rows.len() as u64, Ordering::Relaxed);
+        unit.done = true;
+        unit.attempts.clear();
+    }
+
+    /// A unit has no live attempts left: retry, promote onto a replica-holding shard,
+    /// schedule a backoff, or degrade — looping because a chosen target's dispatch can
+    /// itself fail immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_unit(
+        &mut self,
+        units: &mut [FetchUnit],
+        tags: &mut HashMap<u64, (usize, bool)>,
+        chunks: &mut [Option<&mut [T]>],
+        fanout_cost: &mut Option<Cost>,
+        home: usize,
+        i: usize,
+        resilience: &ResilienceConfig,
+        push_wait: Duration,
+    ) {
+        loop {
+            if units[i].done {
+                return;
+            }
+            if units[i].dispatches > resilience.max_retries {
+                // Retry budget spent (initial attempt + max_retries dispatches).
+                self.degrade_unit(units, chunks, i);
+                return;
+            }
+            let failed = units[i].last_target;
+            let all_replicated = units[i]
+                .rows
+                .iter()
+                .all(|&row| self.plan.is_replicated(row));
+            if all_replicated {
+                // Every row has a copy on every shard: any healthy shard can serve it.
+                let Some(target) = self.healthy_shard(failed) else {
+                    self.degrade_unit(units, chunks, i);
+                    return;
+                };
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                if target != units[i].origin {
+                    self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                if self
+                    .dispatch_unit(units, tags, fanout_cost, home, i, target, false, push_wait)
+                    .is_ok()
+                {
+                    return;
+                }
+            } else if !self.dead[failed] && !self.links[failed].is_down() {
+                // Unreplicated rows and the owner may just be slow: back off, retry it.
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                let delay = resilience.backoff_us * f64::from(units[i].dispatches);
+                units[i].waiting = Some((failed, self.clock.now_us() + delay));
+                return;
+            } else {
+                // The owner is dead. Promote the replicated subset onto a healthy
+                // shard; the cold remainder has no surviving copy and degrades now.
+                let unit = &mut units[i];
+                let mut hot_rows = Vec::new();
+                let mut hot_positions = Vec::new();
+                let mut cold = 0usize;
+                for (&row, &position) in unit.rows.iter().zip(&unit.positions) {
+                    if self.plan.is_replicated(row) {
+                        hot_rows.push(row);
+                        hot_positions.push(position);
+                    } else {
+                        let chunk = chunks[position as usize]
+                            .take()
+                            .expect("each position is served exactly once");
+                        chunk.fill(T::default());
+                        self.missing.push(row);
+                        cold += 1;
+                    }
+                }
+                self.counters
+                    .missing_rows
+                    .fetch_add(cold as u64, Ordering::Relaxed);
+                unit.rows = hot_rows;
+                unit.positions = hot_positions;
+                if units[i].rows.is_empty() {
+                    units[i].done = true;
+                    return;
+                }
+                let Some(target) = self.healthy_shard(failed) else {
+                    self.degrade_unit(units, chunks, i);
+                    return;
+                };
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                if self
+                    .dispatch_unit(units, tags, fanout_cost, home, i, target, false, push_wait)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
         }
     }
 }
@@ -507,10 +1064,77 @@ impl<T: Lane> RowSource<T> for ClusterClient<T> {
         if work.is_empty() {
             return Ok(());
         }
+        let resilient = self.resilience.is_some()
+            || self
+                .links
+                .iter()
+                .any(|link| matches!(link, ShardLink::Socket(_)));
+        if resilient {
+            self.fetch_rows_resilient(work)
+        } else {
+            self.fetch_rows_strict(work)
+        }
+    }
+
+    fn take_missing(&mut self) -> Vec<u32> {
+        self.take_missing_rows()
+    }
+
+    fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
+        if out.len() != batch.len() * self.dim {
+            return Err(ServeError::ShapeMismatch {
+                what: "batch pooling output",
+                expected: batch.len() * self.dim,
+                actual: out.len(),
+            });
+        }
+        self.check_indices(batch.indices())?;
+        // Coalesce repeated rows onto a single fetch, exactly like the cached path's
+        // in-flight coalescing: duplicates are copied from the first occurrence's
+        // staging slot, so the routed traffic (and its bus charge) counts each unique
+        // row once per batch and cache-off interconnect numbers stay comparable to
+        // cache-on ones.
+        let dim = self.dim;
+        let mut staging = vec![T::default(); batch.total_lookups() * dim];
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        {
+            let mut first_position: HashMap<u32, usize> = HashMap::new();
+            let mut unique: Vec<(u32, &mut [T])> = Vec::new();
+            for ((position, &row), chunk) in batch
+                .indices()
+                .iter()
+                .enumerate()
+                .zip(staging.chunks_mut(dim))
+            {
+                match first_position.entry(row) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        duplicates.push((position, *entry.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(position);
+                        unique.push((row, chunk));
+                    }
+                }
+            }
+            self.fetch_rows(unique)?;
+        }
+        for &(destination, source) in &duplicates {
+            staging.copy_within(source * dim..(source + 1) * dim, destination * dim);
+        }
+        pool_from_staging(&staging, self.dim, batch.offsets(), out);
+        Ok(())
+    }
+}
+
+impl<T: Lane> ClusterClient<T> {
+    /// The strict fan-out/gather: any shard failure is the fetch's failure
+    /// ([`ServeError::ShardFailed`]). This path is the deterministic bit-identity
+    /// oracle the resilient path is tested against.
+    fn fetch_rows_strict(&mut self, work: Vec<(u32, &mut [T])>) -> Result<(), ServeError> {
         // Discard stragglers a previously aborted fetch left behind, so leftovers can
         // never accumulate across fetches: at most one aborted fetch's responses
         // (< num_shards) coexist with the current fetch's (≤ num_shards), which the
-        // 2×num_shards reply capacity absorbs — shard workers never block on a full
+        // 4×num_shards reply capacity absorbs — shard workers never block on a full
         // reply queue.
         while let Pop::Item(_) = self.reply.pop_timeout(std::time::Duration::ZERO) {}
         let rows: Vec<u32> = work.iter().map(|(row, _)| *row).collect();
@@ -537,6 +1161,7 @@ impl<T: Lane> RowSource<T> for ClusterClient<T> {
                     rows: sub.rows.clone(),
                     reply: self.reply.clone(),
                     poison,
+                    fail_fast: true,
                 },
             ) {
                 // Dispatch failed mid-fan-out: absorb the responses of the shards
@@ -609,58 +1234,262 @@ impl<T: Lane> RowSource<T> for ClusterClient<T> {
         Ok(())
     }
 
-    fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
-        if out.len() != batch.len() * self.dim {
-            return Err(ServeError::ShapeMismatch {
-                what: "batch pooling output",
-                expected: batch.len() * self.dim,
-                actual: out.len(),
-            });
-        }
-        self.check_indices(batch.indices())?;
-        // Coalesce repeated rows onto a single fetch, exactly like the cached path's
-        // in-flight coalescing: duplicates are copied from the first occurrence's
-        // staging slot, so the routed traffic (and its bus charge) counts each unique
-        // row once per batch and cache-off interconnect numbers stay comparable to
-        // cache-on ones.
-        let dim = self.dim;
-        let mut staging = vec![T::default(); batch.total_lookups() * dim];
-        let mut duplicates: Vec<(usize, usize)> = Vec::new();
-        {
-            let mut first_position: HashMap<u32, usize> = HashMap::new();
-            let mut unique: Vec<(u32, &mut [T])> = Vec::new();
-            for ((position, &row), chunk) in batch
-                .indices()
-                .iter()
-                .enumerate()
-                .zip(staging.chunks_mut(dim))
+    /// The fault-tolerant fan-out/gather. Sub-requests carry per-attempt tags; the
+    /// gather loop runs deadlines off the injected clock, retries with backoff, hedges
+    /// a slow primary onto a replica-holding shard, promotes a dead shard's replicated
+    /// rows, and zero-fills what no healthy shard can serve (recorded in `missing`).
+    /// Rows still move whole — never partial sums — so every position written by a
+    /// response is bit-identical to the healthy run.
+    fn fetch_rows_resilient(&mut self, work: Vec<(u32, &mut [T])>) -> Result<(), ServeError> {
+        let resilience = self.resilience.unwrap_or_default();
+        // Stragglers cannot be confused with this fetch (attempt tags are unique), but
+        // drain them so the bounded reply queue starts with maximal slack.
+        while let Pop::Item(_) = self.reply.pop_timeout(Duration::ZERO) {}
+        let rows: Vec<u32> = work.iter().map(|(row, _)| *row).collect();
+        let split = self.plan.split(&rows);
+        let home = split.home;
+        let mut chunks: Vec<Option<&mut [T]>> =
+            work.into_iter().map(|(_, chunk)| Some(chunk)).collect();
+        self.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        // A wedged shard queue may stall a dispatch, but never past the request
+        // deadline (capped so wall-clock tests stay fast).
+        let push_wait =
+            Duration::from_secs_f64((resilience.request_timeout_us / 1e6).clamp(0.0, 2.0));
+        let mut units: Vec<FetchUnit> = split
+            .per_shard
+            .into_iter()
+            .map(|sub| FetchUnit {
+                origin: sub.shard,
+                last_target: sub.shard,
+                rows: sub.rows,
+                positions: sub.positions,
+                dispatches: 0,
+                attempts: Vec::new(),
+                waiting: None,
+                hedged: false,
+                done: false,
+            })
+            .collect();
+        let mut tags: HashMap<u64, (usize, bool)> = HashMap::with_capacity(units.len());
+        let mut fanout_cost: Option<Cost> = None;
+
+        for i in 0..units.len() {
+            let target = units[i].origin;
+            // Circuit breaker: a shard this client already declared dead is not worth
+            // another deadline — recover (promote or degrade) immediately.
+            if self.dead[target] || self.links[target].is_down() {
+                self.dead[target] = true;
+                self.recover_unit(
+                    &mut units,
+                    &mut tags,
+                    &mut chunks,
+                    &mut fanout_cost,
+                    home,
+                    i,
+                    &resilience,
+                    push_wait,
+                );
+                continue;
+            }
+            if self
+                .dispatch_unit(
+                    &mut units,
+                    &mut tags,
+                    &mut fanout_cost,
+                    home,
+                    i,
+                    target,
+                    false,
+                    push_wait,
+                )
+                .is_err()
             {
-                match first_position.entry(row) {
-                    std::collections::hash_map::Entry::Occupied(entry) => {
-                        duplicates.push((position, *entry.get()));
+                self.recover_unit(
+                    &mut units,
+                    &mut tags,
+                    &mut chunks,
+                    &mut fanout_cost,
+                    home,
+                    i,
+                    &resilience,
+                    push_wait,
+                );
+            }
+        }
+
+        while units.iter().any(|unit| !unit.done) {
+            let now = self.clock.now_us();
+            for i in 0..units.len() {
+                if units[i].done {
+                    continue;
+                }
+                if let Some((target, ready_us)) = units[i].waiting {
+                    if now >= ready_us {
+                        units[i].waiting = None;
+                        if self
+                            .dispatch_unit(
+                                &mut units,
+                                &mut tags,
+                                &mut fanout_cost,
+                                home,
+                                i,
+                                target,
+                                false,
+                                push_wait,
+                            )
+                            .is_err()
+                        {
+                            self.recover_unit(
+                                &mut units,
+                                &mut tags,
+                                &mut chunks,
+                                &mut fanout_cost,
+                                home,
+                                i,
+                                &resilience,
+                                push_wait,
+                            );
+                        }
                     }
-                    std::collections::hash_map::Entry::Vacant(entry) => {
-                        entry.insert(position);
-                        unique.push((row, chunk));
+                    continue;
+                }
+                // Expire dead attempts: a downed link fails its attempts immediately,
+                // a silent shard on the deadline (enough strikes and the router stops
+                // paying a full deadline for it on every fetch).
+                let mut k = 0;
+                while k < units[i].attempts.len() {
+                    let shard = units[i].attempts[k].shard;
+                    let down = self.dead[shard] || self.links[shard].is_down();
+                    let timed_out =
+                        now - units[i].attempts[k].sent_us >= resilience.request_timeout_us;
+                    if down || timed_out {
+                        if down {
+                            self.dead[shard] = true;
+                        } else {
+                            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.strike(shard);
+                        }
+                        let attempt = units[i].attempts.remove(k);
+                        tags.remove(&attempt.tag);
+                    } else {
+                        k += 1;
+                    }
+                }
+                if units[i].attempts.is_empty() {
+                    self.recover_unit(
+                        &mut units,
+                        &mut tags,
+                        &mut chunks,
+                        &mut fanout_cost,
+                        home,
+                        i,
+                        &resilience,
+                        push_wait,
+                    );
+                    continue;
+                }
+                // Hedge a slow, still-unanswered attempt onto a replica-holding shard.
+                if !units[i].hedged
+                    && units[i].attempts.len() == 1
+                    && now - units[i].attempts[0].sent_us >= resilience.hedge_after_us
+                    && units[i]
+                        .rows
+                        .iter()
+                        .all(|&row| self.plan.is_replicated(row))
+                {
+                    if let Some(target) = self.healthy_shard(units[i].attempts[0].shard) {
+                        units[i].hedged = true;
+                        self.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                        // A failed hedge dispatch is harmless: the primary is live.
+                        let _ = self.dispatch_unit(
+                            &mut units,
+                            &mut tags,
+                            &mut fanout_cost,
+                            home,
+                            i,
+                            target,
+                            true,
+                            push_wait,
+                        );
                     }
                 }
             }
-            self.fetch_rows(unique)?;
+            if units.iter().all(|unit| unit.done) {
+                break;
+            }
+            match self.reply.pop_timeout(GATHER_POLL) {
+                Pop::Item(response) => {
+                    let Some((i, was_hedge)) = tags.remove(&response.tag) else {
+                        continue; // an expired attempt's straggler, or a hedge loser
+                    };
+                    if units[i].done {
+                        continue;
+                    }
+                    for (k, &position) in units[i].positions.iter().enumerate() {
+                        let chunk = chunks[position as usize]
+                            .take()
+                            .expect("each position is served exactly once");
+                        chunk.copy_from_slice(&response.data[k * self.dim..(k + 1) * self.dim]);
+                    }
+                    if was_hedge {
+                        self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.timeout_strikes[response.shard] = 0;
+                    // Forget the losing sibling attempt (if the unit was hedged) so its
+                    // late response cannot double-write.
+                    for attempt in units[i].attempts.drain(..) {
+                        tags.remove(&attempt.tag);
+                    }
+                    units[i].done = true;
+                }
+                Pop::Closed => {
+                    // Our own reply queue closed under us: nothing can ever arrive
+                    // again, so everything still pending degrades.
+                    for i in 0..units.len() {
+                        if !units[i].done {
+                            self.degrade_unit(&mut units, &mut chunks, i);
+                        }
+                    }
+                }
+                Pop::TimedOut => {}
+            }
         }
-        for &(destination, source) in &duplicates {
-            staging.copy_within(source * dim..(source + 1) * dim, destination * dim);
+        if let Some(cost) = fanout_cost {
+            self.pending_cost = self.pending_cost.serial(cost);
         }
-        pool_from_staging(&staging, self.dim, batch.offsets(), out);
         Ok(())
     }
 }
 
+/// Optional knobs for a cluster spawn: fault injection and an injectable clock.
+/// Separate from [`ClusterConfig`] so the config stays plain comparable data.
+#[derive(Debug, Default)]
+pub struct ClusterOptions {
+    /// Inject this fault plan into the shard nodes (in-process workers check it per
+    /// sub-request; socket nodes receive it as a `CHAOS` frame).
+    pub chaos: Option<Arc<ChaosPlan>>,
+    /// Deadline source for the router's resilient path ([`WallClock`] by default).
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
 /// Spawn the shard nodes for a catalogue and hand back a router plus the owning handle.
+#[cfg(test)]
 pub(crate) fn spawn_cluster<T: Lane>(
     rows: &[&[T]],
     dim: usize,
     plan: ShardPlan,
     config: &ClusterConfig,
+) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
+    spawn_cluster_with(rows, dim, plan, config, ClusterOptions::default())
+}
+
+/// [`spawn_cluster`] with chaos injection and a custom clock.
+pub(crate) fn spawn_cluster_with<T: Lane>(
+    rows: &[&[T]],
+    dim: usize,
+    plan: ShardPlan,
+    config: &ClusterConfig,
+    options: ClusterOptions,
 ) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
     config.validate()?;
     let num_shards = plan.num_shards();
@@ -670,7 +1499,7 @@ pub(crate) fn spawn_cluster<T: Lane>(
         plan.placement(),
         plan.hot_replicas(),
     ));
-    let mut inputs = Vec::with_capacity(num_shards);
+    let mut links = Vec::with_capacity(num_shards);
     let mut workers = Vec::with_capacity(num_shards * config.workers_per_shard);
     let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
     for shard in 0..num_shards {
@@ -681,36 +1510,148 @@ pub(crate) fn spawn_cluster<T: Lane>(
             let storage = storage.clone();
             let input = input.clone();
             let counters = counters.clone();
+            let chaos = options.chaos.clone();
             workers.push((
                 shard,
-                std::thread::spawn(move || run_shard_worker(shard, storage, input, counters)),
+                std::thread::spawn(move || {
+                    run_shard_worker(shard, storage, input, counters, chaos)
+                }),
             ));
         }
         closers.push(Box::new({
             let input = input.clone();
             move || input.close()
         }));
-        inputs.push(input);
+        links.push(ShardLink::Queue(input));
     }
-    let client = ClusterClient {
-        plan: Arc::new(plan),
-        inputs,
-        // Room for one response per shard plus stragglers from an aborted fetch.
-        reply: Arc::new(BoundedQueue::new(num_shards.max(1) * 2)),
-        dim,
-        bus: RscBus::new(config.interconnect),
-        counters: counters.clone(),
-        pending_cost: Cost::ZERO,
-        pending_breakdown: CostBreakdown::new(),
-        next_tag: 0,
-        poison_next: false,
-    };
+    let client = assemble_client(plan, links, dim, config, options.clock, counters.clone());
     let handle = ClusterHandle {
         closers,
         workers,
         counters,
     };
     Ok((client, handle))
+}
+
+/// Connect a router to already-running shard-node processes over Unix-domain sockets
+/// (`sockets[shard]` is shard `shard`'s listener, see
+/// [`run_shard_node`](crate::transport::run_shard_node)), loading each node's resident
+/// rows over the wire. The socket path always runs the resilient fetch machinery; the
+/// handle owns shutdown (each node is told to exit) but no threads.
+pub(crate) fn connect_cluster<T: Lane>(
+    rows: &[&[T]],
+    dim: usize,
+    plan: ShardPlan,
+    config: &ClusterConfig,
+    sockets: &[PathBuf],
+    options: ClusterOptions,
+) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
+    config.validate()?;
+    let num_shards = plan.num_shards();
+    if sockets.len() != num_shards {
+        return Err(ServeError::InvalidConfig {
+            reason: format!(
+                "{num_shards} shards need {num_shards} socket paths, got {}",
+                sockets.len()
+            ),
+        });
+    }
+    let counters = Arc::new(ClusterCounters::new(
+        num_shards,
+        config,
+        plan.placement(),
+        plan.hot_replicas(),
+    ));
+    let reply: Arc<BoundedQueue<SubResponse<T>>> =
+        Arc::new(BoundedQueue::new(reply_capacity(num_shards)));
+    let mut links = Vec::with_capacity(num_shards);
+    let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
+    for (shard, path) in sockets.iter().enumerate() {
+        let load_frame = Arc::new(transport::encode_load(
+            shard as u32,
+            dim,
+            rows,
+            plan.rows_on(shard),
+        ));
+        let link = SocketLink::connect(
+            shard,
+            path,
+            dim,
+            load_frame,
+            config.queue_capacity,
+            reply.clone(),
+        )
+        .map_err(|_| ServeError::TransportClosed { shard })?;
+        if let Some(chaos) = options
+            .chaos
+            .as_deref()
+            .filter(|plan| plan.spec().shard == shard)
+        {
+            let (fault, param) = chaos.spec().kind.wire_code();
+            link.send_blocking(transport::encode_chaos(
+                shard as u32,
+                fault,
+                chaos.fire_after(),
+                param,
+            ))
+            .map_err(|_| ServeError::TransportClosed { shard })?;
+        }
+        closers.push(Box::new({
+            let path = path.clone();
+            let shard = shard as u32;
+            move || {
+                // A dedicated one-shot connection so shutdown works even after the
+                // router (and its links) is gone. A dead node is already shut down.
+                use std::io::Write as _;
+                if let Ok(mut stream) = std::os::unix::net::UnixStream::connect(&path) {
+                    let _ = stream.write_all(&transport::encode_shutdown(shard));
+                }
+            }
+        }));
+        links.push(ShardLink::Socket(link));
+    }
+    let mut client = assemble_client(plan, links, dim, config, options.clock, counters.clone());
+    client.reply = reply;
+    let handle = ClusterHandle {
+        closers,
+        workers: Vec::new(),
+        counters,
+    };
+    Ok((client, handle))
+}
+
+/// Room for one response per shard plus a retry, a hedge, and stragglers from an
+/// aborted fetch — shard workers never block on a full reply queue.
+fn reply_capacity(num_shards: usize) -> usize {
+    num_shards.max(1) * 4
+}
+
+fn assemble_client<T: Lane>(
+    plan: ShardPlan,
+    links: Vec<ShardLink<T>>,
+    dim: usize,
+    config: &ClusterConfig,
+    clock: Option<Arc<dyn Clock>>,
+    counters: Arc<ClusterCounters>,
+) -> ClusterClient<T> {
+    let num_shards = plan.num_shards();
+    ClusterClient {
+        plan: Arc::new(plan),
+        links,
+        reply: Arc::new(BoundedQueue::new(reply_capacity(num_shards))),
+        dim,
+        bus: RscBus::new(config.interconnect),
+        counters,
+        pending_cost: Cost::ZERO,
+        pending_breakdown: CostBreakdown::new(),
+        next_tag: 0,
+        poison_next: false,
+        resilience: config.resilience,
+        clock: clock.unwrap_or_else(|| Arc::new(WallClock::new())),
+        dead: vec![false; num_shards],
+        timeout_strikes: vec![0; num_shards],
+        missing: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -769,6 +1710,7 @@ mod tests {
             placement: Placement::Range,
             hot_replicas: 0,
             interconnect: InterconnectParams::default(),
+            resilience: None,
         }
     }
 
@@ -1106,7 +2048,7 @@ mod tests {
         let input: Arc<BoundedQueue<SubRequest<f32>>> = Arc::new(BoundedQueue::new(1));
         let client = ClusterClient {
             plan: Arc::new(plan),
-            inputs: vec![input.clone()],
+            links: vec![ShardLink::Queue(input.clone())],
             reply: Arc::new(BoundedQueue::new(2)),
             dim: ITEM_DIM,
             bus: RscBus::new(config.interconnect),
@@ -1115,6 +2057,11 @@ mod tests {
             pending_breakdown: CostBreakdown::new(),
             next_tag: 0,
             poison_next: false,
+            resilience: None,
+            clock: Arc::new(WallClock::new()),
+            dead: vec![false],
+            timeout_strikes: vec![0],
+            missing: Vec::new(),
         };
         // Fill the queue so the next push must overflow.
         input
@@ -1123,6 +2070,7 @@ mod tests {
                 rows: vec![],
                 reply: client.reply.clone(),
                 poison: false,
+                fail_fast: true,
             })
             .unwrap();
         let storage = Arc::new(ShardStorage::build(&rows, ITEM_DIM, &[0, 1, 2]));
@@ -1191,5 +2139,252 @@ mod tests {
         let stats = handle.shutdown().unwrap();
         assert_eq!(stats.shard_lookups.iter().sum::<u64>(), 4 * 50);
         assert_eq!(stats.fetches, 4 * 50);
+    }
+
+    /// The hedging satellite: a stalled shard never answers, the injected manual clock
+    /// crosses `hedge_after_us`, and the hedge lands on a replica-holding shard — the
+    /// fetched bytes are identical to the table's, in both served precisions.
+    #[test]
+    fn hedged_reads_win_on_replicas_bit_identically() {
+        let table = items();
+        let fp32: Vec<Vec<f32>> = table.iter_rows().map(<[f32]>::to_vec).collect();
+        assert_hedged_fetch(&fp32);
+        let quantized = imars_recsys::quantization::QuantizedTable::from_table(&table);
+        let int8: Vec<Vec<i8>> = (0..quantized.rows())
+            .map(|row| quantized.row(row).unwrap().to_vec())
+            .collect();
+        assert_hedged_fetch(&int8);
+    }
+
+    fn assert_hedged_fetch<T: Lane + PartialEq + std::fmt::Debug>(source: &[Vec<T>]) {
+        let rows: Vec<&[T]> = source.iter().map(Vec::as_slice).collect();
+        // Row r has frequency NUM_ITEMS - r, so the replicated half is rows 0..256.
+        let histogram: Vec<u64> = (1..=NUM_ITEMS as u64).rev().collect();
+        let plan = ShardPlan::build(
+            NUM_ITEMS,
+            2,
+            Placement::Frequency,
+            NUM_ITEMS / 2,
+            Some(&histogram),
+        )
+        .unwrap();
+        let wanted: Vec<u32> = (0..NUM_ITEMS as u32)
+            .filter(|&row| plan.is_replicated(row))
+            .collect();
+        assert_eq!(wanted.len(), NUM_ITEMS / 2);
+        let expected: Vec<T> = wanted
+            .iter()
+            .flat_map(|&row| source[row as usize].iter().copied())
+            .collect();
+        let mut config = cluster_config(2, 1);
+        config.resilience = Some(ResilienceConfig {
+            request_timeout_us: 1e12, // only the hedge may rescue the fetch
+            hedge_after_us: 100.0,
+            max_retries: 0,
+            backoff_us: 0.0,
+        });
+        let clock = Arc::new(ManualClock::new());
+        let options = ClusterOptions {
+            chaos: Some(Arc::new(ChaosPlan::parse("stall:0", 0).unwrap())),
+            clock: Some(clock.clone()),
+        };
+        let (mut client, handle) =
+            spawn_cluster_with(&rows, ITEM_DIM, plan, &config, options).unwrap();
+        let fetcher = std::thread::spawn(move || {
+            let mut out = vec![T::default(); wanted.len() * ITEM_DIM];
+            let work: Vec<(u32, &mut [T])> = wanted
+                .iter()
+                .copied()
+                .zip(out.chunks_mut(ITEM_DIM))
+                .collect();
+            client.fetch_rows(work).unwrap();
+            assert!(client.take_missing_rows().is_empty(), "nothing degrades");
+            out
+        });
+        // The stalled shard holds its sub-request forever; only crossing the hedge
+        // deadline lets the fetch finish.
+        while !fetcher.is_finished() {
+            clock.advance_us(250.0);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let out = fetcher.join().unwrap();
+        assert_eq!(out, expected, "hedged rows must be byte-identical");
+        let stats = handle.shutdown().unwrap();
+        assert!(stats.hedges >= 1, "a hedge fired: {stats:?}");
+        assert!(stats.hedge_wins >= 1, "the hedge won: {stats:?}");
+        assert_eq!(stats.missing_rows, 0);
+        assert_eq!(stats.promotions, 0, "a hedge is not a promotion");
+    }
+
+    /// The chaos tentpole pinned down: kill a shard mid-replay and the replay still
+    /// completes with every query answered. Queries that never touch the dead shard's
+    /// rows stay bit-identical to the healthy run, replicated hot rows are promoted,
+    /// the rest degrade to zero-filled lookups — and the telemetry accounts for it
+    /// reproducibly: a second identical chaos run yields the same scores and counters.
+    #[test]
+    fn a_killed_shard_degrades_gracefully_and_deterministically() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(300)).unwrap();
+        let histogram = workload.row_histogram(NUM_ITEMS).unwrap();
+        let mut cluster = cluster_config(4, 1);
+        cluster.placement = Placement::Frequency;
+        cluster.hot_replicas = 64;
+        cluster.resilience = Some(ResilienceConfig::default());
+        let serve = |chaos: Option<Arc<ChaosPlan>>| {
+            let options = ClusterOptions { chaos, clock: None };
+            let (mut engine, handle) = ServeEngine::new_clustered_with(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &table,
+                serve_config(64, ServePrecision::Fp32),
+                &cluster,
+                Some(&histogram),
+                options,
+            )
+            .unwrap();
+            let outcome = engine.replay(&workload).unwrap();
+            (outcome, handle.shutdown())
+        };
+        let (healthy, clean) = serve(None);
+        clean.unwrap();
+        assert_eq!(healthy.report.telemetry.degraded_queries, 0);
+        let (degraded, shutdown) = serve(Some(Arc::new(ChaosPlan::parse("kill:1", 5).unwrap())));
+        // The worker died by design; the handle reports it and nothing hangs.
+        assert!(matches!(
+            shutdown,
+            Err(ServeError::ShardFailed { shard: 1 })
+        ));
+        // Zero lost queries.
+        assert_eq!(degraded.responses.len(), healthy.responses.len());
+        // Promotion serves the dead shard's *replicated* rows byte-identically, so only
+        // its non-replicated rows can perturb a result: queries whose history avoids
+        // those must be bit-identical to the healthy run.
+        let plan =
+            ShardPlan::build(NUM_ITEMS, 4, Placement::Frequency, 64, Some(&histogram)).unwrap();
+        let doomed: std::collections::HashSet<u32> = plan
+            .rows_on(1)
+            .iter()
+            .copied()
+            .filter(|&row| !plan.is_replicated(row))
+            .collect();
+        let mut untouched = 0usize;
+        for ((request, with_fault), healthy) in workload
+            .requests()
+            .iter()
+            .zip(&degraded.responses)
+            .zip(&healthy.responses)
+        {
+            assert_eq!(request.id, with_fault.id);
+            assert_eq!(with_fault.id, healthy.id);
+            if request.history.iter().all(|row| !doomed.contains(row)) {
+                assert_eq!(
+                    with_fault.score.to_bits(),
+                    healthy.score.to_bits(),
+                    "query {} never touched the dead shard",
+                    request.id
+                );
+                untouched += 1;
+            }
+        }
+        assert!(
+            untouched > 0,
+            "the workload must exercise untouched queries"
+        );
+        // Every degraded lookup is accounted, in the cluster counters and the serving
+        // telemetry alike.
+        let stats = degraded.report.cluster.as_ref().unwrap();
+        let telemetry = &degraded.report.telemetry;
+        assert!(stats.missing_rows > 0, "some cold rows degrade: {stats:?}");
+        assert!(stats.promotions > 0, "hot rows promote: {stats:?}");
+        assert_eq!(
+            telemetry.missing_row_lookups, stats.missing_rows,
+            "every zero-filled row is accounted"
+        );
+        let exposed = workload
+            .requests()
+            .iter()
+            .filter(|request| request.history.iter().any(|row| doomed.contains(row)))
+            .count() as u64;
+        assert!(telemetry.degraded_queries > 0);
+        assert!(telemetry.degraded_queries <= exposed);
+        // Determinism: the same plan reproduces the same degradation, bit for bit.
+        let (again, _shutdown) = serve(Some(Arc::new(ChaosPlan::parse("kill:1", 5).unwrap())));
+        assert_eq!(
+            again.report.telemetry.degraded_queries,
+            telemetry.degraded_queries
+        );
+        assert_eq!(
+            again.report.cluster.as_ref().unwrap().missing_rows,
+            stats.missing_rows
+        );
+        for (a, b) in again.responses.iter().zip(&degraded.responses) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {}", a.id);
+        }
+    }
+
+    /// Fault-free, the socket transport is bit-identical to the in-process cluster:
+    /// the same replay through real shard nodes on Unix sockets produces exactly the
+    /// bytes the in-thread oracle does.
+    #[test]
+    fn uds_cluster_replay_matches_in_process_bit_for_bit() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(200)).unwrap();
+        let cluster = cluster_config(2, 1);
+        let (mut oracle, oracle_handle) = ServeEngine::new_clustered(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            serve_config(64, ServePrecision::Fp32),
+            &cluster,
+            None,
+        )
+        .unwrap();
+        let expected = oracle.replay(&workload).unwrap();
+        oracle_handle.shutdown().unwrap();
+        let sockets: Vec<PathBuf> = (0..cluster.shards)
+            .map(|shard| transport::socket_path("cluster-replay-test", shard))
+            .collect();
+        let nodes: Vec<_> = sockets
+            .iter()
+            .cloned()
+            .map(|path| std::thread::spawn(move || transport::run_shard_node(&path)))
+            .collect();
+        for path in &sockets {
+            let started = Instant::now();
+            while std::os::unix::net::UnixStream::connect(path).is_err() {
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "shard node never came up on {path:?}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let (mut engine, handle) = ServeEngine::new_clustered_sockets(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            serve_config(64, ServePrecision::Fp32),
+            &cluster,
+            None,
+            &sockets,
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let outcome = engine.replay(&workload).unwrap();
+        assert_eq!(outcome.responses.len(), expected.responses.len());
+        for (uds, inproc) in outcome.responses.iter().zip(&expected.responses) {
+            assert_eq!(uds.id, inproc.id);
+            assert_eq!(
+                uds.score.to_bits(),
+                inproc.score.to_bits(),
+                "query {} over uds",
+                uds.id
+            );
+            assert_eq!(uds.candidates, inproc.candidates);
+        }
+        assert_eq!(outcome.report.cache, expected.report.cache);
+        assert_eq!(outcome.report.telemetry.degraded_queries, 0);
+        drop(engine); // hang the links up before the nodes are told to exit
+        handle.shutdown().unwrap();
+        for node in nodes {
+            node.join().unwrap().unwrap();
+        }
     }
 }

@@ -38,7 +38,10 @@ use imars_datasets::workload::InferenceQuery;
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, FlushedBatch};
 use crate::cache::{CacheStats, HotRowCache};
-use crate::cluster::{spawn_cluster, ClusterClient, ClusterConfig, ClusterCounters, ClusterHandle};
+use crate::cluster::{
+    connect_cluster, spawn_cluster_with, ClusterClient, ClusterConfig, ClusterCounters,
+    ClusterHandle, ClusterOptions,
+};
 use crate::error::ServeError;
 use crate::placement::ShardPlan;
 use crate::replay::ReplayWorkload;
@@ -224,7 +227,13 @@ impl ItemStore {
     }
 
     /// Pool every request's history into a dense f32 profile (`batch.len() × dim`).
-    fn pool_dense(&mut self, batch: &PoolingBatch, dense: &mut [f32]) -> Result<(), ServeError> {
+    /// Returns the row ids the source degraded to zero-filled lookups (empty outside
+    /// a faulted cluster).
+    fn pool_dense(
+        &mut self,
+        batch: &PoolingBatch,
+        dense: &mut [f32],
+    ) -> Result<Vec<u32>, ServeError> {
         match self {
             ItemStore::Fp32 { shards, cache } => pool_profiles(shards, cache, batch, dense),
             ItemStore::ClusterFp32 { client, cache } => pool_profiles(client, cache, batch, dense),
@@ -250,9 +259,9 @@ fn pool_dense_int8<S: RowSource<i8>>(
     params: QuantizationParams,
     batch: &PoolingBatch,
     dense: &mut [f32],
-) -> Result<(), ServeError> {
+) -> Result<Vec<u32>, ServeError> {
     let mut profiles = vec![0i8; batch.len() * source.dim()];
-    pool_profiles(source, cache, batch, &mut profiles)?;
+    let missing = pool_profiles(source, cache, batch, &mut profiles)?;
     if dense.len() != profiles.len() {
         return Err(ServeError::ShapeMismatch {
             what: "dense profile buffer",
@@ -263,7 +272,7 @@ fn pool_dense_int8<S: RowSource<i8>>(
     for (out, &quantized) in dense.iter_mut().zip(profiles.iter()) {
         *out = params.dequantize(quantized);
     }
-    Ok(())
+    Ok(missing)
 }
 
 /// Pool a CSR batch through the cache and a row source (in-process shards or the
@@ -275,12 +284,16 @@ fn pool_dense_int8<S: RowSource<i8>>(
 /// Accumulation order is always the request's index order, and cached rows are exact
 /// copies of source rows, so the pooled profiles are bit-identical with the cache on,
 /// off, or at any capacity — and identical across the single-node and cluster sources.
+///
+/// Returns the rows the source reported missing (zero-filled by a degraded cluster).
+/// A missing row contributes zero to its pools and is **never** admitted to the cache:
+/// degradation must stay transient, not poison future batches after the shard recovers.
 fn pool_profiles<T: Lane, S: RowSource<T>>(
     source: &mut S,
     cache: &mut HotRowCache<T>,
     batch: &PoolingBatch,
     profiles: &mut [T],
-) -> Result<(), ServeError> {
+) -> Result<Vec<u32>, ServeError> {
     let dim = source.dim();
     if profiles.len() != batch.len() * dim {
         return Err(ServeError::ShapeMismatch {
@@ -294,7 +307,7 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
         // Counted as all-miss so hit-rate reporting stays comparable across configs.
         source.pool_direct(batch, profiles)?;
         cache.record_misses(batch.total_lookups() as u64);
-        return Ok(());
+        return Ok(source.take_missing());
     }
     source.check_indices(batch.indices())?;
     let mut staging: Vec<T> = vec![T::default(); batch.total_lookups() * dim];
@@ -328,15 +341,26 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
         }
         source.fetch_rows(misses)?;
     }
+    let missing = source.take_missing();
     for &(destination, source) in &coalesced {
         staging.copy_within(source * dim..(source + 1) * dim, destination * dim);
     }
-    // Admit the fetched rows, in lookup order so CLOCK state stays deterministic.
-    for &(row, position) in &fetched {
-        cache.insert(row, &staging[position * dim..(position + 1) * dim]);
+    // Admit the fetched rows, in lookup order so CLOCK state stays deterministic —
+    // except rows a degraded cluster zero-filled, which must not be cached.
+    if missing.is_empty() {
+        for &(row, position) in &fetched {
+            cache.insert(row, &staging[position * dim..(position + 1) * dim]);
+        }
+    } else {
+        let degraded: std::collections::HashSet<u32> = missing.iter().copied().collect();
+        for &(row, position) in &fetched {
+            if !degraded.contains(&row) {
+                cache.insert(row, &staging[position * dim..(position + 1) * dim]);
+            }
+        }
     }
     crate::shard::pool_from_staging(&staging, dim, batch.offsets(), profiles);
-    Ok(())
+    Ok(missing)
 }
 
 /// The serving engine: model + item store + TCAM filter + telemetry.
@@ -416,6 +440,30 @@ impl ServeEngine {
         cluster: &ClusterConfig,
         histogram: Option<&[u64]>,
     ) -> Result<(Self, ClusterHandle), ServeError> {
+        Self::new_clustered_with(
+            model,
+            items,
+            config,
+            cluster,
+            histogram,
+            ClusterOptions::default(),
+        )
+    }
+
+    /// [`ServeEngine::new_clustered`] with [`ClusterOptions`]: chaos fault injection
+    /// into the shard nodes and/or an injected clock for the router's resilient path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeEngine::new_clustered`].
+    pub fn new_clustered_with(
+        model: Dlrm,
+        items: &EmbeddingTable,
+        config: ServeConfig,
+        cluster: &ClusterConfig,
+        histogram: Option<&[u64]>,
+        options: ClusterOptions,
+    ) -> Result<(Self, ClusterHandle), ServeError> {
         cluster.validate()?;
         let (lsh, tcam) = Self::build_filter(&model, items, &config)?;
         let plan = ShardPlan::build(
@@ -428,7 +476,8 @@ impl ServeEngine {
         let (store, handle) = match config.precision {
             ServePrecision::Fp32 => {
                 let rows: Vec<&[f32]> = items.iter_rows().collect();
-                let (client, handle) = spawn_cluster(&rows, items.dim(), plan, cluster)?;
+                let (client, handle) =
+                    spawn_cluster_with(&rows, items.dim(), plan, cluster, options)?;
                 (
                     ItemStore::ClusterFp32 {
                         client,
@@ -442,7 +491,80 @@ impl ServeEngine {
                 let rows: Vec<&[i8]> = (0..quantized.rows())
                     .map(|row| quantized.row(row).expect("row index in range"))
                     .collect();
-                let (client, handle) = spawn_cluster(&rows, items.dim(), plan, cluster)?;
+                let (client, handle) =
+                    spawn_cluster_with(&rows, items.dim(), plan, cluster, options)?;
+                (
+                    ItemStore::ClusterInt8 {
+                        client,
+                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                        params: quantized.params(),
+                    },
+                    handle,
+                )
+            }
+        };
+        Ok((
+            Self {
+                model,
+                store,
+                lsh,
+                tcam,
+                config,
+                telemetry: ServeTelemetry::default(),
+            },
+            handle,
+        ))
+    }
+
+    /// A clustered engine whose shards are separate *processes*: each socket path must
+    /// have a [`run_shard_node`](crate::transport::run_shard_node) listening on it. The
+    /// router pushes every shard its row partition over the wire (a `LOAD` frame), so
+    /// the nodes themselves start empty. Fault-free, the results are bit-identical to
+    /// [`ServeEngine::new_clustered`] — `serve_replay --transport uds` asserts exactly
+    /// that.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TransportClosed`] when a node cannot be reached, plus everything
+    /// [`ServeEngine::new_clustered`] returns.
+    pub fn new_clustered_sockets(
+        model: Dlrm,
+        items: &EmbeddingTable,
+        config: ServeConfig,
+        cluster: &ClusterConfig,
+        histogram: Option<&[u64]>,
+        sockets: &[std::path::PathBuf],
+        options: ClusterOptions,
+    ) -> Result<(Self, ClusterHandle), ServeError> {
+        cluster.validate()?;
+        let (lsh, tcam) = Self::build_filter(&model, items, &config)?;
+        let plan = ShardPlan::build(
+            items.rows(),
+            cluster.shards,
+            cluster.placement,
+            cluster.hot_replicas,
+            histogram,
+        )?;
+        let (store, handle) = match config.precision {
+            ServePrecision::Fp32 => {
+                let rows: Vec<&[f32]> = items.iter_rows().collect();
+                let (client, handle) =
+                    connect_cluster(&rows, items.dim(), plan, cluster, sockets, options)?;
+                (
+                    ItemStore::ClusterFp32 {
+                        client,
+                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                    },
+                    handle,
+                )
+            }
+            ServePrecision::Int8 => {
+                let quantized = QuantizedTable::from_table(items);
+                let rows: Vec<&[i8]> = (0..quantized.rows())
+                    .map(|row| quantized.row(row).expect("row index in range"))
+                    .collect();
+                let (client, handle) =
+                    connect_cluster(&rows, items.dim(), plan, cluster, sockets, options)?;
                 (
                     ItemStore::ClusterInt8 {
                         client,
@@ -562,7 +684,18 @@ impl ServeEngine {
         //    one in-memory add per accumulated row beyond each request's first.
         let misses_before = self.store.cache_stats().misses;
         let mut dense = vec![0.0f32; requests.len() * dense_dim];
-        self.store.pool_dense(&batch, &mut dense)?;
+        let missing = self.store.pool_dense(&batch, &mut dense)?;
+        if !missing.is_empty() {
+            // Degraded-mode accounting: every zero-filled row, and every query whose
+            // pooled history touched one, is visible in the replay report.
+            self.telemetry.missing_row_lookups += missing.len() as u64;
+            let degraded: std::collections::HashSet<u32> = missing.iter().copied().collect();
+            for i in 0..batch.len() {
+                if batch.request(i).iter().any(|row| degraded.contains(row)) {
+                    self.telemetry.degraded_queries += 1;
+                }
+            }
+        }
         let misses = (self.store.cache_stats().misses - misses_before) as usize;
         let read = Cost::from_fom(self.tcam.fom().cma.read);
         let add = Cost::from_fom(self.tcam.fom().cma.add);

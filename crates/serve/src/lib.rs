@@ -26,13 +26,23 @@
 //!   deterministic per-shard split of a batch's lookups;
 //! * [`cluster`] — multi-node shard routing: per-shard bounded queues + workers, a
 //!   router/gather pair with bit-identical outputs to the single-node path, and an
-//!   RSC-bus interconnect charge per cross-shard hop;
+//!   RSC-bus interconnect charge per cross-shard hop; with a
+//!   [`ResilienceConfig`](cluster::ResilienceConfig) the router survives shard death —
+//!   deadline timeouts, bounded retries with backoff, hedged reads, and promotion of a
+//!   dead shard's replicated hot rows, with graceful zero-fill degradation beyond that;
+//! * [`transport`] — length-prefixed binary framing over Unix-domain sockets and the
+//!   shard-node server loop, so shards can run as separate processes (the in-process
+//!   path stays the deterministic bit-identity oracle);
+//! * [`chaos`] — deterministic fault injection (kill / stall / slow / drop-frames on a
+//!   chosen shard after a chosen number of served sub-requests) driving the chaos test
+//!   suite and `serve_replay --chaos`;
 //! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99), throughput, cache,
-//!   runtime, cluster and modeled-cost reporting with a bench-harness-style JSON
-//!   summary.
+//!   runtime, cluster, fault-tolerance and modeled-cost reporting with a
+//!   bench-harness-style JSON summary.
 
 pub mod batcher;
 pub mod cache;
+pub mod chaos;
 pub mod clock;
 pub mod cluster;
 pub mod engine;
@@ -43,11 +53,13 @@ pub mod replay;
 pub mod runtime;
 pub mod shard;
 pub mod telemetry;
+pub mod transport;
 
 pub use batcher::{BatchPolicy, DynamicBatcher, FlushReason, FlushedBatch};
 pub use cache::{CacheStats, HotRowCache};
+pub use chaos::{ChaosPlan, FaultKind, FaultSpec};
 pub use clock::{Clock, ManualClock, WallClock};
-pub use cluster::{ClusterClient, ClusterConfig, ClusterHandle};
+pub use cluster::{ClusterClient, ClusterConfig, ClusterHandle, ClusterOptions, ResilienceConfig};
 pub use engine::{
     ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse,
 };
@@ -58,3 +70,4 @@ pub use replay::{ReplayConfig, ReplayWorkload};
 pub use runtime::{replay_threaded, RuntimeConfig, ServeRuntime, ThreadedReplayConfig};
 pub use shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
 pub use telemetry::{ClusterStats, LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};
+pub use transport::run_shard_node;

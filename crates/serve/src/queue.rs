@@ -126,6 +126,41 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueue, blocking at most `timeout` while the queue is full. Returns the depth
+    /// after the push. This is the dispatch primitive of the fault-tolerant router: a
+    /// stalled shard whose queue has filled must surface as a timeout the retry policy
+    /// can act on, never as an indefinite producer hang.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the timeout elapses with the queue still at capacity,
+    /// [`PushError::Closed`] if the queue closes while waiting (or was already closed).
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<usize, PushError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                let depth = state.items.len();
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full(item));
+            }
+            state = self
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock poisoned")
+                .0;
+        }
+    }
+
     /// Dequeue, blocking until an item arrives or the queue is closed *and* drained.
     pub fn pop(&self) -> Pop<T> {
         let mut state = self.state.lock().expect("queue lock poisoned");
@@ -273,5 +308,80 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         queue.close();
         assert_eq!(consumer.join().unwrap(), Pop::Closed);
+    }
+
+    #[test]
+    fn close_wakes_every_producer_blocked_at_capacity() {
+        // The close/drain edge case: several producers all blocked on a full queue must
+        // every one wake with Closed (their items handed back), not hang forever on a
+        // condvar nobody will signal again.
+        let queue = Arc::new(BoundedQueue::new(1));
+        queue.try_push(0u32).unwrap();
+        let producers: Vec<_> = (1..=4u32)
+            .map(|i| {
+                let queue = queue.clone();
+                std::thread::spawn(move || queue.push(i))
+            })
+            .collect();
+        // Let them all reach the wait before closing.
+        while queue.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        queue.close();
+        for producer in producers {
+            match producer.join().unwrap() {
+                Err(PushError::Closed(item)) => assert!((1..=4).contains(&item)),
+                other => panic!("blocked producer must see Closed, got {other:?}"),
+            }
+        }
+        // The item enqueued before close still drains.
+        assert_eq!(queue.pop(), Pop::Item(0));
+        assert_eq!(queue.pop(), Pop::Closed);
+    }
+
+    #[test]
+    fn try_push_after_close_never_succeeds() {
+        let queue = BoundedQueue::new(2);
+        queue.try_push(1u32).unwrap();
+        queue.close();
+        // Closed wins over Full and over free space alike — even after a full drain
+        // reopens capacity, the queue stays closed to producers.
+        assert_eq!(queue.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(queue.pop(), Pop::Item(1));
+        assert!(queue.is_empty());
+        assert_eq!(queue.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(queue.push(4), Err(PushError::Closed(4)));
+        assert_eq!(
+            queue.push_timeout(5, Duration::from_millis(1)),
+            Err(PushError::Closed(5))
+        );
+    }
+
+    #[test]
+    fn push_timeout_returns_full_on_a_stalled_queue_and_closed_on_close() {
+        let queue = Arc::new(BoundedQueue::new(1));
+        queue.try_push(0u32).unwrap();
+        // Nobody drains: the deadline elapses and the item comes back as Full.
+        assert_eq!(
+            queue.push_timeout(1, Duration::from_millis(2)),
+            Err(PushError::Full(1))
+        );
+        // A drain within the deadline lets the push land.
+        let producer = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.push_timeout(2, Duration::from_millis(500)))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(queue.pop(), Pop::Item(0));
+        assert_eq!(producer.join().unwrap(), Ok(1));
+        // A close within the deadline surfaces as Closed, not a hang.
+        let producer = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.push_timeout(3, Duration::from_millis(500)))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        queue.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed(3)));
     }
 }

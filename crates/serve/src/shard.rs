@@ -25,21 +25,55 @@ use crate::error::ServeError;
 /// [`EmbeddingTable`] semantics); `i8` uses saturating addition (the GPCiM accumulator
 /// semantics shared with [`imars_fabric::cma::saturating_add_packed_i8`]).
 pub trait Lane: Copy + Default + Send + Sync + 'static {
+    /// Bytes one element occupies on the wire (little-endian), used by the socket
+    /// transport's length-prefixed frames.
+    const WIRE_BYTES: usize;
+
     /// Accumulate `value` into `acc`.
     fn accumulate(acc: &mut Self, value: Self);
+
+    /// Append the little-endian wire encoding of `self` to `out`.
+    fn to_wire(self, out: &mut Vec<u8>);
+
+    /// Decode one element from its wire bytes (`WIRE_BYTES` long).
+    fn from_wire(bytes: &[u8]) -> Self;
 }
 
 impl Lane for f32 {
+    const WIRE_BYTES: usize = 4;
+
     #[inline]
     fn accumulate(acc: &mut Self, value: Self) {
         *acc += value;
     }
+
+    #[inline]
+    fn to_wire(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn from_wire(bytes: &[u8]) -> Self {
+        f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+    }
 }
 
 impl Lane for i8 {
+    const WIRE_BYTES: usize = 1;
+
     #[inline]
     fn accumulate(acc: &mut Self, value: Self) {
         *acc = acc.saturating_add(value);
+    }
+
+    #[inline]
+    fn to_wire(self, out: &mut Vec<u8>) {
+        out.push(self as u8);
+    }
+
+    #[inline]
+    fn from_wire(bytes: &[u8]) -> Self {
+        bytes[0] as i8
     }
 }
 
@@ -61,6 +95,14 @@ pub(crate) trait RowSource<T: Lane> {
     /// Sum-pool a CSR batch straight off the store (the cache-disabled path),
     /// accumulating each request in index order.
     fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError>;
+
+    /// Take the row ids the last fetches could not serve (their owner was dead and
+    /// they had no replica; the chunks were zero-filled). Empty for sources that
+    /// cannot degrade — only the fault-tolerant cluster client ever reports rows
+    /// here. The caller owns the list; the source's record is cleared.
+    fn take_missing(&mut self) -> Vec<u32> {
+        Vec::new()
+    }
 }
 
 /// Accumulate request-order sums from a staged flat-lookup buffer: request `i` pools

@@ -158,6 +158,11 @@ pub struct ServeTelemetry {
     pub cost: CostBreakdown,
     /// Aggregate of `cost` (serial composition).
     pub total_cost: Cost,
+    /// Queries answered with at least one zero-filled (missing) row in their pooled
+    /// history — served, but degraded.
+    pub degraded_queries: u64,
+    /// Row lookups zero-filled because no healthy shard held the row.
+    pub missing_row_lookups: u64,
 }
 
 impl ServeTelemetry {
@@ -219,6 +224,8 @@ impl ServeTelemetry {
         self.makespan_us = self.makespan_us.max(other.makespan_us);
         self.cost.merge(&other.cost);
         self.total_cost += other.total_cost;
+        self.degraded_queries += other.degraded_queries;
+        self.missing_row_lookups += other.missing_row_lookups;
     }
 }
 
@@ -315,6 +322,18 @@ pub struct ClusterStats {
     pub shard_rejections: Vec<u64>,
     /// Deepest observed sub-request queue depth per shard.
     pub shard_queue_depth_max: Vec<u64>,
+    /// Sub-request attempts that blew their deadline (resilient path only).
+    pub timeouts: u64,
+    /// Re-dispatches of timed-out or failed sub-requests.
+    pub retries: u64,
+    /// Speculative duplicate dispatches against a slow primary.
+    pub hedges: u64,
+    /// Hedged dispatches whose response beat the primary's.
+    pub hedge_wins: u64,
+    /// Sub-requests served by a replica-holding shard other than their owner.
+    pub promotions: u64,
+    /// Row lookups degraded to zero-filled results (no healthy shard held the row).
+    pub missing_rows: u64,
 }
 
 impl ClusterStats {
@@ -351,6 +370,12 @@ impl ClusterStats {
     /// Total queue-overflow rejections across shards.
     pub fn total_rejections(&self) -> u64 {
         self.shard_rejections.iter().sum()
+    }
+
+    /// Whether the resilient path ever intervened (timed out, retried, hedged,
+    /// promoted or degraded anything).
+    pub fn any_faults_handled(&self) -> bool {
+        self.timeouts + self.retries + self.hedges + self.promotions + self.missing_rows > 0
     }
 }
 
@@ -441,6 +466,25 @@ impl ServeReport {
                 cluster.imbalance(),
                 cluster.total_rejections(),
             );
+            if cluster.any_faults_handled() {
+                let _ = writeln!(
+                    s,
+                    "  fault tolerance: {} timeouts, {} retries, {} hedges ({} won), {} promotions, {} rows zero-filled",
+                    cluster.timeouts,
+                    cluster.retries,
+                    cluster.hedges,
+                    cluster.hedge_wins,
+                    cluster.promotions,
+                    cluster.missing_rows,
+                );
+            }
+        }
+        if t.degraded_queries > 0 || t.missing_row_lookups > 0 {
+            let _ = writeln!(
+                s,
+                "  degraded: {} queries served with {} missing-row lookups zero-filled",
+                t.degraded_queries, t.missing_row_lookups,
+            );
         }
         if let Some(runtime) = &self.runtime {
             let _ = writeln!(
@@ -513,6 +557,11 @@ impl ServeReport {
             "  \"candidates_per_query\": {:.3},",
             t.mean_candidates()
         );
+        let _ = writeln!(
+            json,
+            "  \"degraded\": {{\"queries\": {}, \"missing_row_lookups\": {}}},",
+            t.degraded_queries, t.missing_row_lookups,
+        );
         if let Some(cluster) = &self.cluster {
             let list = |values: &[u64]| -> String {
                 let items: Vec<String> = values.iter().map(u64::to_string).collect();
@@ -563,8 +612,18 @@ impl ServeReport {
             );
             let _ = writeln!(
                 json,
-                "    \"shard_queue_depth_max\": {}",
+                "    \"shard_queue_depth_max\": {},",
                 list(&cluster.shard_queue_depth_max)
+            );
+            let _ = writeln!(
+                json,
+                "    \"fault_tolerance\": {{\"timeouts\": {}, \"retries\": {}, \"hedges\": {}, \"hedge_wins\": {}, \"promotions\": {}, \"missing_rows\": {}}}",
+                cluster.timeouts,
+                cluster.retries,
+                cluster.hedges,
+                cluster.hedge_wins,
+                cluster.promotions,
+                cluster.missing_rows,
             );
             let _ = writeln!(json, "  }},");
         }
@@ -924,12 +983,14 @@ mod tests {
             shard_lookups: vec![600, 200, 100, 100],
             shard_rejections: vec![0, 2, 0, 1],
             shard_queue_depth_max: vec![5, 1, 1, 2],
+            ..ClusterStats::default()
         };
         assert!((stats.mean_fanout() - 2.5).abs() < 1e-12);
         // max 600 over mean 250 = 2.4x imbalance.
         assert!((stats.imbalance() - 2.4).abs() < 1e-12);
         assert!((stats.cross_traffic_fraction() - 0.3).abs() < 1e-12);
         assert_eq!(stats.total_rejections(), 3);
+        assert!(!stats.any_faults_handled());
         let empty = ClusterStats::default();
         assert_eq!(empty.mean_fanout(), 0.0);
         assert_eq!(empty.imbalance(), 0.0);
@@ -960,6 +1021,7 @@ mod tests {
                 shard_lookups: vec![10, 20, 30, 40],
                 shard_rejections: vec![0, 0, 1, 0],
                 shard_queue_depth_max: vec![3, 2, 2, 1],
+                ..ClusterStats::default()
             }),
         };
         let json = report.to_json();
@@ -972,6 +1034,8 @@ mod tests {
             "\"shard_lookups\": [10, 20, 30, 40]",
             "\"shard_rejections\": [0, 0, 1, 0]",
             "\"imbalance\"",
+            "\"fault_tolerance\"",
+            "\"degraded\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -981,5 +1045,52 @@ mod tests {
         assert!(text.contains("4 shard nodes"));
         assert!(text.contains("cross-shard hops"));
         assert!(text.contains("range placement"));
+        assert!(
+            !text.contains("fault tolerance:"),
+            "a fault-free run prints no fault-tolerance line"
+        );
+    }
+
+    #[test]
+    fn degraded_runs_render_their_accounting() {
+        let telemetry = ServeTelemetry {
+            queries: 50,
+            degraded_queries: 7,
+            missing_row_lookups: 12,
+            ..Default::default()
+        };
+        let report = ServeReport {
+            name: "chaos".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 4,
+            cache_capacity: 0,
+            telemetry,
+            cache: CacheStats::default(),
+            runtime: None,
+            cluster: Some(ClusterStats {
+                shards: 4,
+                placement: "freq".to_string(),
+                timeouts: 3,
+                retries: 4,
+                hedges: 2,
+                hedge_wins: 1,
+                promotions: 2,
+                missing_rows: 12,
+                ..ClusterStats::default()
+            }),
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"degraded\": {\"queries\": 7, \"missing_row_lookups\": 12}",
+            "\"fault_tolerance\": {\"timeouts\": 3, \"retries\": 4, \"hedges\": 2, \"hedge_wins\": 1, \"promotions\": 2, \"missing_rows\": 12}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = report.summary();
+        assert!(
+            text.contains("fault tolerance: 3 timeouts, 4 retries, 2 hedges (1 won), 2 promotions")
+        );
+        assert!(text.contains("degraded: 7 queries served with 12 missing-row lookups zero-filled"));
     }
 }

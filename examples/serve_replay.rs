@@ -20,13 +20,30 @@
 //! the single-node engine. The sharded runs use a permuted catalogue (`ids != Zipf
 //! rank`, like a real catalogue), which is what makes the two placements differ; the
 //! telemetry lands in `serve_replay_sharded_<placement>.json`.
+//!
+//! With `--transport uds` the sharded run additionally replays through **real shard
+//! processes**: one child process per shard (this same binary re-invoked with
+//! `--shard-node <socket>`), length-prefixed frames over Unix-domain sockets, and the
+//! outputs asserted bit-identical to the in-process cluster — the fault-free socket
+//! path is the same oracle.
+//!
+//! With `--chaos <fault>:<shard>` (kill, stall, slow or drop) the sharded run is
+//! repeated with a resilience-enabled router while the fault fires mid-replay: the
+//! replay must still complete with zero lost queries — replicated hot rows are
+//! promoted onto surviving shards, the rest degrade to zero-filled lookups — and the
+//! degraded-mode accounting lands in `serve_replay_chaos.json`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use imars::fabric::cost::CostComponent;
 use imars::recsys::dlrm::{Dlrm, DlrmConfig};
 use imars::recsys::EmbeddingTable;
+use imars::serve::transport::socket_path;
 use imars::serve::{
-    replay_threaded, ClusterConfig, Placement, ReplayConfig, ReplayWorkload, RuntimeConfig,
-    ServeConfig, ServeEngine, ThreadedReplayConfig,
+    replay_threaded, run_shard_node, ChaosPlan, ClusterConfig, ClusterOptions, FaultSpec,
+    Placement, ReplayConfig, ReplayWorkload, ResilienceConfig, RuntimeConfig, ServeConfig,
+    ServeEngine, ThreadedReplayConfig,
 };
 
 const NUM_ITEMS: usize = 8192;
@@ -90,9 +107,57 @@ fn replay_config(queries: usize, item_permutation_seed: Option<u64>) -> ReplayCo
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Shard-node mode: this same binary re-invoked as one shard process of a UDS
+    // cluster. Serve until a SHUTDOWN frame (or a chaos kill), then exit.
+    if let Some(i) = args.iter().position(|arg| arg == "--shard-node") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("serve_replay: --shard-node needs a socket path");
+            std::process::exit(2);
+        };
+        if let Err(error) = run_shard_node(std::path::Path::new(path)) {
+            eprintln!("serve_replay: shard node on {path} failed: {error}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let smoke = args.iter().any(|arg| arg == "--smoke");
     let threads = parse_count(&args, "--threads");
-    let shard_nodes = parse_count(&args, "--shards");
+    let mut shard_nodes = parse_count(&args, "--shards");
+    let uds = match args.iter().position(|arg| arg == "--transport") {
+        None => false,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("inproc") => false,
+            Some("uds") => true,
+            other => {
+                eprintln!("serve_replay: --transport must be 'inproc' or 'uds', got {other:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let chaos_spec = match args.iter().position(|arg| arg == "--chaos") {
+        None => None,
+        Some(i) => match args.get(i + 1).map(|text| FaultSpec::parse(text)) {
+            Some(Ok(spec)) => Some(spec),
+            _ => {
+                eprintln!("serve_replay: --chaos needs <fault>:<shard> (e.g. kill:1)");
+                std::process::exit(2);
+            }
+        },
+    };
+    // Both the socket transport and the chaos harness live on the cluster path; asking
+    // for either implies a cluster even without an explicit --shards.
+    if shard_nodes == 0 && (uds || chaos_spec.is_some()) {
+        shard_nodes = 4;
+    }
+    if let Some(spec) = chaos_spec {
+        if spec.shard >= shard_nodes {
+            eprintln!(
+                "serve_replay: --chaos targets shard {} but the cluster has {} shards",
+                spec.shard, shard_nodes
+            );
+            std::process::exit(2);
+        }
+    }
     let placement = match args.iter().position(|arg| arg == "--placement") {
         None => Placement::Range,
         Some(i) => match args.get(i + 1).map(String::as_str) {
@@ -233,6 +298,7 @@ fn main() {
                 0
             },
             interconnect: Default::default(),
+            resilience: None,
         };
         // Single-node control on the same permuted trace: the equivalence anchor.
         let mut control = engine(CACHE_ROWS, &items);
@@ -306,5 +372,165 @@ fn main() {
             }
         }
         handle.shutdown().expect("cluster shuts down cleanly");
+
+        // 5. Optional: the same cluster over real processes and Unix-domain sockets.
+        //    Fault-free, the wire changes nothing: every prediction must match the
+        //    in-process cluster (and therefore the single-node engine) bit for bit.
+        if uds {
+            println!("\n== UDS transport: {shard_nodes} shard-node processes ==");
+            let exe = std::env::current_exe().expect("own executable path");
+            let sockets: Vec<PathBuf> = (0..shard_nodes)
+                .map(|shard| socket_path("serve-replay", shard))
+                .collect();
+            let mut children: Vec<std::process::Child> = sockets
+                .iter()
+                .map(|path| {
+                    std::process::Command::new(&exe)
+                        .arg("--shard-node")
+                        .arg(path)
+                        .spawn()
+                        .expect("spawn shard-node process")
+                })
+                .collect();
+            for path in &sockets {
+                let started = std::time::Instant::now();
+                while std::os::unix::net::UnixStream::connect(path).is_err() {
+                    assert!(
+                        started.elapsed() < std::time::Duration::from_secs(10),
+                        "shard node never came up on {path:?}"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+            let (mut uds_engine, uds_handle) = ServeEngine::new_clustered_sockets(
+                Dlrm::new(model_config()).expect("valid config"),
+                &items,
+                ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+                &cluster_config,
+                Some(&histogram),
+                &sockets,
+                ClusterOptions::default(),
+            )
+            .expect("valid uds engine");
+            let uds_outcome = uds_engine
+                .replay(&sharded_workload)
+                .expect("uds replay succeeds");
+            assert_eq!(uds_outcome.responses.len(), expected.responses.len());
+            for (a, b) in uds_outcome.responses.iter().zip(expected.responses.iter()) {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "query {}: uds vs in-process",
+                    a.id
+                );
+                assert_eq!(a.candidates, b.candidates, "query {}", a.id);
+            }
+            let mut uds_report = uds_outcome.report;
+            uds_report.name = "serve_replay_uds".to_string();
+            print!("{}", uds_report.summary());
+            println!(
+                "  all {} UDS predictions bit-identical to the in-process cluster",
+                uds_outcome.responses.len()
+            );
+            match uds_report.write_json() {
+                Ok(path) => println!("  uds telemetry JSON written to {}", path.display()),
+                Err(error) => eprintln!("  warning: could not write uds telemetry: {error}"),
+            }
+            drop(uds_engine); // hang the links up before the nodes are told to exit
+            uds_handle
+                .shutdown()
+                .expect("uds cluster shuts down cleanly");
+            for child in &mut children {
+                let status = child.wait().expect("shard node reaped");
+                assert!(status.success(), "shard node exited with {status}");
+            }
+        }
+
+        // 6. Optional: the chaos run. The fault fires mid-replay against a
+        //    resilience-enabled router; the replay must still complete with zero lost
+        //    queries, and the degraded-mode accounting goes into the report.
+        if let Some(spec) = chaos_spec {
+            println!(
+                "\n== Chaos: {:?} on shard {} mid-replay, resilient router ==",
+                spec.kind, spec.shard
+            );
+            let mut chaos_cluster = cluster_config.clone();
+            // Replicate deeper than the cache: rows the cache absorbs never reach the
+            // cluster, so hedging and promotion only have material to work with when
+            // the replicated set extends past the cached one.
+            chaos_cluster.hot_replicas = chaos_cluster.hot_replicas.max(NUM_ITEMS / 4);
+            // Tight deadlines keep a stalled shard from dominating the run; two
+            // retries with backoff, and hedging just above the healthy service time so
+            // a slowed shard's tail is actually rescued by replica reads.
+            chaos_cluster.resilience = Some(ResilienceConfig {
+                request_timeout_us: 50_000.0,
+                hedge_after_us: 1_000.0,
+                max_retries: 2,
+                backoff_us: 1_000.0,
+            });
+            // Fire early (after 5 served sub-requests) so the fault lands even on the
+            // coldest shard of a frequency-packed placement.
+            let plan = Arc::new(ChaosPlan::new(spec, 5));
+            let (mut chaos_engine, chaos_handle) = ServeEngine::new_clustered_with(
+                Dlrm::new(model_config()).expect("valid config"),
+                &items,
+                ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+                &chaos_cluster,
+                Some(&histogram),
+                ClusterOptions {
+                    chaos: Some(plan.clone()),
+                    clock: None,
+                },
+            )
+            .expect("valid chaos engine");
+            let chaos_outcome = chaos_engine
+                .replay(&sharded_workload)
+                .expect("chaos replay completes");
+            if !plan.fired() {
+                // Loud failure over a silent green-light: a fault that never fired
+                // exercised nothing (frequency placement can leave tail shards with
+                // zero traffic — aim at a shard that actually serves).
+                eprintln!(
+                    "serve_replay: chaos fault never fired: shard {} served too few \
+                     sub-requests; aim --chaos at a busier shard",
+                    spec.shard
+                );
+                std::process::exit(1);
+            }
+            assert_eq!(
+                chaos_outcome.responses.len(),
+                expected.responses.len(),
+                "zero lost queries under chaos"
+            );
+            let mut chaos_report = chaos_outcome.report;
+            chaos_report.name = "serve_replay_chaos".to_string();
+            print!("{}", chaos_report.summary());
+            let stats = chaos_report
+                .cluster
+                .as_ref()
+                .expect("clustered runs report cluster stats");
+            println!(
+                "  all {} queries answered under {:?}: {} timeouts, {} retries, {} hedges ({} won), {} promotions, {} rows zero-filled, {} degraded queries",
+                chaos_outcome.responses.len(),
+                spec.kind,
+                stats.timeouts,
+                stats.retries,
+                stats.hedges,
+                stats.hedge_wins,
+                stats.promotions,
+                stats.missing_rows,
+                chaos_report.telemetry.degraded_queries,
+            );
+            match chaos_report.write_json() {
+                Ok(path) => println!("  chaos telemetry JSON written to {}", path.display()),
+                Err(error) => eprintln!("  warning: could not write chaos telemetry: {error}"),
+            }
+            // A killed shard's worker is allowed (expected, for kill) to be dead at
+            // shutdown; the handle must report it rather than hang.
+            match chaos_handle.shutdown() {
+                Ok(_) => println!("  cluster shut down cleanly"),
+                Err(error) => println!("  cluster shut down degraded: {error}"),
+            }
+        }
     }
 }
