@@ -16,7 +16,7 @@ use imars_recsys::quantization::QuantizedTable;
 use imars_recsys::EmbeddingTable;
 use imars_serve::{
     replay_threaded, BatchPolicy, ClusterConfig, Placement, ReplayConfig, ReplayWorkload,
-    RuntimeConfig, ServeConfig, ServeEngine, ServePrecision, ThreadedReplayConfig,
+    RuntimeConfig, ServeConfig, ServeEngine, ServePrecision, ThreadedReplayConfig, TraceConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -278,6 +278,116 @@ fn threaded_runtime_matches_the_simulated_replay_bit_for_bit() {
         assert_eq!(stats.rejected, 0);
         assert_eq!(threaded.report.telemetry.queries, 500);
         assert_eq!(threaded.report.telemetry.latency.count(), 500);
+    }
+}
+
+#[test]
+fn tracing_is_a_pure_observer_with_complete_stage_accounting() {
+    // The observability equivalence: arming the tracer may not move one output bit
+    // versus the untraced replay, and its accounting must be complete — every sampled
+    // query lands exactly once in every stage histogram, stage p50s nest under the
+    // end-to-end p50, and the Chrome export names every pipeline stage.
+    let items = EmbeddingTable::new(512, 4, 21).unwrap();
+    let config = ServeConfig {
+        shards: 4,
+        cache_capacity: 64,
+        precision: ServePrecision::Fp32,
+        policy: BatchPolicy::new(16, 200.0).unwrap(),
+        signature_bits: 64,
+        search_radius: 26,
+        lsh_seed: 5,
+    };
+    let workload = ReplayWorkload::generate(&ReplayConfig {
+        queries: 500,
+        num_users: 80,
+        num_items: 512,
+        zipf_exponent: 1.2,
+        history_len: 12,
+        offered_qps: 100_000.0,
+        candidates_per_query: 40,
+        top_k: 10,
+        sparse_cardinalities: DlrmConfig::tiny().sparse_cardinalities,
+        seed: 13,
+        item_permutation_seed: None,
+    })
+    .unwrap();
+    let mut plain = ServeEngine::new(
+        Dlrm::new(DlrmConfig::tiny()).unwrap(),
+        &items,
+        config.clone(),
+    )
+    .unwrap();
+    let expected = plain.replay(&workload).unwrap();
+    assert!(expected.trace.is_empty(), "untraced replays log nothing");
+
+    let mut traced_engine =
+        ServeEngine::new(Dlrm::new(DlrmConfig::tiny()).unwrap(), &items, config).unwrap();
+    traced_engine.enable_tracing(TraceConfig {
+        sample_every: 4,
+        seed: 9,
+        capacity: 1024,
+        slow_k: 5,
+    });
+    for workers in [0usize, 4] {
+        // workers == 0 is the simulated replay; otherwise the threaded runtime.
+        let outcome = if workers == 0 {
+            traced_engine.replay(&workload).unwrap()
+        } else {
+            replay_threaded(
+                &traced_engine,
+                &workload,
+                &ThreadedReplayConfig {
+                    runtime: RuntimeConfig::new(workers, 1024).unwrap(),
+                    speedup: f64::INFINITY,
+                    shed_on_full: false,
+                },
+            )
+            .unwrap()
+        };
+        let mut by_id = outcome.responses.clone();
+        by_id.sort_unstable_by_key(|response| response.id);
+        for (a, b) in by_id.iter().zip(&expected.responses) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "query {} ({workers} workers): traced vs untraced",
+                a.id
+            );
+            assert_eq!(a.candidates, b.candidates, "query {}", a.id);
+        }
+
+        // Complete stage accounting: sampling is a pure function of (seed, id), so
+        // both drivers sample the same queries, and each one lands exactly once in
+        // every stage histogram.
+        let stages = &outcome.report.telemetry.stages;
+        assert!(stages.sampled > 0, "the workload must sample something");
+        assert_eq!(stages.sampled, outcome.trace.sampled());
+        assert_eq!(stages.total.count(), stages.sampled);
+        for (name, histogram) in stages.stages() {
+            assert_eq!(
+                histogram.count(),
+                stages.sampled,
+                "{name} must record every sampled query"
+            );
+            assert!(
+                histogram.quantile_us(0.50) <= stages.total.quantile_us(0.50),
+                "{name} p50 must nest under the end-to-end p50"
+            );
+        }
+
+        // The Chrome export carries a complete span tree: every stage name appears.
+        let json = outcome.trace.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for name in [
+            "batch_form",
+            "queue_wait",
+            "cache_lookup",
+            "nns_filter",
+            "mlp_rank",
+        ] {
+            assert!(json.contains(name), "chrome export must name {name}");
+        }
     }
 }
 

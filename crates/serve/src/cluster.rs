@@ -66,6 +66,7 @@ use crate::placement::{Placement, ShardPlan};
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::{pool_from_staging, Lane, RowSource};
 use crate::telemetry::ClusterStats;
+use crate::trace::{FetchEvent, FetchEventKind};
 use crate::transport::{self, SocketLink};
 
 /// Configuration of a shard cluster.
@@ -609,6 +610,15 @@ struct FetchUnit {
     done: bool,
 }
 
+/// The armed trace capture of one batch's fetches: attempt and decision events stamped
+/// on the *tracer's* clock (not the router's resilience clock), so a frozen manual
+/// clock freezes trace timestamps even when the router runs real deadlines.
+#[derive(Debug)]
+struct TraceSink {
+    clock: Arc<dyn Clock>,
+    events: Vec<FetchEvent>,
+}
+
 /// A router into the cluster: splits fetch work by shard, fans sub-requests out, and
 /// gathers the responses. Cloning creates another independent router over the same
 /// shard nodes (each clone has its own reply queue), which is how the threaded
@@ -640,6 +650,9 @@ pub struct ClusterClient<T> {
     timeout_strikes: Vec<u32>,
     /// Row ids degraded to zero-filled lookups since the engine last collected them.
     missing: Vec<u32>,
+    /// Armed per traced batch via [`RowSource::trace_arm`], drained by
+    /// [`RowSource::trace_drain`]; `None` (the untraced default) records nothing.
+    trace: Option<TraceSink>,
 }
 
 impl<T: Lane> Clone for ClusterClient<T> {
@@ -673,6 +686,7 @@ impl<T: Lane> Clone for ClusterClient<T> {
             dead: vec![false; self.dead.len()],
             timeout_strikes: vec![0; self.timeout_strikes.len()],
             missing: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -750,6 +764,20 @@ impl<T: Lane> ClusterClient<T> {
     /// cache and counts the degraded queries).
     pub fn take_missing_rows(&mut self) -> Vec<u32> {
         std::mem::take(&mut self.missing)
+    }
+
+    /// Record a fetch event on the armed trace sink — a single-branch no-op for the
+    /// untraced default, so tracing cannot perturb untraced batches.
+    fn trace_event(&mut self, kind: FetchEventKind, shard: usize, tag: u64) {
+        if let Some(sink) = &mut self.trace {
+            let at_us = sink.clock.now_us();
+            sink.events.push(FetchEvent {
+                kind,
+                shard: shard as u32,
+                tag,
+                at_us,
+            });
+        }
     }
 
     fn push_subrequest(&self, shard: usize, request: SubRequest<T>) -> Result<(), ServeError> {
@@ -910,6 +938,12 @@ impl<T: Lane> ClusterClient<T> {
                     sent_us: self.clock.now_us(),
                 });
                 tags.insert(tag, (i, hedge));
+                let kind = if hedge {
+                    FetchEventKind::Hedge
+                } else {
+                    FetchEventKind::Dispatch
+                };
+                self.trace_event(kind, target, tag);
                 Ok(())
             }
             Err(DispatchFail::Closed) => {
@@ -919,6 +953,7 @@ impl<T: Lane> ClusterClient<T> {
             Err(DispatchFail::Timeout) => {
                 self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 self.strike(target);
+                self.trace_event(FetchEventKind::Timeout, target, tag);
                 Err(DispatchFail::Timeout)
             }
         }
@@ -952,6 +987,8 @@ impl<T: Lane> ClusterClient<T> {
             .fetch_add(unit.rows.len() as u64, Ordering::Relaxed);
         unit.done = true;
         unit.attempts.clear();
+        let origin = unit.origin;
+        self.trace_event(FetchEventKind::Degrade, origin, 0);
     }
 
     /// A unit has no live attempts left: retry, promote onto a replica-holding shard,
@@ -990,8 +1027,10 @@ impl<T: Lane> ClusterClient<T> {
                     return;
                 };
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.trace_event(FetchEventKind::Retry, failed, 0);
                 if target != units[i].origin {
                     self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                    self.trace_event(FetchEventKind::Promotion, target, 0);
                 }
                 if self
                     .dispatch_unit(units, tags, fanout_cost, home, i, target, false, push_wait)
@@ -1002,6 +1041,7 @@ impl<T: Lane> ClusterClient<T> {
             } else if !self.dead[failed] && !self.links[failed].is_down() {
                 // Unreplicated rows and the owner may just be slow: back off, retry it.
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.trace_event(FetchEventKind::Retry, failed, 0);
                 let delay = resilience.backoff_us * f64::from(units[i].dispatches);
                 units[i].waiting = Some((failed, self.clock.now_us() + delay));
                 return;
@@ -1030,6 +1070,9 @@ impl<T: Lane> ClusterClient<T> {
                     .fetch_add(cold as u64, Ordering::Relaxed);
                 unit.rows = hot_rows;
                 unit.positions = hot_positions;
+                if cold > 0 {
+                    self.trace_event(FetchEventKind::Degrade, failed, 0);
+                }
                 if units[i].rows.is_empty() {
                     units[i].done = true;
                     return;
@@ -1040,6 +1083,8 @@ impl<T: Lane> ClusterClient<T> {
                 };
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
                 self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                self.trace_event(FetchEventKind::Retry, failed, 0);
+                self.trace_event(FetchEventKind::Promotion, target, 0);
                 if self
                     .dispatch_unit(units, tags, fanout_cost, home, i, target, false, push_wait)
                     .is_ok()
@@ -1078,6 +1123,17 @@ impl<T: Lane> RowSource<T> for ClusterClient<T> {
 
     fn take_missing(&mut self) -> Vec<u32> {
         self.take_missing_rows()
+    }
+
+    fn trace_arm(&mut self, clock: &Arc<dyn Clock>) {
+        self.trace = Some(TraceSink {
+            clock: clock.clone(),
+            events: Vec::new(),
+        });
+    }
+
+    fn trace_drain(&mut self) -> Vec<FetchEvent> {
+        self.trace.take().map_or_else(Vec::new, |sink| sink.events)
     }
 
     fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
@@ -1176,6 +1232,7 @@ impl<T: Lane> ClusterClient<T> {
                 return Err(error);
             }
             self.counters.subrequests.fetch_add(1, Ordering::Relaxed);
+            self.trace_event(FetchEventKind::Dispatch, sub.shard, tag);
             let response_bytes = sub.rows.len() * self.dim * element_bytes;
             if sub.shard == split.home {
                 self.counters
@@ -1214,6 +1271,7 @@ impl<T: Lane> ClusterClient<T> {
                     let positions = awaiting
                         .remove(&response.shard)
                         .expect("each touched shard responds once");
+                    self.trace_event(FetchEventKind::Reply, response.shard, response.tag);
                     for (i, &position) in positions.iter().enumerate() {
                         let chunk = chunks[position as usize]
                             .take()
@@ -1279,6 +1337,10 @@ impl<T: Lane> ClusterClient<T> {
             // another deadline — recover (promote or degrade) immediately.
             if self.dead[target] || self.links[target].is_down() {
                 self.dead[target] = true;
+                // The breaker skip is the down-cause timeout taken eagerly: record it so
+                // every degraded batch's trace shows timeout -> recovery, not just the
+                // batch that first caught the dead shard's expired attempt.
+                self.trace_event(FetchEventKind::Timeout, target, 0);
                 self.recover_unit(
                     &mut units,
                     &mut tags,
@@ -1371,6 +1433,9 @@ impl<T: Lane> ClusterClient<T> {
                         }
                         let attempt = units[i].attempts.remove(k);
                         tags.remove(&attempt.tag);
+                        // One Timeout event for both expiry causes (deadline passed,
+                        // shard down), so chaos trace sequences are stable.
+                        self.trace_event(FetchEventKind::Timeout, shard, attempt.tag);
                     } else {
                         k += 1;
                     }
@@ -1425,6 +1490,7 @@ impl<T: Lane> ClusterClient<T> {
                     if units[i].done {
                         continue;
                     }
+                    self.trace_event(FetchEventKind::Reply, response.shard, response.tag);
                     for (k, &position) in units[i].positions.iter().enumerate() {
                         let chunk = chunks[position as usize]
                             .take()
@@ -1651,6 +1717,7 @@ fn assemble_client<T: Lane>(
         dead: vec![false; num_shards],
         timeout_strikes: vec![0; num_shards],
         missing: Vec::new(),
+        trace: None,
     }
 }
 
@@ -1965,6 +2032,66 @@ mod tests {
         }
     }
 
+    /// The trace-determinism satellite: on a frozen manual clock the rendered trace
+    /// JSON and slow-query log are a pure function of `(seed, workload)` — repeated
+    /// runs are byte-identical, and so are runs at different runtime worker counts,
+    /// at every shard width and in both precisions. Cache off: per-worker cache state
+    /// would make the batch-level hit counts scheduling-dependent.
+    #[test]
+    fn cluster_traces_are_byte_deterministic_on_a_manual_clock() {
+        use crate::trace::TraceConfig;
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(400)).unwrap();
+        let trace_config = TraceConfig {
+            sample_every: 4,
+            seed: 11,
+            capacity: 4096,
+            slow_k: 6,
+        };
+        let run = |precision: ServePrecision, shards: usize, workers: usize| {
+            let (mut engine, handle) = ServeEngine::new_clustered(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &table,
+                serve_config(0, precision),
+                &cluster_config(shards, 1),
+                None,
+            )
+            .unwrap();
+            engine.enable_tracing(trace_config);
+            let clock = Arc::new(ManualClock::new());
+            let runtime =
+                ServeRuntime::start(&engine, RuntimeConfig::new(workers, 1024).unwrap(), clock)
+                    .unwrap();
+            for request in workload.requests() {
+                runtime.submit(request.clone()).unwrap();
+            }
+            let outcome = runtime.shutdown().unwrap();
+            handle.shutdown().unwrap();
+            assert!(outcome.trace.sampled() > 0);
+            (
+                outcome.trace.to_chrome_json(),
+                outcome.trace.render_slow_log(),
+            )
+        };
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            for shards in [1usize, 2, 8] {
+                let (json_a, slow_a) = run(precision, shards, 1);
+                let (json_b, slow_b) = run(precision, shards, 1);
+                assert_eq!(
+                    json_a, json_b,
+                    "repeat run must be byte-identical ({precision:?}, {shards} shards)"
+                );
+                assert_eq!(slow_a, slow_b);
+                let (json_c, slow_c) = run(precision, shards, 4);
+                assert_eq!(
+                    json_a, json_c,
+                    "worker count must not perturb traces ({precision:?}, {shards} shards)"
+                );
+                assert_eq!(slow_a, slow_c);
+            }
+        }
+    }
+
     #[test]
     fn a_panicking_shard_node_surfaces_shard_failed_instead_of_deadlocking() {
         let table = items();
@@ -2062,6 +2189,7 @@ mod tests {
             dead: vec![false],
             timeout_strikes: vec![0],
             missing: Vec::new(),
+            trace: None,
         };
         // Fill the queue so the next push must overflow.
         input
@@ -2241,6 +2369,14 @@ mod tests {
                 options,
             )
             .unwrap();
+            // Trace every query so the kill's timeout -> retry -> promotion sequence
+            // lands in a retained trace at a pinned position.
+            engine.enable_tracing(crate::trace::TraceConfig {
+                sample_every: 1,
+                seed: 0,
+                capacity: 4096,
+                slow_k: 8,
+            });
             let outcome = engine.replay(&workload).unwrap();
             (outcome, handle.shutdown())
         };
@@ -2306,6 +2442,41 @@ mod tests {
             .count() as u64;
         assert!(telemetry.degraded_queries > 0);
         assert!(telemetry.degraded_queries <= exposed);
+        // The fault is visible end to end: some trace of the chaos run carries the
+        // killed shard's timeout, then the retry decision, then the promotion, in
+        // that order. Healthy traces carry no fault events at all.
+        use crate::trace::{FetchEventKind, QueryTrace};
+        assert!(
+            healthy
+                .trace
+                .traces()
+                .iter()
+                .all(|trace| trace.events.is_empty()),
+            "healthy traces must carry no fault events"
+        );
+        assert_eq!(degraded.trace.sampled(), 300, "every query is traced");
+        let kill_sequence = |trace: &QueryTrace| -> bool {
+            let Some(t) = trace
+                .events
+                .iter()
+                .position(|e| e.kind == FetchEventKind::Timeout && e.shard == 1)
+            else {
+                return false;
+            };
+            let Some(r) = trace.events[t..]
+                .iter()
+                .position(|e| e.kind == FetchEventKind::Retry)
+            else {
+                return false;
+            };
+            trace.events[t + r..]
+                .iter()
+                .any(|e| e.kind == FetchEventKind::Promotion)
+        };
+        assert!(
+            degraded.trace.traces().iter().any(kill_sequence),
+            "a chaos trace must show timeout -> retry -> promotion for shard 1"
+        );
         // Determinism: the same plan reproduces the same degradation, bit for bit.
         let (again, _shutdown) = serve(Some(Arc::new(ChaosPlan::parse("kill:1", 5).unwrap())));
         assert_eq!(
@@ -2319,6 +2490,27 @@ mod tests {
         for (a, b) in again.responses.iter().zip(&degraded.responses) {
             assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {}", a.id);
         }
+        // The fault events themselves are pinned: per-trace (kind, shard) sequences
+        // are identical across the two chaos runs (timestamps differ — wall clock).
+        let sequences =
+            |outcome: &crate::engine::ReplayOutcome| -> Vec<(u64, Vec<(FetchEventKind, u32)>)> {
+                outcome
+                    .trace
+                    .traces()
+                    .iter()
+                    .map(|trace| {
+                        (
+                            trace.id,
+                            trace.events.iter().map(|e| (e.kind, e.shard)).collect(),
+                        )
+                    })
+                    .collect()
+            };
+        assert_eq!(
+            sequences(&again),
+            sequences(&degraded),
+            "chaos fault-event sequences must be position-pinned across runs"
+        );
     }
 
     /// Fault-free, the socket transport is bit-identical to the in-process cluster:

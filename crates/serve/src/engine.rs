@@ -38,6 +38,7 @@ use imars_datasets::workload::InferenceQuery;
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, FlushedBatch};
 use crate::cache::{CacheStats, HotRowCache};
+use crate::clock::Clock;
 use crate::cluster::{
     connect_cluster, spawn_cluster_with, ClusterClient, ClusterConfig, ClusterCounters,
     ClusterHandle, ClusterOptions,
@@ -47,6 +48,7 @@ use crate::placement::ShardPlan;
 use crate::replay::ReplayWorkload;
 use crate::shard::{shard_embedding, shard_quantized, Lane, RowSource, ShardedTable};
 use crate::telemetry::{ClusterStats, ServeReport, ServeTelemetry};
+use crate::trace::{BatchScratch, PoolTrace, TraceConfig, TraceLog, Tracer};
 use imars_fabric::cost::CostBreakdown;
 use std::sync::Arc;
 
@@ -138,6 +140,8 @@ pub struct ReplayOutcome {
     pub responses: Vec<ServeResponse>,
     /// Aggregated latency/throughput/cache/cost report.
     pub report: ServeReport,
+    /// Sampled query traces (empty unless [`ServeEngine::enable_tracing`] was called).
+    pub trace: TraceLog,
 }
 
 /// The sharded + cached item row store: in-process shards or a multi-node cluster, in
@@ -228,25 +232,30 @@ impl ItemStore {
 
     /// Pool every request's history into a dense f32 profile (`batch.len() × dim`).
     /// Returns the row ids the source degraded to zero-filled lookups (empty outside
-    /// a faulted cluster).
+    /// a faulted cluster). `trace`, when set, captures the fetch window and the
+    /// router's per-sub-request events for the batch; `None` leaves the pooling path
+    /// byte-identical to the untraced engine.
     fn pool_dense(
         &mut self,
         batch: &PoolingBatch,
         dense: &mut [f32],
+        trace: Option<&mut PoolTrace>,
     ) -> Result<Vec<u32>, ServeError> {
         match self {
-            ItemStore::Fp32 { shards, cache } => pool_profiles(shards, cache, batch, dense),
-            ItemStore::ClusterFp32 { client, cache } => pool_profiles(client, cache, batch, dense),
+            ItemStore::Fp32 { shards, cache } => pool_profiles(shards, cache, batch, dense, trace),
+            ItemStore::ClusterFp32 { client, cache } => {
+                pool_profiles(client, cache, batch, dense, trace)
+            }
             ItemStore::Int8 {
                 shards,
                 cache,
                 params,
-            } => pool_dense_int8(shards, cache, *params, batch, dense),
+            } => pool_dense_int8(shards, cache, *params, batch, dense, trace),
             ItemStore::ClusterInt8 {
                 client,
                 cache,
                 params,
-            } => pool_dense_int8(client, cache, *params, batch, dense),
+            } => pool_dense_int8(client, cache, *params, batch, dense, trace),
         }
     }
 }
@@ -259,9 +268,10 @@ fn pool_dense_int8<S: RowSource<i8>>(
     params: QuantizationParams,
     batch: &PoolingBatch,
     dense: &mut [f32],
+    trace: Option<&mut PoolTrace>,
 ) -> Result<Vec<u32>, ServeError> {
     let mut profiles = vec![0i8; batch.len() * source.dim()];
-    let missing = pool_profiles(source, cache, batch, &mut profiles)?;
+    let missing = pool_profiles(source, cache, batch, &mut profiles, trace)?;
     if dense.len() != profiles.len() {
         return Err(ServeError::ShapeMismatch {
             what: "dense profile buffer",
@@ -293,6 +303,7 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
     cache: &mut HotRowCache<T>,
     batch: &PoolingBatch,
     profiles: &mut [T],
+    mut trace: Option<&mut PoolTrace>,
 ) -> Result<Vec<u32>, ServeError> {
     let dim = source.dim();
     if profiles.len() != batch.len() * dim {
@@ -305,7 +316,16 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
     if cache.capacity() == 0 {
         // Disabled-cache fast path: pool straight off the source, zero cache probes.
         // Counted as all-miss so hit-rate reporting stays comparable across configs.
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.misses = batch.total_lookups() as u64;
+            trace.fetch_begin_us = trace.clock.now_us();
+            source.trace_arm(&trace.clock);
+        }
         source.pool_direct(batch, profiles)?;
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.fetch_end_us = trace.clock.now_us();
+            trace.events = source.trace_drain();
+        }
         cache.record_misses(batch.total_lookups() as u64);
         return Ok(source.take_missing());
     }
@@ -339,7 +359,18 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
                 },
             }
         }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.fetch_begin_us = trace.clock.now_us();
+            source.trace_arm(&trace.clock);
+        }
         source.fetch_rows(misses)?;
+    }
+    if let Some(trace) = trace {
+        trace.fetch_end_us = trace.clock.now_us();
+        trace.events = source.trace_drain();
+        trace.misses = fetched.len() as u64;
+        trace.coalesced = coalesced.len() as u64;
+        trace.hits = batch.total_lookups() as u64 - trace.misses - trace.coalesced;
     }
     let missing = source.take_missing();
     for &(destination, source) in &coalesced {
@@ -372,6 +403,7 @@ pub struct ServeEngine {
     tcam: CmaArray,
     config: ServeConfig,
     telemetry: ServeTelemetry,
+    tracer: Option<Tracer>,
 }
 
 impl ServeEngine {
@@ -415,6 +447,7 @@ impl ServeEngine {
             tcam,
             config,
             telemetry: ServeTelemetry::default(),
+            tracer: None,
         })
     }
 
@@ -511,6 +544,7 @@ impl ServeEngine {
                 tcam,
                 config,
                 telemetry: ServeTelemetry::default(),
+                tracer: None,
             },
             handle,
         ))
@@ -583,6 +617,7 @@ impl ServeEngine {
                 tcam,
                 config,
                 telemetry: ServeTelemetry::default(),
+                tracer: None,
             },
             handle,
         ))
@@ -658,6 +693,55 @@ impl ServeEngine {
     pub fn reset_stats(&mut self) {
         self.telemetry = ServeTelemetry::default();
         self.store.reset_cache_stats();
+        if let Some(tracer) = &mut self.tracer {
+            tracer.reset();
+        }
+    }
+
+    /// Turn on per-query tracing with `config` (a `sample_every` of 0 turns it off
+    /// again). Sampled queries get full span trees in
+    /// [`ReplayOutcome::trace`], per-stage histograms land in
+    /// [`ServeTelemetry::stages`](crate::telemetry::ServeTelemetry::stages), and
+    /// untraced batches run the exact untraced code path — with sampling off, outputs
+    /// and counters are bit-identical to an engine that never traced.
+    pub fn enable_tracing(&mut self, config: TraceConfig) {
+        self.tracer = config.enabled().then(|| Tracer::new(config));
+    }
+
+    /// The active tracing configuration, if tracing is enabled.
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.tracer.as_ref().map(Tracer::config)
+    }
+
+    /// Put the tracer's spans on `clock` (the threaded runtime injects its own clock
+    /// so trace timestamps share the queue/latency timeline).
+    pub(crate) fn set_trace_clock(&mut self, clock: Arc<dyn Clock>) {
+        if let Some(tracer) = &mut self.tracer {
+            tracer.set_clock(clock);
+        }
+    }
+
+    /// Take the accumulated trace log (empty when tracing is off).
+    pub(crate) fn take_trace_log(&mut self) -> TraceLog {
+        self.tracer
+            .as_mut()
+            .map(Tracer::take_log)
+            .unwrap_or_default()
+    }
+
+    /// Finalize the last traced batch on the measured timeline (the threaded path):
+    /// `queries` pairs each request id with its submit stamp and `end_us` is the
+    /// measured completion, all on the runtime's injected clock.
+    pub(crate) fn finalize_trace(&mut self, queries: &[(u64, f64)], trigger_us: f64, end_us: f64) {
+        if let Some(tracer) = &mut self.tracer {
+            tracer.finalize_batch(
+                queries,
+                trigger_us,
+                None,
+                end_us,
+                &mut self.telemetry.stages,
+            );
+        }
     }
 
     /// Execute one coalesced batch through pooling, filtering and ranking. Responses are
@@ -679,12 +763,25 @@ impl ServeEngine {
         let histories: Vec<&[u32]> = requests.iter().map(|r| r.history.as_slice()).collect();
         let batch = PoolingBatch::from_requests(&histories);
 
+        // Per-batch trace gate: only a batch containing a sampled query pays any
+        // tracing work — every other batch takes the exact untraced code path.
+        let mut pool_trace = match &self.tracer {
+            Some(tracer) if tracer.wants(requests.iter().map(|r| r.id)) => {
+                Some(PoolTrace::new(tracer.clock()))
+            }
+            _ => None,
+        };
+        let pool_begin_us = pool_trace.as_ref().map(|t| t.clock.now_us());
+
         // 1. Profile pooling through cache + shards, with the GPCiM charge: one CMA RAM
         //    read per cache miss (hits are served from the buffer next to the compute),
         //    one in-memory add per accumulated row beyond each request's first.
         let misses_before = self.store.cache_stats().misses;
         let mut dense = vec![0.0f32; requests.len() * dense_dim];
-        let missing = self.store.pool_dense(&batch, &mut dense)?;
+        let missing = self
+            .store
+            .pool_dense(&batch, &mut dense, pool_trace.as_mut())?;
+        let pool_end_us = pool_trace.as_ref().map(|t| t.clock.now_us());
         if !missing.is_empty() {
             // Degraded-mode accounting: every zero-filled row, and every query whose
             // pooled history touched one, is visible in the replay report.
@@ -725,6 +822,7 @@ impl ServeEngine {
         let search = self
             .tcam
             .search_batch(&signatures, self.config.search_radius)?;
+        let filter_end_us = pool_trace.as_ref().map(|t| t.clock.now_us());
         self.telemetry.cost.merge(&search.breakdown);
         self.telemetry.total_cost += search.cost;
 
@@ -738,6 +836,24 @@ impl ServeEngine {
             })
             .collect();
         let scores = self.model.predict_batch(&samples)?;
+        if let Some(pool) = pool_trace.take() {
+            let scratch = BatchScratch {
+                pool_begin_us: pool_begin_us.unwrap_or(0.0),
+                pool_end_us: pool_end_us.unwrap_or(0.0),
+                filter_end_us: filter_end_us.unwrap_or(0.0),
+                rank_end_us: pool.clock.now_us(),
+                fetch_begin_us: pool.fetch_begin_us,
+                fetch_end_us: pool.fetch_end_us,
+                hits: pool.hits,
+                misses: pool.misses,
+                coalesced: pool.coalesced,
+                events: pool.events,
+            };
+            self.tracer
+                .as_mut()
+                .expect("pool trace implies a tracer")
+                .stash(scratch);
+        }
 
         self.telemetry.queries += requests.len() as u64;
         self.telemetry.batches += 1;
@@ -804,7 +920,12 @@ impl ServeEngine {
             runtime: None,
             cluster: self.store.cluster_stats(),
         };
-        Ok(ReplayOutcome { responses, report })
+        let trace = self.take_trace_log();
+        Ok(ReplayOutcome {
+            responses,
+            report,
+            trace,
+        })
     }
 
     fn serve_flushed(
@@ -821,6 +942,22 @@ impl ServeEngine {
         *engine_free_us = completion_us;
         self.telemetry.busy_us += service_us;
         self.telemetry.makespan_us = completion_us;
+        if let Some(tracer) = &mut self.tracer {
+            // Re-anchor the batch's measured stage marks onto the virtual timeline:
+            // pooling starts at the simulated service start.
+            let queries: Vec<(u64, f64)> = batch
+                .requests
+                .iter()
+                .map(|request| (request.id, request.arrival_us))
+                .collect();
+            tracer.finalize_batch(
+                &queries,
+                batch.trigger_us,
+                Some(start_us),
+                completion_us,
+                &mut self.telemetry.stages,
+            );
+        }
         for (response, request) in responses.iter_mut().zip(batch.requests.iter()) {
             response.latency_us = completion_us - request.arrival_us;
             self.telemetry.latency.record(response.latency_us);
@@ -1013,6 +1150,102 @@ mod tests {
             Err(ServeError::RowOutOfRange { .. })
         ));
         assert!(engine.process_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn traced_and_untraced_replays_are_bit_identical() {
+        let workload = ReplayWorkload::generate(&replay_config(1200)).unwrap();
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            let plain = engine(64, precision).replay(&workload).unwrap();
+            let mut traced_engine = engine(64, precision);
+            traced_engine.enable_tracing(TraceConfig {
+                sample_every: 4,
+                seed: 42,
+                capacity: 4096,
+                slow_k: 4,
+            });
+            let traced = traced_engine.replay(&workload).unwrap();
+            assert_eq!(plain.responses.len(), traced.responses.len());
+            for (a, b) in plain.responses.iter().zip(traced.responses.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {}", a.id);
+                assert_eq!(a.candidates, b.candidates);
+            }
+            // Counters are untouched by tracing: same cache traffic, same modeled cost.
+            assert_eq!(plain.report.cache, traced.report.cache);
+            assert_eq!(
+                plain.report.telemetry.total_cost.energy_pj.to_bits(),
+                traced.report.telemetry.total_cost.energy_pj.to_bits()
+            );
+            // The untraced run records nothing; the traced run sampled something.
+            assert!(plain.trace.is_empty());
+            assert_eq!(plain.trace.sampled(), 0);
+            assert_eq!(plain.report.telemetry.stages.sampled, 0);
+            assert!(traced.trace.sampled() > 0);
+        }
+        // sample_every = 0 disables the tracer entirely.
+        let mut off = engine(64, ServePrecision::Fp32);
+        off.enable_tracing(TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::default()
+        });
+        assert!(off.trace_config().is_none());
+    }
+
+    #[test]
+    fn simulated_traces_nest_and_stage_counts_match_sampling() {
+        use crate::trace::Stage;
+        let workload = ReplayWorkload::generate(&replay_config(2000)).unwrap();
+        let mut engine = engine(128, ServePrecision::Fp32);
+        engine.enable_tracing(TraceConfig {
+            sample_every: 8,
+            seed: 7,
+            capacity: 4096,
+            slow_k: 8,
+        });
+        let outcome = engine.replay(&workload).unwrap();
+        let stages = &outcome.report.telemetry.stages;
+        let sampled = outcome.trace.sampled();
+        assert!(sampled > 0);
+        assert_eq!(stages.sampled, sampled);
+        // Per-stage counts equal the sampled-query count, and the stage p50s nest
+        // under the end-to-end p50 within histogram resolution (one log bucket ≈ 9%).
+        let total_p50 = stages.total.quantile_us(0.5);
+        for (name, histogram) in stages.stages() {
+            assert_eq!(histogram.count(), sampled, "stage {name}");
+            assert!(
+                histogram.quantile_us(0.5) <= total_p50 * 1.1 + 1e-9,
+                "stage {name} p50 {} above e2e p50 {total_p50}",
+                histogram.quantile_us(0.5)
+            );
+        }
+        assert_eq!(stages.total.count(), sampled);
+        // Span trees nest inside each query's end-to-end window, in pipeline order.
+        assert_eq!(outcome.trace.len() as u64, sampled);
+        for trace in outcome.trace.traces() {
+            assert!(outcome.responses.iter().any(|r| r.id == trace.id));
+            assert_eq!(trace.spans.len(), 6);
+            let batch_form = trace.span(Stage::BatchForm).unwrap();
+            assert_eq!(batch_form.begin_us, trace.start_us);
+            let lookup = trace.span(Stage::CacheLookup).unwrap();
+            let fetch = trace.span(Stage::ClusterFetch).unwrap();
+            assert!(lookup.end_us <= fetch.begin_us + 1e-9);
+            let rank = trace.span(Stage::MlpRank).unwrap();
+            // Marks and completion come from two monotonic clocks; allow sub-us skew.
+            assert!(
+                rank.end_us <= trace.end_us + 0.5,
+                "rank end {} spills past completion {}",
+                rank.end_us,
+                trace.end_us
+            );
+        }
+        // The slow log holds the worst sampled latencies, worst first.
+        let slow = outcome.trace.slow_queries();
+        assert_eq!(slow.len(), 8);
+        for pair in slow.windows(2) {
+            assert!(pair[0].latency_us() >= pair[1].latency_us());
+        }
+        assert!(outcome.trace.render_slow_log().contains("cluster_fetch"));
     }
 
     #[test]

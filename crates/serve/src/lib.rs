@@ -36,9 +36,14 @@
 //! * [`chaos`] — deterministic fault injection (kill / stall / slow / drop-frames on a
 //!   chosen shard after a chosen number of served sub-requests) driving the chaos test
 //!   suite and `serve_replay --chaos`;
-//! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99), throughput, cache,
-//!   runtime, cluster, fault-tolerance and modeled-cost reporting with a
-//!   bench-harness-style JSON summary.
+//! * [`telemetry`] — log-bucketed latency histogram (p50/p95/p99 plus the full bucket
+//!   distribution), throughput, cache, runtime, cluster, fault-tolerance, per-stage
+//!   tail-attribution and modeled-cost reporting with a bench-harness-style JSON
+//!   summary;
+//! * [`trace`] — deterministic, clock-injected query tracing: per-stage spans, cluster
+//!   sub-request child spans with retry/hedge/timeout/promotion events, seeded
+//!   head-based sampling into a bounded log, a slow-query log, and a
+//!   Chrome-trace-event JSON exporter (Perfetto-loadable).
 
 pub mod batcher;
 pub mod cache;
@@ -53,6 +58,7 @@ pub mod replay;
 pub mod runtime;
 pub mod shard;
 pub mod telemetry;
+pub mod trace;
 pub mod transport;
 
 pub use batcher::{BatchPolicy, DynamicBatcher, FlushReason, FlushedBatch};
@@ -69,5 +75,11 @@ pub use queue::{BoundedQueue, Pop, PushError};
 pub use replay::{ReplayConfig, ReplayWorkload};
 pub use runtime::{replay_threaded, RuntimeConfig, ServeRuntime, ThreadedReplayConfig};
 pub use shard::{shard_embedding, shard_quantized, Lane, ShardedTable};
-pub use telemetry::{ClusterStats, LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};
+pub use telemetry::{
+    ClusterStats, LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry, StageBreakdown,
+};
+pub use trace::{
+    chrome_export, FetchEvent, FetchEventKind, FetchSpan, QueryTrace, Span, Stage, TraceConfig,
+    TraceLog,
+};
 pub use transport::run_shard_node;

@@ -39,6 +39,7 @@ use crate::error::ServeError;
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::replay::ReplayWorkload;
 use crate::telemetry::{LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};
+use crate::trace::TraceLog;
 
 /// Longest the batcher waits for a request when a batch is pending — bounds how stale
 /// its view of a non-advancing (manual) clock can get, and caps deadline overshoot.
@@ -135,6 +136,7 @@ struct WorkerOutput {
     cache: CacheStats,
     busy_us: f64,
     last_completion_us: f64,
+    trace: TraceLog,
 }
 
 /// A running threaded serving pipeline: submit requests, then [`ServeRuntime::shutdown`]
@@ -192,6 +194,9 @@ impl ServeRuntime {
             .map(|_| {
                 let mut engine = engine.clone();
                 engine.reset_stats();
+                // Trace spans must live on the runtime's timeline, not the tracer's
+                // private wall clock — on a manual clock this freezes them too.
+                engine.set_trace_clock(clock.clone());
                 let requests = requests.clone();
                 let batches = batches.clone();
                 let clock = clock.clone();
@@ -333,6 +338,7 @@ impl ServeRuntime {
         let mut telemetry = ServeTelemetry::default();
         let mut cache = CacheStats::default();
         let mut responses = Vec::new();
+        let mut trace = TraceLog::default();
         let mut worker_busy_us = Vec::with_capacity(outputs.len());
         let mut last_completion_us = self.start_us;
         for output in outputs {
@@ -343,6 +349,9 @@ impl ServeRuntime {
             worker_busy_us.push(output.busy_us);
             last_completion_us = last_completion_us.max(output.last_completion_us);
             responses.extend(output.responses);
+            // Head retention commutes with the union, so the merged log equals the
+            // single-worker log for the same trace (pinned in the trace tests).
+            trace.merge(&output.trace);
         }
         let wall_us = (last_completion_us - self.start_us).max(0.0);
         telemetry.makespan_us = wall_us;
@@ -373,7 +382,11 @@ impl ServeRuntime {
                 .as_ref()
                 .map(|counters| counters.snapshot()),
         };
-        Ok(ReplayOutcome { responses, report })
+        Ok(ReplayOutcome {
+            responses,
+            report,
+            trace,
+        })
     }
 }
 
@@ -502,6 +515,7 @@ fn run_worker(
             Pop::Closed => break,
             Pop::TimedOut => continue,
         };
+        let trigger_us = batch.trigger_us;
         let (batch_requests, stamps): (Vec<ServeRequest>, Vec<f64>) = batch
             .requests
             .into_iter()
@@ -519,6 +533,14 @@ fn run_worker(
         busy_us += service_started.elapsed().as_secs_f64() * 1e6;
         let completed_us = clock.now_us();
         last_completion_us = last_completion_us.max(completed_us);
+        if engine.trace_config().is_some() {
+            let queries: Vec<(u64, f64)> = batch_requests
+                .iter()
+                .zip(stamps.iter())
+                .map(|(request, &submitted_us)| (request.id, submitted_us))
+                .collect();
+            engine.finalize_trace(&queries, trigger_us, completed_us);
+        }
         for (response, submitted_us) in batch_responses.iter_mut().zip(stamps) {
             response.latency_us = (completed_us - submitted_us).max(0.0);
             latency.record(response.latency_us);
@@ -528,6 +550,7 @@ fn run_worker(
             .fetch_add(batch_responses.len() as u64, Ordering::Relaxed);
         responses.extend(batch_responses);
     }
+    let trace = engine.take_trace_log();
     Ok(WorkerOutput {
         responses,
         latency,
@@ -535,6 +558,7 @@ fn run_worker(
         cache: engine.cache_stats(),
         busy_us,
         last_completion_us,
+        trace,
     })
 }
 
@@ -970,6 +994,61 @@ mod tests {
             assert!(stats.wall_us > 0.0);
             assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
         }
+    }
+
+    #[test]
+    fn threaded_traces_cover_every_sampled_query_across_workers() {
+        use crate::trace::{Stage, TraceConfig};
+        let trace_config = TraceConfig {
+            sample_every: 4,
+            seed: 9,
+            capacity: 1024,
+            slow_k: 4,
+        };
+        let mut engine = engine_with_policy(BatchPolicy::new(16, 300.0).unwrap());
+        engine.enable_tracing(trace_config);
+        let workload = ReplayWorkload::generate(&replay_config(400)).unwrap();
+        let outcome = replay_threaded(
+            &engine,
+            &workload,
+            &ThreadedReplayConfig {
+                runtime: RuntimeConfig::new(3, 1024).unwrap(),
+                speedup: f64::INFINITY,
+                shed_on_full: false,
+            },
+        )
+        .unwrap();
+        // Sampling is a pure function of (seed, id): with a lossless replay every
+        // sampled query is traced exactly once, no matter which worker served it.
+        let expected = (0..400u64).filter(|&id| trace_config.samples(id)).count() as u64;
+        assert!(expected > 0);
+        assert_eq!(outcome.trace.sampled(), expected);
+        let stages = &outcome.report.telemetry.stages;
+        assert_eq!(stages.sampled, expected);
+        let total_p50 = stages.total.quantile_us(0.5);
+        for (name, histogram) in stages.stages() {
+            assert_eq!(histogram.count(), expected, "stage {name}");
+            // Stage p50s nest under the measured end-to-end p50 (one bucket ≈ 9%).
+            assert!(
+                histogram.quantile_us(0.5) <= total_p50 * 1.1 + 1e-9,
+                "stage {name} p50 {} above e2e p50 {total_p50}",
+                histogram.quantile_us(0.5)
+            );
+        }
+        // Measured span trees nest inside each query's submit → completion window.
+        for trace in outcome.trace.traces() {
+            assert_eq!(trace.spans.len(), 6);
+            let form = trace.span(Stage::BatchForm).unwrap();
+            assert!(form.begin_us >= trace.start_us - 1e-9);
+            let rank = trace.span(Stage::MlpRank).unwrap();
+            assert!(
+                rank.end_us <= trace.end_us + 1e-9,
+                "rank end {} past completion {}",
+                rank.end_us,
+                trace.end_us
+            );
+        }
+        assert!(!outcome.trace.slow_queries().is_empty());
     }
 
     #[test]

@@ -103,6 +103,18 @@ pub(crate) trait RowSource<T: Lane> {
     fn take_missing(&mut self) -> Vec<u32> {
         Vec::new()
     }
+
+    /// Arm per-fetch tracing: until [`RowSource::trace_drain`] is called, the source
+    /// records dispatch/reply/timeout/retry/hedge/promotion events stamped on `clock`.
+    /// Default is a no-op — only the cluster client has sub-request structure worth
+    /// tracing; the in-process [`ShardedTable`] fetch is a single flat copy.
+    fn trace_arm(&mut self, _clock: &std::sync::Arc<dyn crate::clock::Clock>) {}
+
+    /// Take the fetch events recorded since [`RowSource::trace_arm`], disarming
+    /// tracing. Empty for sources that do not record events.
+    fn trace_drain(&mut self) -> Vec<crate::trace::FetchEvent> {
+        Vec::new()
+    }
 }
 
 /// Accumulate request-order sums from a staged flat-lookup buffer: request `i` pools

@@ -117,6 +117,27 @@ impl LatencyHistogram {
         self.max_us = self.max_us.max(other.max_us);
     }
 
+    /// The non-empty buckets as `(upper_edge_us, count)` pairs — the full distribution,
+    /// exported in the report JSON so offline tooling can recompute any quantile.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (Self::bucket_upper_us(index), count))
+            .collect()
+    }
+
+    /// The non-empty buckets as a JSON array of `[upper_edge_us, count]` pairs.
+    fn buckets_json(&self) -> String {
+        let pairs: Vec<String> = self
+            .nonzero_buckets()
+            .iter()
+            .map(|(upper_us, count)| format!("[{upper_us:.6}, {count}]"))
+            .collect();
+        format!("[{}]", pairs.join(", "))
+    }
+
     /// The latency at quantile `q` in `[0, 1]`: the upper edge of the first bucket whose
     /// cumulative count reaches `q * count`, clamped to the observed min/max (so the
     /// answer is never below the true minimum or above the true maximum). Returns 0 for
@@ -134,6 +155,91 @@ impl LatencyHistogram {
             }
         }
         self.max_us
+    }
+}
+
+/// Per-stage latency histograms over the *sampled* (traced) queries: where the time of
+/// a query actually went. Each sampled query records exactly one observation into every
+/// stage histogram and one end-to-end observation into `total`, so all counts agree and
+/// tail attribution ("p99 is 72% cluster_fetch") is well-defined.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Queries sampled into the breakdown (equals every stage histogram's count).
+    pub sampled: u64,
+    /// Arrival/submission until the query's batch flushed.
+    pub batch_form: LatencyHistogram,
+    /// Flush until a worker started the batch.
+    pub queue_wait: LatencyHistogram,
+    /// Cache probe phase of pooling.
+    pub cache_lookup: LatencyHistogram,
+    /// The shard fetch window.
+    pub cluster_fetch: LatencyHistogram,
+    /// LSH + TCAM candidate filtering.
+    pub nns_filter: LatencyHistogram,
+    /// MLP ranking.
+    pub mlp_rank: LatencyHistogram,
+    /// End-to-end latency of the sampled queries (stage durations nest under this).
+    pub total: LatencyHistogram,
+}
+
+impl StageBreakdown {
+    /// Record one finalized trace: every stage span's duration plus the end-to-end
+    /// latency.
+    pub fn record(&mut self, trace: &crate::trace::QueryTrace) {
+        use crate::trace::Stage;
+        self.sampled += 1;
+        for span in &trace.spans {
+            let histogram = match span.stage {
+                Stage::BatchForm => &mut self.batch_form,
+                Stage::QueueWait => &mut self.queue_wait,
+                Stage::CacheLookup => &mut self.cache_lookup,
+                Stage::ClusterFetch => &mut self.cluster_fetch,
+                Stage::NnsFilter => &mut self.nns_filter,
+                Stage::MlpRank => &mut self.mlp_rank,
+            };
+            histogram.record(span.duration_us());
+        }
+        self.total.record(trace.latency_us());
+    }
+
+    /// The six stage histograms with their stable names, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, &LatencyHistogram); 6] {
+        [
+            ("batch_form", &self.batch_form),
+            ("queue_wait", &self.queue_wait),
+            ("cache_lookup", &self.cache_lookup),
+            ("cluster_fetch", &self.cluster_fetch),
+            ("nns_filter", &self.nns_filter),
+            ("mlp_rank", &self.mlp_rank),
+        ]
+    }
+
+    /// The stage with the largest p99 and its share of the end-to-end p99 — the
+    /// headline "p99 is NN% <stage>" attribution. `None` while nothing was sampled or
+    /// the end-to-end p99 is zero (frozen-clock runs).
+    pub fn tail_attribution(&self) -> Option<(&'static str, f64)> {
+        let total_p99 = self.total.quantile_us(0.99);
+        if total_p99 <= 0.0 {
+            return None;
+        }
+        self.stages()
+            .iter()
+            .map(|(name, histogram)| (*name, histogram.quantile_us(0.99)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(name, p99)| (name, (p99 / total_p99).clamp(0.0, 1.0)))
+    }
+
+    /// Fold another breakdown into this one (histogram-wise; the threaded runtime
+    /// merges one per worker).
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        self.sampled += other.sampled;
+        self.batch_form.merge(&other.batch_form);
+        self.queue_wait.merge(&other.queue_wait);
+        self.cache_lookup.merge(&other.cache_lookup);
+        self.cluster_fetch.merge(&other.cluster_fetch);
+        self.nns_filter.merge(&other.nns_filter);
+        self.mlp_rank.merge(&other.mlp_rank);
+        self.total.merge(&other.total);
     }
 }
 
@@ -163,6 +269,9 @@ pub struct ServeTelemetry {
     pub degraded_queries: u64,
     /// Row lookups zero-filled because no healthy shard held the row.
     pub missing_row_lookups: u64,
+    /// Per-stage latency attribution over the traced queries (empty unless tracing is
+    /// enabled on the engine).
+    pub stages: StageBreakdown,
 }
 
 impl ServeTelemetry {
@@ -226,6 +335,7 @@ impl ServeTelemetry {
         self.total_cost += other.total_cost;
         self.degraded_queries += other.degraded_queries;
         self.missing_row_lookups += other.missing_row_lookups;
+        self.stages.merge(&other.stages);
     }
 }
 
@@ -506,6 +616,32 @@ impl ServeReport {
                 runtime.batcher_stall_us,
             );
         }
+        if t.stages.sampled > 0 {
+            let _ = write!(
+                s,
+                "  stage breakdown ({} queries sampled, e2e p50 {:.1}us p99 {:.1}us)",
+                t.stages.sampled,
+                t.stages.total.quantile_us(0.50),
+                t.stages.total.quantile_us(0.99),
+            );
+            match t.stages.tail_attribution() {
+                Some((stage, share)) => {
+                    let _ = writeln!(s, ": p99 is {:.0}% {stage}", share * 100.0);
+                }
+                None => {
+                    let _ = writeln!(s);
+                }
+            }
+            for (name, histogram) in t.stages.stages() {
+                let _ = writeln!(
+                    s,
+                    "    {name:<13} p50 {:>9.1}us  p99 {:>9.1}us  mean {:>9.1}us",
+                    histogram.quantile_us(0.50),
+                    histogram.quantile_us(0.99),
+                    histogram.mean_us(),
+                );
+            }
+        }
         s
     }
 
@@ -527,13 +663,14 @@ impl ServeReport {
         let _ = writeln!(json, "  \"mean_batch_size\": {:.3},", t.mean_batch_size());
         let _ = writeln!(
             json,
-            "  \"latency_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}}},",
+            "  \"latency_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}, \"buckets\": {}}},",
             t.latency.quantile_us(0.50),
             t.latency.quantile_us(0.95),
             t.latency.quantile_us(0.99),
             t.latency.mean_us(),
             t.latency.min_us(),
             t.latency.max_us(),
+            t.latency.buckets_json(),
         );
         let _ = writeln!(
             json,
@@ -562,6 +699,43 @@ impl ServeReport {
             "  \"degraded\": {{\"queries\": {}, \"missing_row_lookups\": {}}},",
             t.degraded_queries, t.missing_row_lookups,
         );
+        if t.stages.sampled > 0 {
+            let histogram_json = |histogram: &LatencyHistogram| {
+                format!(
+                    "{{\"count\": {}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"buckets\": {}}}",
+                    histogram.count(),
+                    histogram.quantile_us(0.50),
+                    histogram.quantile_us(0.95),
+                    histogram.quantile_us(0.99),
+                    histogram.mean_us(),
+                    histogram.buckets_json(),
+                )
+            };
+            let _ = writeln!(json, "  \"stage_breakdown\": {{");
+            let _ = writeln!(json, "    \"sampled\": {},", t.stages.sampled);
+            if let Some((stage, share)) = t.stages.tail_attribution() {
+                let _ = writeln!(
+                    json,
+                    "    \"tail_attribution\": {{\"stage\": \"{stage}\", \"p99_share\": {share:.6}}},",
+                );
+            }
+            let _ = writeln!(json, "    \"stages\": {{");
+            for (i, (name, histogram)) in t.stages.stages().iter().enumerate() {
+                let _ = writeln!(
+                    json,
+                    "      \"{name}\": {}{}",
+                    histogram_json(histogram),
+                    if i + 1 < t.stages.stages().len() {
+                        ","
+                    } else {
+                        ""
+                    },
+                );
+            }
+            let _ = writeln!(json, "    }},");
+            let _ = writeln!(json, "    \"total\": {}", histogram_json(&t.stages.total));
+            let _ = writeln!(json, "  }},");
+        }
         if let Some(cluster) = &self.cluster {
             let list = |values: &[u64]| -> String {
                 let items: Vec<String> = values.iter().map(u64::to_string).collect();
@@ -698,8 +872,25 @@ impl ServeReport {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Escape a string for embedding in hand-rolled JSON: backslash, quote, and every
+/// control character in `\u{0000}`–`\u{001f}` (newlines and tabs would otherwise emit
+/// invalid JSON).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1092,5 +1283,181 @@ mod tests {
             text.contains("fault tolerance: 3 timeouts, 4 retries, 2 hedges (1 won), 2 promotions")
         );
         assert!(text.contains("degraded: 7 queries served with 12 missing-row lookups zero-filled"));
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape(r#"plain"#), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line1\nline2"), "line1\\nline2");
+        assert_eq!(escape("tab\there"), "tab\\there");
+        assert_eq!(escape("cr\rhere"), "cr\\rhere");
+        assert_eq!(escape("bell\u{0007}null\u{0000}"), "bell\\u0007null\\u0000");
+        assert_eq!(escape("\u{001f}"), "\\u001f");
+        // 0x20 and above pass through.
+        assert_eq!(escape("ünïcode ok"), "ünïcode ok");
+        // A report named with embedded newlines still emits valid JSON: no raw control
+        // characters inside the produced string literal.
+        let report = ServeReport {
+            name: "bad\nname\twith\u{0001}controls".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 1,
+            cache_capacity: 0,
+            telemetry: ServeTelemetry::default(),
+            cache: CacheStats::default(),
+            runtime: None,
+            cluster: None,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"suite\": \"bad\\nname\\twith\\u0001controls\","));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn latency_json_exports_the_full_bucket_distribution() {
+        let mut telemetry = ServeTelemetry::default();
+        telemetry.latency.record(1.0);
+        telemetry.latency.record(1.0);
+        telemetry.latency.record(1000.0);
+        telemetry.queries = 3;
+        let buckets = telemetry.latency.nonzero_buckets();
+        assert_eq!(buckets.len(), 2, "two distinct log buckets: {buckets:?}");
+        assert_eq!(buckets[0].1, 2);
+        assert_eq!(buckets[1].1, 1);
+        assert_eq!(
+            buckets.iter().map(|&(_, count)| count).sum::<u64>(),
+            telemetry.latency.count(),
+            "bucket counts sum to the observation count"
+        );
+        // Upper edges bracket the recorded values within one bucket width.
+        assert!(buckets[0].0 >= 1.0 && buckets[0].0 < 1.2, "{buckets:?}");
+        assert!(
+            buckets[1].0 >= 1000.0 && buckets[1].0 < 1200.0,
+            "{buckets:?}"
+        );
+        let report = ServeReport {
+            name: "buckets".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 1,
+            cache_capacity: 0,
+            telemetry,
+            cache: CacheStats::default(),
+            runtime: None,
+            cluster: None,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"buckets\": [["), "bucket pairs in {json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn stage_breakdown_renders_tail_attribution_in_summary_and_json() {
+        use crate::trace::{QueryTrace, Span, Stage};
+        let mut stages = StageBreakdown::default();
+        for id in 0..10u64 {
+            // 100us end-to-end, 72us of it in the fetch stage.
+            let spans = vec![
+                Span {
+                    stage: Stage::BatchForm,
+                    begin_us: 0.0,
+                    end_us: 5.0,
+                },
+                Span {
+                    stage: Stage::QueueWait,
+                    begin_us: 5.0,
+                    end_us: 10.0,
+                },
+                Span {
+                    stage: Stage::CacheLookup,
+                    begin_us: 10.0,
+                    end_us: 14.0,
+                },
+                Span {
+                    stage: Stage::ClusterFetch,
+                    begin_us: 14.0,
+                    end_us: 86.0,
+                },
+                Span {
+                    stage: Stage::NnsFilter,
+                    begin_us: 86.0,
+                    end_us: 92.0,
+                },
+                Span {
+                    stage: Stage::MlpRank,
+                    begin_us: 92.0,
+                    end_us: 100.0,
+                },
+            ];
+            stages.record(&QueryTrace {
+                id,
+                start_us: 0.0,
+                end_us: 100.0,
+                spans,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_coalesced: 0,
+                fetch: Vec::new(),
+                events: Vec::new(),
+            });
+        }
+        assert_eq!(stages.sampled, 10);
+        for (name, histogram) in stages.stages() {
+            assert_eq!(histogram.count(), 10, "stage {name} counts every sample");
+        }
+        assert_eq!(stages.total.count(), 10);
+        let (stage, share) = stages.tail_attribution().expect("nonzero tail");
+        assert_eq!(stage, "cluster_fetch");
+        assert!((0.6..=0.85).contains(&share), "share {share}");
+        // Merging two halves reproduces the whole.
+        let mut half = StageBreakdown::default();
+        half.merge(&stages);
+        half.merge(&stages);
+        assert_eq!(half.sampled, 20);
+        assert_eq!(half.cluster_fetch.count(), 20);
+        let telemetry = ServeTelemetry {
+            queries: 160,
+            stages,
+            ..ServeTelemetry::default()
+        };
+        let report = ServeReport {
+            name: "staged".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 1,
+            cache_capacity: 0,
+            telemetry,
+            cache: CacheStats::default(),
+            runtime: None,
+            cluster: None,
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"stage_breakdown\"",
+            "\"sampled\": 10",
+            "\"tail_attribution\"",
+            "\"stage\": \"cluster_fetch\"",
+            "\"cluster_fetch\": {\"count\": 10",
+            "\"total\": {\"count\": 10",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let text = report.summary();
+        assert!(text.contains("stage breakdown (10 queries sampled"));
+        assert!(text.contains("% cluster_fetch"), "{text}");
+        // Untraced runs keep the section out entirely.
+        let silent = ServeReport {
+            name: "silent".to_string(),
+            policy: BatchPolicy::new(8, 100.0).unwrap(),
+            shards: 1,
+            cache_capacity: 0,
+            telemetry: ServeTelemetry::default(),
+            cache: CacheStats::default(),
+            runtime: None,
+            cluster: None,
+        };
+        assert!(!silent.to_json().contains("stage_breakdown"));
+        assert!(!silent.summary().contains("stage breakdown"));
     }
 }

@@ -32,6 +32,14 @@
 //! replay must still complete with zero lost queries — replicated hot rows are
 //! promoted onto surviving shards, the rest degrade to zero-filled lookups — and the
 //! degraded-mode accounting lands in `serve_replay_chaos.json`.
+//!
+//! With `--trace-out <path>` every run is traced (seeded head-based sampling, one
+//! query in 8) and a combined Chrome-trace-event JSON — one trace "process" per run,
+//! loadable in Perfetto or `chrome://tracing` — is written to `<path>`: the simulated
+//! sections carry virtual-time spans, the threaded/UDS sections measured ones. With
+//! `--slow-log <K>` each traced run also prints its K worst queries as span trees.
+//! If tracing was requested but no query got sampled, the run exits 1: an empty
+//! trace artifact green-lighting CI would exercise nothing.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -41,9 +49,9 @@ use imars::recsys::dlrm::{Dlrm, DlrmConfig};
 use imars::recsys::EmbeddingTable;
 use imars::serve::transport::socket_path;
 use imars::serve::{
-    replay_threaded, run_shard_node, ChaosPlan, ClusterConfig, ClusterOptions, FaultSpec,
-    Placement, ReplayConfig, ReplayWorkload, ResilienceConfig, RuntimeConfig, ServeConfig,
-    ServeEngine, ThreadedReplayConfig,
+    chrome_export, replay_threaded, run_shard_node, ChaosPlan, ClusterConfig, ClusterOptions,
+    FaultSpec, Placement, ReplayConfig, ReplayWorkload, ResilienceConfig, RuntimeConfig,
+    ServeConfig, ServeEngine, ThreadedReplayConfig, TraceConfig, TraceLog,
 };
 
 const NUM_ITEMS: usize = 8192;
@@ -158,6 +166,36 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let trace_out = match args.iter().position(|arg| arg == "--trace-out") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(PathBuf::from(path)),
+            _ => {
+                eprintln!("serve_replay: --trace-out needs a file path");
+                std::process::exit(2);
+            }
+        },
+    };
+    let slow_log: Option<usize> = match args.iter().position(|arg| arg == "--slow-log") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|value| value.parse().ok()) {
+            Some(k) if k > 0 => Some(k),
+            _ => {
+                eprintln!("serve_replay: --slow-log needs a positive count (e.g. --slow-log 4)");
+                std::process::exit(2);
+            }
+        },
+    };
+    // Either flag arms the tracer on every run; the Chrome export gets one trace
+    // "process" per section so virtual-time and measured-time runs sit side by side.
+    let tracing = trace_out.is_some() || slow_log.is_some();
+    let trace_config = TraceConfig {
+        sample_every: 8,
+        seed: 42,
+        capacity: 512,
+        slow_k: slow_log.unwrap_or(4),
+    };
+    let mut trace_sections: Vec<(String, TraceLog)> = Vec::new();
     let placement = match args.iter().position(|arg| arg == "--placement") {
         None => Placement::Range,
         Some(i) => match args.get(i + 1).map(String::as_str) {
@@ -181,7 +219,13 @@ fn main() {
 
     // 1. The headline run: sharded + cached serving.
     let mut cached_engine = engine(CACHE_ROWS, &items);
-    let cached = cached_engine.replay(&workload).expect("replay succeeds");
+    if tracing {
+        cached_engine.enable_tracing(trace_config);
+    }
+    let mut cached = cached_engine.replay(&workload).expect("replay succeeds");
+    if tracing {
+        trace_sections.push(("simulated".to_string(), std::mem::take(&mut cached.trace)));
+    }
     print!("{}", cached.report.summary());
     match cached.report.write_json() {
         Ok(path) => println!("  telemetry JSON written to {}\n", path.display()),
@@ -232,14 +276,20 @@ fn main() {
     //    it on real threads, and the ranking outputs must still match bit for bit.
     if threads > 0 {
         println!("\n== Threaded runtime: {threads} workers, real-time Poisson pacing ==");
-        let runtime_engine = engine(CACHE_ROWS, &items);
+        let mut runtime_engine = engine(CACHE_ROWS, &items);
+        if tracing {
+            runtime_engine.enable_tracing(trace_config);
+        }
         let config = ThreadedReplayConfig {
             runtime: RuntimeConfig::new(threads, 4096).expect("valid runtime config"),
             speedup: 1.0,
             shed_on_full: false,
         };
-        let threaded =
+        let mut threaded =
             replay_threaded(&runtime_engine, &workload, &config).expect("threaded replay succeeds");
+        if tracing {
+            trace_sections.push(("threaded".to_string(), std::mem::take(&mut threaded.trace)));
+        }
         let mut by_id = threaded.responses.clone();
         by_id.sort_unstable_by_key(|response| response.id);
         for (threaded_response, simulated_response) in by_id.iter().zip(cached.responses.iter()) {
@@ -313,9 +363,15 @@ fn main() {
             Some(&histogram),
         )
         .expect("valid clustered engine");
-        let outcome = clustered
+        if tracing {
+            clustered.enable_tracing(trace_config);
+        }
+        let mut outcome = clustered
             .replay(&sharded_workload)
             .expect("clustered replay succeeds");
+        if tracing {
+            trace_sections.push(("sharded".to_string(), std::mem::take(&mut outcome.trace)));
+        }
         for (a, b) in outcome.responses.iter().zip(expected.responses.iter()) {
             assert_eq!(
                 a.score.to_bits(),
@@ -339,7 +395,7 @@ fn main() {
 
         if threads > 0 {
             println!("\n== Threaded runtime over the cluster: {threads} workers ==");
-            let threaded = replay_threaded(
+            let mut threaded = replay_threaded(
                 &clustered,
                 &sharded_workload,
                 &ThreadedReplayConfig {
@@ -349,6 +405,12 @@ fn main() {
                 },
             )
             .expect("threaded clustered replay succeeds");
+            if tracing {
+                trace_sections.push((
+                    "sharded-threaded".to_string(),
+                    std::mem::take(&mut threaded.trace),
+                ));
+            }
             let mut by_id = threaded.responses.clone();
             by_id.sort_unstable_by_key(|response| response.id);
             for (a, b) in by_id.iter().zip(expected.responses.iter()) {
@@ -412,9 +474,15 @@ fn main() {
                 ClusterOptions::default(),
             )
             .expect("valid uds engine");
-            let uds_outcome = uds_engine
+            if tracing {
+                uds_engine.enable_tracing(trace_config);
+            }
+            let mut uds_outcome = uds_engine
                 .replay(&sharded_workload)
                 .expect("uds replay succeeds");
+            if tracing {
+                trace_sections.push(("uds".to_string(), std::mem::take(&mut uds_outcome.trace)));
+            }
             assert_eq!(uds_outcome.responses.len(), expected.responses.len());
             for (a, b) in uds_outcome.responses.iter().zip(expected.responses.iter()) {
                 assert_eq!(
@@ -483,9 +551,18 @@ fn main() {
                 },
             )
             .expect("valid chaos engine");
-            let chaos_outcome = chaos_engine
+            if tracing {
+                chaos_engine.enable_tracing(trace_config);
+            }
+            let mut chaos_outcome = chaos_engine
                 .replay(&sharded_workload)
                 .expect("chaos replay completes");
+            if tracing {
+                trace_sections.push((
+                    "chaos".to_string(),
+                    std::mem::take(&mut chaos_outcome.trace),
+                ));
+            }
             if !plan.fired() {
                 // Loud failure over a silent green-light: a fault that never fired
                 // exercised nothing (frequency placement can leave tail shards with
@@ -530,6 +607,44 @@ fn main() {
             match chaos_handle.shutdown() {
                 Ok(_) => println!("  cluster shut down cleanly"),
                 Err(error) => println!("  cluster shut down degraded: {error}"),
+            }
+        }
+    }
+
+    // 7. Optional: the trace artifacts. A requested trace with zero sampled queries is
+    //    a CI hazard — an empty-but-valid JSON would green-light a run that exercised
+    //    nothing — so that case exits loudly instead.
+    if tracing {
+        let total_sampled: u64 = trace_sections.iter().map(|(_, log)| log.sampled()).sum();
+        if total_sampled == 0 {
+            eprintln!(
+                "serve_replay: tracing was requested but no query was sampled; \
+                 raise --smoke query counts or lower TraceConfig::sample_every"
+            );
+            std::process::exit(1);
+        }
+        if let Some(k) = slow_log {
+            for (name, log) in &trace_sections {
+                println!("\n== Slow-query log: {name} (top {k}) ==");
+                print!("{}", log.render_slow_log());
+            }
+        }
+        if let Some(path) = trace_out {
+            let json = chrome_export(
+                trace_sections
+                    .iter()
+                    .map(|(name, log)| (name.as_str(), log)),
+            );
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!(
+                    "\nchrome trace ({} sections, {total_sampled} sampled queries) written to {}",
+                    trace_sections.len(),
+                    path.display()
+                ),
+                Err(error) => {
+                    eprintln!("serve_replay: could not write trace to {path:?}: {error}");
+                    std::process::exit(1);
+                }
             }
         }
     }
