@@ -1,0 +1,88 @@
+//! The MARM cache scaling-law study runner: hit-rate-vs-capacity and
+//! qps-vs-capacity curves per replacement policy (CLOCK / LFU / TinyLFU), per Zipf
+//! skew, per cache placement (router-side vs per-shard-node), written as the
+//! byte-deterministic `cache_scaling_study.json`.
+//!
+//! Timed benches cover one grid-point replay and the sweep-grid enumeration; the
+//! headline harness metrics surface the winning frontier (how many cells each policy
+//! wins) and the admission win at the smallest capacity under the heaviest skew.
+
+use imars_bench::{black_box, Harness};
+use imars_core::cache_scaling::{run_cache_scaling, CacheScalingConfig};
+use imars_serve::{CachePlacement, CachePolicy};
+
+fn main() {
+    let mut harness = Harness::from_args("cache_scaling");
+    let smoke = harness.is_smoke();
+    let config = if smoke {
+        CacheScalingConfig::small()
+    } else {
+        CacheScalingConfig::paper()
+    };
+
+    // Timed: one smallest-capacity grid-point replay (the unit of work every sweep
+    // point pays) and the grid enumeration itself.
+    let point_config = CacheScalingConfig {
+        capacities: vec![config.capacities[0]],
+        zipf_exponents: vec![config.zipf_exponents[0]],
+        placements: vec![CachePlacement::Router],
+        ..config.clone()
+    };
+    harness.bench("study/grid_point_replays", || {
+        black_box(run_cache_scaling(&point_config).expect("replay runs"));
+    });
+    let grid = config.grid();
+    harness.bench("study/sweep_grid_enumeration", || {
+        black_box(grid.points());
+    });
+
+    let outcome = run_cache_scaling(&config).expect("study runs");
+    let study = outcome.study();
+
+    // Headline metrics: the frontier tally per policy and the small-capacity,
+    // heavy-skew cell where admission filtering matters most.
+    let frontier = outcome.frontier();
+    for policy in CachePolicy::ALL {
+        let wins = frontier.iter().filter(|c| c.winner == policy).count();
+        harness.metric(
+            &format!("frontier_wins_{}", policy.label()),
+            wins as f64,
+            "cells",
+        );
+    }
+    let small_capacity = *config.capacities.first().expect("capacities non-empty");
+    let heavy_skew = config
+        .zipf_exponents
+        .iter()
+        .copied()
+        .fold(f64::MIN, f64::max);
+    let hit_at = |policy: CachePolicy| {
+        outcome
+            .points
+            .iter()
+            .find(|p| {
+                p.policy == policy
+                    && p.placement == CachePlacement::Router
+                    && p.capacity == small_capacity
+                    && p.zipf_exponent == heavy_skew
+            })
+            .map(|p| p.hit_rate)
+    };
+    if let (Some(clock), Some(tinylfu)) = (hit_at(CachePolicy::Clock), hit_at(CachePolicy::TinyLfu))
+    {
+        harness.metric("clock_hit_rate_small_capacity", clock, "fraction");
+        harness.metric("tinylfu_hit_rate_small_capacity", tinylfu, "fraction");
+        harness.metric(
+            "tinylfu_hit_rate_gain_small_capacity",
+            tinylfu - clock,
+            "fraction",
+        );
+    }
+    harness.metric("study_rows", study.rows().len() as f64, "rows");
+
+    match study.write_json() {
+        Ok(path) => println!("study written to {}", path.display()),
+        Err(error) => eprintln!("warning: could not write study JSON: {error}"),
+    }
+    harness.finish();
+}

@@ -6,9 +6,12 @@
 //! 2. **TCAM search radius** — recall / candidate-fraction curves (functional searches);
 //! 3. **hot-row cache capacity** — measured hit rate and modeled energy per query from
 //!    real serve replays;
-//! 4. **shard count** — cross-shard interconnect traffic and imbalance from clustered
+//! 4. **cache replacement policy** (CLOCK / LFU / TinyLFU) — hit rate and modeled
+//!    energy at a deliberately small cache, from real serve replays (the full
+//!    capacity × skew grid is the dedicated `cache_scaling` bench);
+//! 5. **shard count** — cross-shard interconnect traffic and imbalance from clustered
 //!    replays;
-//! 5. **GPCiM accumulator width** (8 vs 16 bit, the ROADMAP satellite) — pooling error
+//! 6. **GPCiM accumulator width** (8 vs 16 bit, the ROADMAP satellite) — pooling error
 //!    versus add energy/latency and accumulator area.
 
 use imars_bench::{black_box, Harness};
@@ -22,6 +25,7 @@ use imars_device::characterization::{ArrayCharacterizer, ArrayFom};
 use imars_device::technology::TechnologyParams;
 use imars_fabric::accumulator::GpcimAccumulator;
 use imars_fabric::FabricConfig;
+use imars_serve::CachePolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -93,6 +97,24 @@ fn cache_axis(study: &mut Study, smoke: bool) {
     }
 }
 
+fn cache_policy_axis(study: &mut Study, smoke: bool) {
+    // A deliberately small cache (1/16th of the catalogue) so replacement quality is
+    // visible; the full capacity × skew × placement grid lives in the dedicated
+    // cache_scaling bench.
+    for policy in CachePolicy::ALL {
+        let foms = serve_cluster_study(&ServeStudyConfig {
+            queries: if smoke { 256 } else { 2048 },
+            cache_rows: 128,
+            cache_policy: policy,
+            seed: SEED,
+            ..ServeStudyConfig::small()
+        })
+        .expect("replay runs");
+        let row = foms.study_row().config_text_front("axis", "cache_policy");
+        study.push(row);
+    }
+}
+
 fn shard_axis(study: &mut Study, smoke: bool) {
     for shards in [1usize, 2, 4, 8] {
         let foms = serve_cluster_study(&ServeStudyConfig {
@@ -160,6 +182,7 @@ fn main() {
         .axis("cma_rows", &[64.0, 128.0, 256.0, 512.0])
         .axis("radius", &[70.0, 80.0, 90.0, 100.0, 110.0, 120.0])
         .axis("cache_rows", &[0.0, 128.0, 512.0, 2048.0])
+        .axis("cache_policy", &[0.0, 1.0, 2.0])
         .axis("shards", &[1.0, 2.0, 4.0, 8.0])
         .axis("accumulator_bits", &[8.0, 16.0]);
     harness.bench("model/sweep_grid_enumeration", || {
@@ -177,6 +200,7 @@ fn main() {
     array_size_axis(&mut study);
     radius_axis(&mut study, smoke);
     cache_axis(&mut study, smoke);
+    cache_policy_axis(&mut study, smoke);
     shard_axis(&mut study, smoke);
     accumulator_axis(&mut study);
 

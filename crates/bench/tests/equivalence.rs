@@ -15,8 +15,9 @@ use imars_recsys::lsh::RandomHyperplaneLsh;
 use imars_recsys::quantization::QuantizedTable;
 use imars_recsys::EmbeddingTable;
 use imars_serve::{
-    replay_threaded, BatchPolicy, ClusterConfig, Placement, ReplayConfig, ReplayWorkload,
-    RuntimeConfig, ServeConfig, ServeEngine, ServePrecision, ThreadedReplayConfig, TraceConfig,
+    replay_threaded, BatchPolicy, CachePlacement, CachePolicy, ClusterConfig, Placement,
+    ReplayConfig, ReplayWorkload, RuntimeConfig, ServeConfig, ServeEngine, ServePrecision,
+    ThreadedReplayConfig, TraceConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -143,6 +144,9 @@ fn serve_engine_matches_the_unbatched_primitive_pipeline() {
         ServeConfig {
             shards: 3,
             cache_capacity: 32,
+            cache_policy: CachePolicy::Clock,
+            cache_placement: CachePlacement::Router,
+            shard_batching: false,
             precision: ServePrecision::Fp32,
             policy: BatchPolicy::new(16, 200.0).unwrap(),
             signature_bits,
@@ -216,6 +220,9 @@ fn threaded_runtime_matches_the_simulated_replay_bit_for_bit() {
     let config = ServeConfig {
         shards: 4,
         cache_capacity: 64,
+        cache_policy: CachePolicy::Clock,
+        cache_placement: CachePlacement::Router,
+        shard_batching: false,
         precision: ServePrecision::Fp32,
         policy: BatchPolicy::new(16, 200.0).unwrap(),
         signature_bits: 64,
@@ -291,6 +298,9 @@ fn tracing_is_a_pure_observer_with_complete_stage_accounting() {
     let config = ServeConfig {
         shards: 4,
         cache_capacity: 64,
+        cache_policy: CachePolicy::Clock,
+        cache_placement: CachePlacement::Router,
+        shard_batching: false,
         precision: ServePrecision::Fp32,
         policy: BatchPolicy::new(16, 200.0).unwrap(),
         signature_bits: 64,
@@ -418,6 +428,9 @@ fn clustered_serving_matches_single_node_across_placements() {
         let config = ServeConfig {
             shards: 4,
             cache_capacity: 64,
+            cache_policy: CachePolicy::Clock,
+            cache_placement: CachePlacement::Router,
+            shard_batching: false,
             precision,
             policy: BatchPolicy::new(16, 200.0).unwrap(),
             signature_bits: 64,

@@ -1,0 +1,365 @@
+//! The MARM cache scaling-law study: hit rate and throughput versus cache capacity,
+//! per replacement policy, per Zipf skew, per cache placement.
+//!
+//! MARM-style cache-augmented serving (the design iMARS's serving buffer models) lives
+//! or dies by how much of the Zipf head a small cache captures. This study replays the
+//! same seeded trace through the serve engine at every point of a
+//! (policy × placement × capacity × skew) grid and records the measured hit rate, the
+//! modeled energy per query, and the simulated throughput — producing the
+//! hit-rate-vs-capacity and qps-vs-capacity curves the README plots, plus a *winning
+//! frontier*: for each (placement, skew, capacity) cell, the policy with the best hit
+//! rate.
+//!
+//! Everything is deterministic: the workload is seeded, the replay runs on the
+//! simulated clock, and the cache policies are pure functions of the lookup sequence,
+//! so two same-seed runs emit byte-identical study JSON (a test pins this).
+
+use imars_recsys::dlrm::Dlrm;
+use imars_recsys::EmbeddingTable;
+use imars_serve::{
+    CachePlacement, CachePolicy, ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine,
+};
+
+use crate::end_to_end::serve_model;
+use crate::error::CoreError;
+use crate::system::{Study, StudyRow, SweepGrid};
+
+/// Configuration of the cache scaling-law study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheScalingConfig {
+    /// Queries replayed per grid point.
+    pub queries: usize,
+    /// Item catalogue size (rows in the embedding table).
+    pub num_items: usize,
+    /// Cache capacities to sweep, in rows (the total budget; under per-shard
+    /// placement it is split evenly across the shards).
+    pub capacities: Vec<usize>,
+    /// Zipf exponents of the replayed traffic.
+    pub zipf_exponents: Vec<f64>,
+    /// Cache placements to sweep (router-side, per-shard-node, or both).
+    pub placements: Vec<CachePlacement>,
+    /// RNG seed for the workload (one workload per skew, shared by every policy and
+    /// capacity so the curves are directly comparable).
+    pub seed: u64,
+}
+
+impl CacheScalingConfig {
+    /// A small, fast grid for tests and CI smoke runs (12 replays).
+    pub fn small() -> Self {
+        Self {
+            queries: 256,
+            num_items: 2048,
+            capacities: vec![32, 256],
+            zipf_exponents: vec![1.2],
+            placements: vec![CachePlacement::Router, CachePlacement::Shard],
+            seed: 11,
+        }
+    }
+
+    /// The full study grid behind the README curves: capacities from 1/128th to half
+    /// of the catalogue, moderate and heavy skew, both placements (48 replays).
+    pub fn paper() -> Self {
+        Self {
+            queries: 4096,
+            num_items: 8192,
+            capacities: vec![64, 256, 1024, 4096],
+            zipf_exponents: vec![0.8, 1.2],
+            placements: vec![CachePlacement::Router, CachePlacement::Shard],
+            seed: 2024,
+        }
+    }
+
+    /// The study grid as a [`SweepGrid`] (policies enumerated as their wire codes),
+    /// for enumeration benchmarks and row-count cross-checks.
+    pub fn grid(&self) -> SweepGrid {
+        let capacities: Vec<f64> = self.capacities.iter().map(|&c| c as f64).collect();
+        let placements: Vec<f64> = (0..self.placements.len()).map(|i| i as f64).collect();
+        SweepGrid::new()
+            .axis("policy", &[0.0, 1.0, 2.0])
+            .axis("placement", &placements)
+            .axis("capacity", &capacities)
+            .axis("zipf_exponent", &self.zipf_exponents)
+    }
+}
+
+/// One measured grid point of the scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheScalingPoint {
+    /// Replacement/admission policy of this point.
+    pub policy: CachePolicy,
+    /// Cache placement of this point.
+    pub placement: CachePlacement,
+    /// Total cache capacity in rows.
+    pub capacity: usize,
+    /// Zipf exponent of the replayed traffic.
+    pub zipf_exponent: f64,
+    /// Measured cache hit rate (hits + coalesced over all lookups).
+    pub hit_rate: f64,
+    /// Modeled queries per second (queries over modeled GPCiM + interconnect
+    /// latency — deterministic, unlike wall-clock-tainted served qps).
+    pub modeled_qps: f64,
+    /// Modeled GPCiM + interconnect energy per query, picojoules.
+    pub energy_pj_per_query: f64,
+    /// TinyLFU admission rejections (0 for the other policies).
+    pub rejections: u64,
+}
+
+impl CacheScalingPoint {
+    /// Render as a study row.
+    pub fn study_row(&self) -> StudyRow {
+        StudyRow::new()
+            .config_text("policy", self.policy.label())
+            .config_text("placement", self.placement.label())
+            .config_num("capacity", self.capacity as f64)
+            .config_num("zipf_exponent", self.zipf_exponent)
+            .metric("hit_rate", self.hit_rate)
+            .metric("modeled_qps", self.modeled_qps)
+            .metric("energy_pj_per_query", self.energy_pj_per_query)
+            .metric("rejections", self.rejections as f64)
+    }
+}
+
+/// The policy that won one (placement, skew, capacity) cell of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierCell {
+    /// Cache placement of the cell.
+    pub placement: CachePlacement,
+    /// Zipf exponent of the cell.
+    pub zipf_exponent: f64,
+    /// Total cache capacity of the cell, in rows.
+    pub capacity: usize,
+    /// The policy with the highest hit rate (an exact tie goes to the later policy
+    /// in [`CachePolicy::ALL`] order, so the admission-filtered policy must strictly
+    /// lose a cell to cede it).
+    pub winner: CachePolicy,
+    /// The winning hit rate.
+    pub hit_rate: f64,
+}
+
+/// All measured points of one study run, plus the configuration that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheScalingOutcome {
+    /// The configuration the grid ran with.
+    pub config: CacheScalingConfig,
+    /// One point per (policy × placement × capacity × skew) grid cell, in
+    /// deterministic sweep order.
+    pub points: Vec<CacheScalingPoint>,
+}
+
+impl CacheScalingOutcome {
+    /// The winning frontier: for each (placement, skew, capacity) cell, the policy
+    /// with the best hit rate.
+    pub fn frontier(&self) -> Vec<FrontierCell> {
+        let mut cells = Vec::new();
+        for &placement in &self.config.placements {
+            for &zipf in &self.config.zipf_exponents {
+                for &capacity in &self.config.capacities {
+                    let best = self
+                        .points
+                        .iter()
+                        .filter(|p| {
+                            p.placement == placement
+                                && p.zipf_exponent == zipf
+                                && p.capacity == capacity
+                        })
+                        .max_by(|a, b| {
+                            a.hit_rate
+                                .partial_cmp(&b.hit_rate)
+                                .expect("hit rates are finite")
+                        });
+                    if let Some(point) = best {
+                        cells.push(FrontierCell {
+                            placement,
+                            zipf_exponent: zipf,
+                            capacity,
+                            winner: point.policy,
+                            hit_rate: point.hit_rate,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Render the study: one row per grid point plus one `frontier` row per
+    /// (placement, skew, capacity) cell. Byte-deterministic for a fixed config.
+    pub fn study(&self) -> Study {
+        let mut study = Study::new("cache_scaling_study", self.config.seed);
+        study.note(
+            "method",
+            "one seeded Zipf replay per (policy x placement x capacity x skew) grid \
+             point through the serve engine on the simulated clock; same workload per \
+             skew across all policies and capacities; frontier rows name the \
+             best-hit-rate policy per cell",
+        );
+        study.note("grid_points", &self.config.grid().len().to_string());
+        for point in &self.points {
+            study.push(point.study_row().config_text_front("axis", "cache_scaling"));
+        }
+        for cell in self.frontier() {
+            study.push(
+                StudyRow::new()
+                    .config_text("axis", "frontier")
+                    .config_text("placement", cell.placement.label())
+                    .config_num("zipf_exponent", cell.zipf_exponent)
+                    .config_num("capacity", cell.capacity as f64)
+                    .config_text("winner", cell.winner.label())
+                    .metric("hit_rate", cell.hit_rate),
+            );
+        }
+        study
+    }
+}
+
+fn serve_error(error: imars_serve::ServeError) -> CoreError {
+    CoreError::InvalidExperiment {
+        reason: format!("cache scaling replay failed: {error}"),
+    }
+}
+
+/// Run the full scaling grid: one seeded replay per (policy × placement × capacity ×
+/// skew) point, the same workload shared across every point of a skew so the curves
+/// are directly comparable.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidExperiment`] when a replay cannot be configured or
+/// fails mid-run.
+pub fn run_cache_scaling(config: &CacheScalingConfig) -> Result<CacheScalingOutcome, CoreError> {
+    let model_config = serve_model();
+    let items = EmbeddingTable::new(config.num_items, 32, 77)?;
+    let mut points = Vec::new();
+    for &zipf_exponent in &config.zipf_exponents {
+        let workload = ReplayWorkload::generate(&ReplayConfig {
+            queries: config.queries,
+            num_users: (config.queries / 2).max(64),
+            num_items: config.num_items,
+            zipf_exponent,
+            history_len: 32,
+            offered_qps: 4_000.0,
+            candidates_per_query: 100,
+            top_k: 10,
+            sparse_cardinalities: model_config.sparse_cardinalities.clone(),
+            seed: config.seed,
+            item_permutation_seed: None,
+        })
+        .map_err(serve_error)?;
+        for &placement in &config.placements {
+            for &capacity in &config.capacities {
+                for policy in CachePolicy::ALL {
+                    let mut serve_config =
+                        ServeConfig::paper_serving(capacity).map_err(serve_error)?;
+                    serve_config.shards = serve_config.shards.min(config.num_items.max(1));
+                    serve_config.cache_policy = policy;
+                    serve_config.cache_placement = placement;
+                    let model = Dlrm::new(model_config.clone())?;
+                    let mut engine =
+                        ServeEngine::new(model, &items, serve_config).map_err(serve_error)?;
+                    let outcome = engine.replay(&workload).map_err(serve_error)?;
+                    points.push(CacheScalingPoint {
+                        policy,
+                        placement,
+                        capacity,
+                        zipf_exponent,
+                        hit_rate: outcome.report.cache.hit_rate(),
+                        modeled_qps: outcome.report.telemetry.modeled_qps(),
+                        energy_pj_per_query: outcome.report.telemetry.energy_pj_per_query(),
+                        rejections: outcome.report.cache.rejections,
+                    });
+                }
+            }
+        }
+    }
+    Ok(CacheScalingOutcome {
+        config: config.clone(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_runs_and_covers_every_point() {
+        let config = CacheScalingConfig::small();
+        let outcome = run_cache_scaling(&config).unwrap();
+        assert_eq!(outcome.points.len(), config.grid().len());
+        assert!(outcome
+            .points
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.hit_rate)));
+        assert!(outcome.points.iter().all(|p| p.modeled_qps > 0.0));
+        // Larger caches never hit less on the same trace, per policy and placement.
+        for &placement in &config.placements {
+            for policy in CachePolicy::ALL {
+                let series: Vec<f64> = config
+                    .capacities
+                    .iter()
+                    .map(|&c| {
+                        outcome
+                            .points
+                            .iter()
+                            .find(|p| {
+                                p.policy == policy && p.placement == placement && p.capacity == c
+                            })
+                            .unwrap()
+                            .hit_rate
+                    })
+                    .collect();
+                for pair in series.windows(2) {
+                    assert!(
+                        pair[1] >= pair[0] - 1e-9,
+                        "{policy:?}/{placement:?}: {series:?}"
+                    );
+                }
+            }
+        }
+        let frontier = outcome.frontier();
+        assert_eq!(
+            frontier.len(),
+            config.placements.len() * config.zipf_exponents.len() * config.capacities.len()
+        );
+    }
+
+    #[test]
+    fn same_seed_runs_emit_byte_identical_study_json() {
+        let config = CacheScalingConfig::small();
+        let first = run_cache_scaling(&config).unwrap().study().to_json();
+        let second = run_cache_scaling(&config).unwrap().study().to_json();
+        assert_eq!(first, second, "study JSON must be byte-deterministic");
+    }
+
+    #[test]
+    fn admission_beats_plain_clock_at_small_capacity_under_heavy_skew() {
+        let config = CacheScalingConfig {
+            queries: 512,
+            capacities: vec![32],
+            zipf_exponents: vec![1.2],
+            placements: vec![CachePlacement::Router],
+            ..CacheScalingConfig::small()
+        };
+        let outcome = run_cache_scaling(&config).unwrap();
+        let rate = |policy: CachePolicy| {
+            outcome
+                .points
+                .iter()
+                .find(|p| p.policy == policy)
+                .unwrap()
+                .hit_rate
+        };
+        assert!(
+            rate(CachePolicy::TinyLfu) >= rate(CachePolicy::Lfu),
+            "tinylfu {} < lfu {}",
+            rate(CachePolicy::TinyLfu),
+            rate(CachePolicy::Lfu)
+        );
+        assert!(
+            rate(CachePolicy::Lfu) >= rate(CachePolicy::Clock),
+            "lfu {} < clock {}",
+            rate(CachePolicy::Lfu),
+            rate(CachePolicy::Clock)
+        );
+    }
+}

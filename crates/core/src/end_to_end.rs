@@ -14,7 +14,8 @@ use imars_gpu::{GpuCost, GpuModel};
 use imars_recsys::dlrm::{Dlrm, DlrmConfig};
 use imars_recsys::EmbeddingTable;
 use imars_serve::{
-    ClusterConfig, Placement, ReplayConfig, ReplayWorkload, ServeConfig, ServeEngine,
+    CachePlacement, CachePolicy, ClusterConfig, Placement, ReplayConfig, ReplayWorkload,
+    ServeConfig, ServeEngine,
 };
 
 use crate::error::CoreError;
@@ -147,6 +148,10 @@ pub struct ServeStudyConfig {
     pub num_items: usize,
     /// Hot-row cache capacity in rows (0 disables the cache).
     pub cache_rows: usize,
+    /// Cache replacement/admission policy.
+    pub cache_policy: CachePolicy,
+    /// Cache placement: one router-side cache or per-shard-node caches.
+    pub cache_placement: CachePlacement,
     /// Number of shard nodes (1 = single-node in-process sharding).
     pub shards: usize,
     /// Zipf exponent of the replayed traffic.
@@ -162,6 +167,8 @@ impl ServeStudyConfig {
             queries: 384,
             num_items: 2048,
             cache_rows: 256,
+            cache_policy: CachePolicy::Clock,
+            cache_placement: CachePlacement::Router,
             shards: 1,
             zipf_exponent: 1.2,
             seed: 11,
@@ -196,6 +203,8 @@ impl ServeClusterFoms {
         let mut row = StudyRow::new()
             .config_num("queries", self.config.queries as f64)
             .config_num("cache_rows", self.config.cache_rows as f64)
+            .config_text("cache_policy", self.config.cache_policy.label())
+            .config_text("cache_placement", self.config.cache_placement.label())
             .config_num("shards", self.config.shards as f64)
             .metric("cache_hit_rate", self.cache_hit_rate)
             .metric("energy_pj_per_query", self.energy_pj_per_query)
@@ -220,7 +229,8 @@ fn serve_error(error: imars_serve::ServeError) -> CoreError {
 
 /// The DLRM the serving engine ranks with: the paper's layer widths over a pooled
 /// 32-dimension item profile, with capped cardinalities so construction stays fast.
-fn serve_model() -> DlrmConfig {
+/// Shared with [`crate::cache_scaling`] so both serve studies rank identically.
+pub(crate) fn serve_model() -> DlrmConfig {
     DlrmConfig {
         num_dense_features: 32,
         sparse_cardinalities: vec![1000; 8],
@@ -263,6 +273,8 @@ pub fn serve_cluster_study(config: &ServeStudyConfig) -> Result<ServeClusterFoms
         let mut serve_config =
             ServeConfig::paper_serving(config.cache_rows).map_err(serve_error)?;
         serve_config.shards = serve_config.shards.min(config.num_items.max(1));
+        serve_config.cache_policy = config.cache_policy;
+        serve_config.cache_placement = config.cache_placement;
         serve_config
     };
     let model = Dlrm::new(model_config)?;

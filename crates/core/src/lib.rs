@@ -18,9 +18,13 @@
 //! * [`accuracy`] — the Sec. IV-B accuracy study (fp32 vs int8 vs LSH retrieval on
 //!   synthetic MovieLens; fp32-vs-int8 DLRM CTR AUC on synthetic Criteo);
 //! * [`pipeline`] — the Fig. 2 stage-level latency/energy breakdowns;
-//! * [`end_to_end`] — full-system per-query FOMs and the serve-cluster replay path.
+//! * [`end_to_end`] — full-system per-query FOMs and the serve-cluster replay path;
+//! * [`cache_scaling`] — the MARM cache scaling-law study: hit-rate/qps-vs-capacity
+//!   curves per replacement policy, skew, and cache placement, with a winning-policy
+//!   frontier.
 
 pub mod accuracy;
+pub mod cache_scaling;
 pub mod end_to_end;
 pub mod error;
 pub mod et_lookup;

@@ -13,7 +13,7 @@
 //!   (every Table III entry and both NNS measurements work out to ≈22 W drawn during
 //!   these memory-bound kernels).
 //!
-//! [`reference`] records every GPU figure the paper reports; unit tests keep the
+//! [`reference`](mod@reference) records every GPU figure the paper reports; unit tests keep the
 //! analytical model within a small tolerance of each, so the speedup/energy-ratio
 //! experiments in `imars-core` compare against a faithful baseline.
 

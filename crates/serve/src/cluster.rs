@@ -50,7 +50,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -59,6 +59,7 @@ use imars_fabric::cost::{Cost, CostBreakdown};
 use imars_fabric::interconnect::RscBus;
 use imars_recsys::batch::PoolingBatch;
 
+use crate::cache::{CachePolicy, CacheStats, HotRowCache};
 use crate::chaos::{ChaosPlan, FaultAction};
 use crate::clock::{Clock, WallClock};
 use crate::error::ServeError;
@@ -155,6 +156,18 @@ impl ResilienceConfig {
         }
         Ok(())
     }
+}
+
+/// Per-shard-node hot-row cache configuration: each shard node serves row fetches
+/// through its own [`HotRowCache`] of this capacity and policy, so a multi-process
+/// cluster caches where the rows live instead of at the router. Plain data so it can
+/// ride in [`ClusterOptions`] and cross the socket transport as a config frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCacheConfig {
+    /// Rows each shard node's cache holds (0 disables node caching).
+    pub capacity: usize,
+    /// The replacement/admission policy every node cache runs.
+    pub policy: CachePolicy,
 }
 
 impl ClusterConfig {
@@ -315,6 +328,17 @@ pub(crate) struct ClusterCounters {
     promotions: AtomicU64,
     /// Row lookups degraded to zero-filled results (no healthy shard held the row).
     missing_rows: AtomicU64,
+    /// Node-cache hits per shard (all zero when node caching is off). In-process
+    /// workers add per-fetch deltas; socket nodes report theirs in `STATS` frames.
+    cache_hits: Vec<AtomicU64>,
+    /// Node-cache misses per shard (rows the node read from its resident storage).
+    cache_misses: Vec<AtomicU64>,
+    /// Node-cache insertions per shard.
+    cache_insertions: Vec<AtomicU64>,
+    /// Node-cache evictions per shard.
+    cache_evictions: Vec<AtomicU64>,
+    /// Node-cache admission rejections per shard (TinyLFU only).
+    cache_rejections: Vec<AtomicU64>,
 }
 
 impl ClusterCounters {
@@ -344,6 +368,59 @@ impl ClusterCounters {
             hedge_wins: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             missing_rows: AtomicU64::new(0),
+            cache_hits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            cache_misses: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            cache_insertions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            cache_evictions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            cache_rejections: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Fold one fetch's node-cache counter deltas into shard `shard`'s slice. The
+    /// caller records *before* pushing the fetch's reply, so the queue's
+    /// happens-before edge makes the deltas visible to the router by gather time.
+    pub(crate) fn record_node_cache(&self, shard: usize, delta: &CacheStats) {
+        // `.get` rather than indexing: a socket node's STATS frame names its shard on
+        // the wire, and a corrupt frame must not panic the link's reader thread.
+        let add = |counters: &[AtomicU64], value: u64| {
+            if let Some(counter) = counters.get(shard) {
+                counter.fetch_add(value, Ordering::Relaxed);
+            }
+        };
+        add(&self.cache_hits, delta.hits);
+        add(&self.cache_misses, delta.misses);
+        add(&self.cache_insertions, delta.insertions);
+        add(&self.cache_evictions, delta.evictions);
+        add(&self.cache_rejections, delta.rejections);
+    }
+
+    /// The node-cache counters summed across shards, in [`CacheStats`] form so the
+    /// engine can merge them with its router-side cache block.
+    pub(crate) fn node_cache_stats(&self) -> CacheStats {
+        let sum = |counters: &[AtomicU64]| -> u64 {
+            counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        };
+        CacheStats {
+            hits: sum(&self.cache_hits),
+            coalesced: 0,
+            misses: sum(&self.cache_misses),
+            insertions: sum(&self.cache_insertions),
+            evictions: sum(&self.cache_evictions),
+            rejections: sum(&self.cache_rejections),
+        }
+    }
+
+    /// Zero the node-cache counters only (the engine's cache-stats reset).
+    pub(crate) fn reset_node_cache(&self) {
+        for counter in self
+            .cache_hits
+            .iter()
+            .chain(&self.cache_misses)
+            .chain(&self.cache_insertions)
+            .chain(&self.cache_evictions)
+            .chain(&self.cache_rejections)
+        {
+            counter.store(0, Ordering::Relaxed);
         }
     }
 
@@ -356,6 +433,7 @@ impl ClusterCounters {
         {
             counter.store(0, Ordering::Relaxed);
         }
+        self.reset_node_cache();
         self.fetches.store(0, Ordering::Relaxed);
         self.subrequests.store(0, Ordering::Relaxed);
         self.hops.store(0, Ordering::Relaxed);
@@ -387,6 +465,8 @@ impl ClusterCounters {
             shard_lookups: load(&self.served),
             shard_rejections: load(&self.rejections),
             shard_queue_depth_max: load(&self.depth_max),
+            shard_cache_hits: load(&self.cache_hits),
+            shard_cache_misses: load(&self.cache_misses),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             hedges: self.hedges.load(Ordering::Relaxed),
@@ -431,12 +511,18 @@ impl<T> Drop for ShardPanicGuard<'_, T> {
 /// [`ChaosPlan`] aimed at this shard injects its fault here: a kill panics through the
 /// panic guard (exactly the organic failure path), a stall parks the worker without
 /// dying, slow sleeps before serving, and a dropped reply is served but never sent.
+///
+/// With a node `cache` (shared by every worker of this shard), rows are served through
+/// it — a hit copies the cached row, a miss reads storage and admits the row per the
+/// cache's policy — and the per-fetch counter deltas land in [`ClusterCounters`]
+/// *before* the reply is pushed, so the router observes them by gather time.
 fn run_shard_worker<T: Lane>(
     shard: usize,
     storage: Arc<ShardStorage<T>>,
     input: Arc<BoundedQueue<SubRequest<T>>>,
     counters: Arc<ClusterCounters>,
     chaos: Option<Arc<ChaosPlan>>,
+    cache: Option<Arc<Mutex<HotRowCache<T>>>>,
 ) {
     loop {
         let request = match input.pop() {
@@ -473,8 +559,32 @@ fn run_shard_worker<T: Lane>(
             "shard {shard}: poisoned sub-request (injected failure)"
         );
         let mut data = Vec::with_capacity(request.rows.len() * storage.dim);
-        for &row in &request.rows {
-            data.extend_from_slice(storage.row(row));
+        match &cache {
+            None => {
+                for &row in &request.rows {
+                    data.extend_from_slice(storage.row(row));
+                }
+            }
+            Some(cache) => {
+                let mut cache = cache.lock().expect("node cache lock");
+                let before = cache.stats();
+                for &row in &request.rows {
+                    let hit = match cache.lookup(row) {
+                        Some(resident) => {
+                            data.extend_from_slice(resident);
+                            true
+                        }
+                        None => false,
+                    };
+                    if !hit {
+                        let fetched = storage.row(row);
+                        data.extend_from_slice(fetched);
+                        cache.insert(row, fetched);
+                    }
+                }
+                let delta = cache.stats().delta_since(&before);
+                counters.record_node_cache(shard, &delta);
+            }
         }
         counters.served[shard].fetch_add(request.rows.len() as u64, Ordering::Relaxed);
         // A closed reply queue means the router gave up (a sibling shard failed);
@@ -653,6 +763,9 @@ pub struct ClusterClient<T> {
     /// Armed per traced batch via [`RowSource::trace_arm`], drained by
     /// [`RowSource::trace_drain`]; `None` (the untraced default) records nothing.
     trace: Option<TraceSink>,
+    /// Per-shard-node cache configuration, when the cluster was spawned with one.
+    /// The caches live with the shard nodes; this side only reads their counters.
+    node_cache: Option<NodeCacheConfig>,
 }
 
 impl<T: Lane> Clone for ClusterClient<T> {
@@ -687,6 +800,7 @@ impl<T: Lane> Clone for ClusterClient<T> {
             timeout_strikes: vec![0; self.timeout_strikes.len()],
             missing: Vec::new(),
             trace: None,
+            node_cache: self.node_cache,
         }
     }
 }
@@ -1125,6 +1239,10 @@ impl<T: Lane> RowSource<T> for ClusterClient<T> {
         self.take_missing_rows()
     }
 
+    fn node_cached(&self) -> bool {
+        self.node_cache.is_some()
+    }
+
     fn trace_arm(&mut self, clock: &Arc<dyn Clock>) {
         self.trace = Some(TraceSink {
             clock: clock.clone(),
@@ -1536,6 +1654,10 @@ pub struct ClusterOptions {
     pub chaos: Option<Arc<ChaosPlan>>,
     /// Deadline source for the router's resilient path ([`WallClock`] by default).
     pub clock: Option<Arc<dyn Clock>>,
+    /// Give every shard node its own hot-row cache (in-process workers share one per
+    /// shard; socket nodes are armed with a `CACHE` frame). `None` — and a zero
+    /// capacity — leave the nodes uncached.
+    pub node_cache: Option<NodeCacheConfig>,
 }
 
 /// Spawn the shard nodes for a catalogue and hand back a router plus the owning handle.
@@ -1565,6 +1687,7 @@ pub(crate) fn spawn_cluster_with<T: Lane>(
         plan.placement(),
         plan.hot_replicas(),
     ));
+    let node_cache = options.node_cache.filter(|cache| cache.capacity > 0);
     let mut links = Vec::with_capacity(num_shards);
     let mut workers = Vec::with_capacity(num_shards * config.workers_per_shard);
     let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
@@ -1572,15 +1695,25 @@ pub(crate) fn spawn_cluster_with<T: Lane>(
         let storage = Arc::new(ShardStorage::build(rows, dim, plan.rows_on(shard)));
         let input: Arc<BoundedQueue<SubRequest<T>>> =
             Arc::new(BoundedQueue::new(config.queue_capacity));
+        // One cache per shard *node*, shared by its workers — the cache lives where
+        // the rows live, which is the whole point of the per-shard placement.
+        let cache = node_cache.map(|cache| {
+            Arc::new(Mutex::new(HotRowCache::with_policy(
+                cache.capacity,
+                dim,
+                cache.policy,
+            )))
+        });
         for _ in 0..config.workers_per_shard {
             let storage = storage.clone();
             let input = input.clone();
             let counters = counters.clone();
             let chaos = options.chaos.clone();
+            let cache = cache.clone();
             workers.push((
                 shard,
                 std::thread::spawn(move || {
-                    run_shard_worker(shard, storage, input, counters, chaos)
+                    run_shard_worker(shard, storage, input, counters, chaos, cache)
                 }),
             ));
         }
@@ -1590,7 +1723,8 @@ pub(crate) fn spawn_cluster_with<T: Lane>(
         }));
         links.push(ShardLink::Queue(input));
     }
-    let client = assemble_client(plan, links, dim, config, options.clock, counters.clone());
+    let mut client = assemble_client(plan, links, dim, config, options.clock, counters.clone());
+    client.node_cache = node_cache;
     let handle = ClusterHandle {
         closers,
         workers,
@@ -1632,20 +1766,26 @@ pub(crate) fn connect_cluster<T: Lane>(
         Arc::new(BoundedQueue::new(reply_capacity(num_shards)));
     let mut links = Vec::with_capacity(num_shards);
     let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
+    let node_cache = options.node_cache.filter(|cache| cache.capacity > 0);
     for (shard, path) in sockets.iter().enumerate() {
-        let load_frame = Arc::new(transport::encode_load(
-            shard as u32,
-            dim,
-            rows,
-            plan.rows_on(shard),
-        ));
+        let mut handshake = transport::encode_load(shard as u32, dim, rows, plan.rows_on(shard));
+        if let Some(cache) = node_cache {
+            // The CACHE frame rides the same handshake bytes as the LOAD, so a router
+            // clone's re-dial re-arms the node cache exactly like it re-installs rows.
+            handshake.extend_from_slice(&transport::encode_cache_config(
+                shard as u32,
+                cache.capacity as u64,
+                cache.policy,
+            ));
+        }
         let link = SocketLink::connect(
             shard,
             path,
             dim,
-            load_frame,
+            Arc::new(handshake),
             config.queue_capacity,
             reply.clone(),
+            Some(counters.clone()),
         )
         .map_err(|_| ServeError::TransportClosed { shard })?;
         if let Some(chaos) = options
@@ -1677,6 +1817,7 @@ pub(crate) fn connect_cluster<T: Lane>(
         links.push(ShardLink::Socket(link));
     }
     let mut client = assemble_client(plan, links, dim, config, options.clock, counters.clone());
+    client.node_cache = node_cache;
     client.reply = reply;
     let handle = ClusterHandle {
         closers,
@@ -1718,6 +1859,7 @@ fn assemble_client<T: Lane>(
         timeout_strikes: vec![0; num_shards],
         missing: Vec::new(),
         trace: None,
+        node_cache: None,
     }
 }
 
@@ -1745,6 +1887,9 @@ mod tests {
         ServeConfig {
             shards: 4,
             cache_capacity,
+            cache_policy: CachePolicy::Clock,
+            cache_placement: crate::cache::CachePlacement::Router,
+            shard_batching: false,
             precision,
             policy: BatchPolicy::new(16, 300.0).unwrap(),
             signature_bits: 64,
@@ -2190,6 +2335,7 @@ mod tests {
             timeout_strikes: vec![0],
             missing: Vec::new(),
             trace: None,
+            node_cache: None,
         };
         // Fill the queue so the next push must overflow.
         input
@@ -2315,6 +2461,7 @@ mod tests {
         let options = ClusterOptions {
             chaos: Some(Arc::new(ChaosPlan::parse("stall:0", 0).unwrap())),
             clock: Some(clock.clone()),
+            node_cache: None,
         };
         let (mut client, handle) =
             spawn_cluster_with(&rows, ITEM_DIM, plan, &config, options).unwrap();
@@ -2359,7 +2506,11 @@ mod tests {
         cluster.hot_replicas = 64;
         cluster.resilience = Some(ResilienceConfig::default());
         let serve = |chaos: Option<Arc<ChaosPlan>>| {
-            let options = ClusterOptions { chaos, clock: None };
+            let options = ClusterOptions {
+                chaos,
+                clock: None,
+                node_cache: None,
+            };
             let (mut engine, handle) = ServeEngine::new_clustered_with(
                 Dlrm::new(DlrmConfig::tiny()).unwrap(),
                 &table,
@@ -2575,6 +2726,135 @@ mod tests {
         assert_eq!(outcome.report.telemetry.degraded_queries, 0);
         drop(engine); // hang the links up before the nodes are told to exit
         handle.shutdown().unwrap();
+        for node in nodes {
+            node.join().unwrap().unwrap();
+        }
+    }
+
+    /// Per-shard-node caches on the cluster: in-process workers and out-of-process
+    /// UDS shard nodes both serve repeated rows from their node cache, produce
+    /// bit-identical responses to the router-cached single-node oracle, and surface
+    /// per-shard hit/miss counters through [`ClusterStats`].
+    #[test]
+    fn node_cached_cluster_replay_is_bit_identical_in_process_and_over_uds() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(300)).unwrap();
+        let cluster = cluster_config(2, 1);
+        let mut oracle = ServeEngine::new(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            serve_config(64, ServePrecision::Fp32),
+        )
+        .unwrap();
+        let expected = oracle.replay(&workload).unwrap();
+
+        let node_cached = ServeConfig {
+            cache_placement: crate::cache::CachePlacement::Shard,
+            ..serve_config(64, ServePrecision::Fp32)
+        };
+        let check = |outcome: &crate::engine::ReplayOutcome, label: &str| {
+            assert_eq!(outcome.responses.len(), expected.responses.len(), "{label}");
+            for (a, b) in outcome.responses.iter().zip(&expected.responses) {
+                assert_eq!(a.id, b.id, "{label}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "query {} {label}",
+                    a.id
+                );
+                assert_eq!(a.candidates, b.candidates, "{label}");
+            }
+            // Same lookup stream, now absorbed at the shards.
+            assert_eq!(
+                outcome.report.cache.lookups(),
+                expected.report.cache.lookups(),
+                "{label}"
+            );
+            assert!(outcome.report.cache.hits > 0, "{label}");
+            let stats = outcome.report.cluster.as_ref().expect("cluster stats");
+            assert!(stats.node_cached(), "{label}");
+            assert_eq!(stats.shard_cache_hits.len(), 2, "{label}");
+            assert_eq!(
+                stats.shard_cache_hits.iter().sum::<u64>(),
+                outcome.report.cache.hits,
+                "{label}: the report's hits are the per-shard node-cache hits"
+            );
+        };
+
+        let (mut inproc, inproc_handle) = ServeEngine::new_clustered(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            node_cached.clone(),
+            &cluster,
+            None,
+        )
+        .unwrap();
+        let inproc_outcome = inproc.replay(&workload).unwrap();
+        check(&inproc_outcome, "(in-process)");
+        inproc_handle.shutdown().unwrap();
+
+        let sockets: Vec<PathBuf> = (0..cluster.shards)
+            .map(|shard| transport::socket_path("node-cache-test", shard))
+            .collect();
+        let nodes: Vec<_> = sockets
+            .iter()
+            .cloned()
+            .map(|path| std::thread::spawn(move || transport::run_shard_node(&path)))
+            .collect();
+        for path in &sockets {
+            let started = Instant::now();
+            while std::os::unix::net::UnixStream::connect(path).is_err() {
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "shard node never came up on {path:?}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let (mut uds, uds_handle) = ServeEngine::new_clustered_sockets(
+            Dlrm::new(DlrmConfig::tiny()).unwrap(),
+            &table,
+            node_cached,
+            &cluster,
+            None,
+            &sockets,
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let uds_outcome = uds.replay(&workload).unwrap();
+        check(&uds_outcome, "(over uds)");
+        // The UDS nodes' caches see the exact same fetch stream as the in-process
+        // workers', so the per-shard counters agree exactly.
+        assert_eq!(
+            uds_outcome
+                .report
+                .cluster
+                .as_ref()
+                .unwrap()
+                .shard_cache_hits,
+            inproc_outcome
+                .report
+                .cluster
+                .as_ref()
+                .unwrap()
+                .shard_cache_hits
+        );
+        assert_eq!(
+            uds_outcome
+                .report
+                .cluster
+                .as_ref()
+                .unwrap()
+                .shard_cache_misses,
+            inproc_outcome
+                .report
+                .cluster
+                .as_ref()
+                .unwrap()
+                .shard_cache_misses
+        );
+        drop(uds);
+        uds_handle.shutdown().unwrap();
         for node in nodes {
             node.join().unwrap().unwrap();
         }

@@ -37,11 +37,11 @@ use serde::{Deserialize, Serialize};
 use imars_datasets::workload::InferenceQuery;
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, FlushedBatch};
-use crate::cache::{CacheStats, HotRowCache};
+use crate::cache::{CachePlacement, CachePolicy, CacheStats, HotRowCache};
 use crate::clock::Clock;
 use crate::cluster::{
     connect_cluster, spawn_cluster_with, ClusterClient, ClusterConfig, ClusterCounters,
-    ClusterHandle, ClusterOptions,
+    ClusterHandle, ClusterOptions, NodeCacheConfig,
 };
 use crate::error::ServeError;
 use crate::placement::ShardPlan;
@@ -67,8 +67,19 @@ pub enum ServePrecision {
 pub struct ServeConfig {
     /// Number of embedding shards (contiguous row ranges).
     pub shards: usize,
-    /// Hot-row cache capacity in rows (0 disables the cache).
+    /// Hot-row cache capacity in rows (0 disables the cache). Under
+    /// [`CachePlacement::Shard`] this is the *total* budget, split evenly across the
+    /// shard nodes (rounded up per shard).
     pub cache_capacity: usize,
+    /// Replacement/admission policy of the hot-row cache.
+    pub cache_policy: CachePolicy,
+    /// Where the hot-row cache lives: one cache at the router (the classic layout) or
+    /// one per shard node, co-located with the rows it fronts.
+    pub cache_placement: CachePlacement,
+    /// Group each batch's requests by home shard before pooling, so a sub-request
+    /// carries a whole request group to its home shard and cross-shard hops amortize.
+    /// Responses are bit-identical either way; only fetch fan-out and counters move.
+    pub shard_batching: bool,
     /// Row format served from the shards.
     pub precision: ServePrecision,
     /// Dynamic batching policy.
@@ -93,11 +104,43 @@ impl ServeConfig {
         Ok(Self {
             shards: 4,
             cache_capacity,
+            cache_policy: CachePolicy::Clock,
+            cache_placement: CachePlacement::Router,
+            shard_batching: false,
             precision: ServePrecision::Fp32,
             policy: BatchPolicy::new(64, 500.0)?,
             signature_bits: 256,
             search_radius: 112,
             lsh_seed: 77,
+        })
+    }
+
+    /// Capacity of the router-side cache under this layout: the full budget for
+    /// [`CachePlacement::Router`], zero when the rows are cached at the shard nodes
+    /// (the router then still runs its capacity-0 cache as the coalescing ledger).
+    fn router_cache_capacity(&self) -> usize {
+        match self.cache_placement {
+            CachePlacement::Router => self.cache_capacity,
+            CachePlacement::Shard => 0,
+        }
+    }
+
+    /// Per-shard-node cache capacity: the total budget split evenly (rounded up) over
+    /// the `shards` actually built. Zero unless the layout is [`CachePlacement::Shard`].
+    fn node_cache_capacity(&self, shards: usize) -> usize {
+        match self.cache_placement {
+            CachePlacement::Router => 0,
+            CachePlacement::Shard => self.cache_capacity.div_ceil(shards.max(1)),
+        }
+    }
+
+    /// The node-cache configuration the cluster constructors hand to the shard nodes
+    /// (`None` when the cache stays at the router or the budget is zero).
+    fn node_cache_config(&self, shards: usize) -> Option<NodeCacheConfig> {
+        let capacity = self.node_cache_capacity(shards);
+        (capacity > 0).then_some(NodeCacheConfig {
+            capacity,
+            policy: self.cache_policy,
         })
     }
 }
@@ -178,19 +221,45 @@ impl ItemStore {
         }
     }
 
+    /// The run's combined cache counters: the router cache merged with whatever the
+    /// per-shard-node caches absorbed. A router miss that a node cache served is *not*
+    /// a storage read, so node hits are subtracted back out of the router's misses —
+    /// `misses` stays "rows actually read from shard storage", which is exactly what
+    /// the GPCiM cost model charges a CMA RAM read for. With node caches off the node
+    /// side is all-zero and this degenerates to the router cache's own counters.
     fn cache_stats(&self) -> CacheStats {
-        match self {
-            ItemStore::Fp32 { cache, .. } => cache.stats(),
-            ItemStore::Int8 { cache, .. } => cache.stats(),
-            ItemStore::ClusterFp32 { cache, .. } => cache.stats(),
-            ItemStore::ClusterInt8 { cache, .. } => cache.stats(),
+        let (router, node) = match self {
+            ItemStore::Fp32 { shards, cache } => (cache.stats(), shards.node_cache_stats()),
+            ItemStore::Int8 { shards, cache, .. } => (cache.stats(), shards.node_cache_stats()),
+            ItemStore::ClusterFp32 { client, cache } => {
+                (cache.stats(), client.counters().node_cache_stats())
+            }
+            ItemStore::ClusterInt8 { client, cache, .. } => {
+                (cache.stats(), client.counters().node_cache_stats())
+            }
+        };
+        CacheStats {
+            hits: router.hits + node.hits,
+            coalesced: router.coalesced + node.coalesced,
+            // Saturating: replica/hedge duplicates can make node lookups outnumber
+            // router misses on a faulted cluster.
+            misses: router.misses.saturating_sub(node.hits),
+            insertions: router.insertions + node.insertions,
+            evictions: router.evictions + node.evictions,
+            rejections: router.rejections + node.rejections,
         }
     }
 
     fn reset_cache_stats(&mut self) {
         match self {
-            ItemStore::Fp32 { cache, .. } => cache.reset_stats(),
-            ItemStore::Int8 { cache, .. } => cache.reset_stats(),
+            ItemStore::Fp32 { shards, cache } => {
+                cache.reset_stats();
+                shards.reset_node_cache_stats();
+            }
+            ItemStore::Int8 { shards, cache, .. } => {
+                cache.reset_stats();
+                shards.reset_node_cache_stats();
+            }
             ItemStore::ClusterFp32 { client, cache } => {
                 cache.reset_stats();
                 client.counters().reset();
@@ -227,6 +296,42 @@ impl ItemStore {
             ItemStore::ClusterFp32 { client, .. } => Some(client.counters()),
             ItemStore::ClusterInt8 { client, .. } => Some(client.counters()),
             _ => None,
+        }
+    }
+
+    /// The home shard of one request's history (shard-aware batching): the shard owning
+    /// most of its rows, ties toward the lower shard id. Matches
+    /// [`ShardPlan::home_shard`] on cluster stores so request groups land where their
+    /// sub-batches would route anyway.
+    fn home_shard(&self, history: &[u32]) -> usize {
+        fn majority(shards: impl Iterator<Item = usize>, num_shards: usize) -> usize {
+            let mut counts = vec![0u64; num_shards.max(1)];
+            let last = counts.len() - 1;
+            for shard in shards {
+                counts[shard.min(last)] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+                .map(|(shard, _)| shard)
+                .unwrap_or(0)
+        }
+        match self {
+            ItemStore::Fp32 { shards, .. } => majority(
+                history.iter().map(|&row| shards.shard_of(row)),
+                shards.num_shards(),
+            ),
+            ItemStore::Int8 { shards, .. } => majority(
+                history.iter().map(|&row| shards.shard_of(row)),
+                shards.num_shards(),
+            ),
+            ItemStore::ClusterFp32 { client, .. } => {
+                client.plan().home_shard(history.iter().copied())
+            }
+            ItemStore::ClusterInt8 { client, .. } => {
+                client.plan().home_shard(history.iter().copied())
+            }
         }
     }
 
@@ -313,9 +418,12 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
             actual: profiles.len(),
         });
     }
-    if cache.capacity() == 0 {
+    if cache.capacity() == 0 && !source.node_cached() {
         // Disabled-cache fast path: pool straight off the source, zero cache probes.
         // Counted as all-miss so hit-rate reporting stays comparable across configs.
+        // Sources with per-shard-node caches skip this: they still want the router's
+        // capacity-0 cache as the miss-coalescing ledger, so each unique row is
+        // fetched (and counted at the nodes) exactly once per batch.
         if let Some(trace) = trace.as_deref_mut() {
             trace.misses = batch.total_lookups() as u64;
             trace.fetch_begin_us = trace.clock.now_us();
@@ -427,16 +535,36 @@ impl ServeEngine {
     ) -> Result<Self, ServeError> {
         let (lsh, tcam) = Self::build_filter(&model, items, &config)?;
         let store = match config.precision {
-            ServePrecision::Fp32 => ItemStore::Fp32 {
-                shards: shard_embedding(items, config.shards)?,
-                cache: HotRowCache::new(config.cache_capacity, items.dim()),
-            },
+            ServePrecision::Fp32 => {
+                let mut shards = shard_embedding(items, config.shards)?;
+                shards.install_node_caches(
+                    config.node_cache_capacity(shards.num_shards()),
+                    config.cache_policy,
+                );
+                ItemStore::Fp32 {
+                    cache: HotRowCache::with_policy(
+                        config.router_cache_capacity(),
+                        items.dim(),
+                        config.cache_policy,
+                    ),
+                    shards,
+                }
+            }
             ServePrecision::Int8 => {
                 let quantized = QuantizedTable::from_table(items);
+                let mut shards = shard_quantized(&quantized, config.shards)?;
+                shards.install_node_caches(
+                    config.node_cache_capacity(shards.num_shards()),
+                    config.cache_policy,
+                );
                 ItemStore::Int8 {
                     params: quantized.params(),
-                    shards: shard_quantized(&quantized, config.shards)?,
-                    cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                    cache: HotRowCache::with_policy(
+                        config.router_cache_capacity(),
+                        items.dim(),
+                        config.cache_policy,
+                    ),
+                    shards,
                 }
             }
         };
@@ -506,6 +634,8 @@ impl ServeEngine {
             cluster.hot_replicas,
             histogram,
         )?;
+        let mut options = options;
+        options.node_cache = config.node_cache_config(plan.num_shards());
         let (store, handle) = match config.precision {
             ServePrecision::Fp32 => {
                 let rows: Vec<&[f32]> = items.iter_rows().collect();
@@ -514,7 +644,11 @@ impl ServeEngine {
                 (
                     ItemStore::ClusterFp32 {
                         client,
-                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                        cache: HotRowCache::with_policy(
+                            config.router_cache_capacity(),
+                            items.dim(),
+                            config.cache_policy,
+                        ),
                     },
                     handle,
                 )
@@ -529,7 +663,11 @@ impl ServeEngine {
                 (
                     ItemStore::ClusterInt8 {
                         client,
-                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                        cache: HotRowCache::with_policy(
+                            config.router_cache_capacity(),
+                            items.dim(),
+                            config.cache_policy,
+                        ),
                         params: quantized.params(),
                     },
                     handle,
@@ -579,6 +717,8 @@ impl ServeEngine {
             cluster.hot_replicas,
             histogram,
         )?;
+        let mut options = options;
+        options.node_cache = config.node_cache_config(plan.num_shards());
         let (store, handle) = match config.precision {
             ServePrecision::Fp32 => {
                 let rows: Vec<&[f32]> = items.iter_rows().collect();
@@ -587,7 +727,11 @@ impl ServeEngine {
                 (
                     ItemStore::ClusterFp32 {
                         client,
-                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                        cache: HotRowCache::with_policy(
+                            config.router_cache_capacity(),
+                            items.dim(),
+                            config.cache_policy,
+                        ),
                     },
                     handle,
                 )
@@ -602,7 +746,11 @@ impl ServeEngine {
                 (
                     ItemStore::ClusterInt8 {
                         client,
-                        cache: HotRowCache::new(config.cache_capacity, items.dim()),
+                        cache: HotRowCache::with_policy(
+                            config.router_cache_capacity(),
+                            items.dim(),
+                            config.cache_policy,
+                        ),
                         params: quantized.params(),
                     },
                     handle,
@@ -744,6 +892,68 @@ impl ServeEngine {
         }
     }
 
+    /// Pool the batch's profiles, grouping requests by home shard first when
+    /// [`ServeConfig::shard_batching`] is on: each group pools as its own sub-batch, so
+    /// its row fetch routes overwhelmingly to one shard node and the cross-shard hops
+    /// of the whole group amortize into that single sub-request. Profiles land at each
+    /// request's original offset and per-request pooling is untouched, so responses are
+    /// bit-identical to the ungrouped path — only fan-out and cache counters move.
+    fn pool_batch_dense(
+        &mut self,
+        requests: &[ServeRequest],
+        batch: &PoolingBatch,
+        dense: &mut [f32],
+        mut pool_trace: Option<&mut PoolTrace>,
+    ) -> Result<Vec<u32>, ServeError> {
+        if !self.config.shard_batching || self.store.num_shards() <= 1 {
+            return self
+                .store
+                .pool_dense(batch, dense, pool_trace.as_deref_mut());
+        }
+        let dense_dim = self.model.config().num_dense_features;
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.store.num_shards()];
+        for (index, request) in requests.iter().enumerate() {
+            groups[self.store.home_shard(&request.history)].push(index);
+        }
+        let mut missing = Vec::new();
+        let mut first_fetch = true;
+        for group in groups.iter().filter(|group| !group.is_empty()) {
+            let histories: Vec<&[u32]> = group
+                .iter()
+                .map(|&index| requests[index].history.as_slice())
+                .collect();
+            let sub_batch = PoolingBatch::from_requests(&histories);
+            let mut sub_dense = vec![0.0f32; group.len() * dense_dim];
+            let mut sub_trace = pool_trace
+                .as_ref()
+                .map(|trace| PoolTrace::new(trace.clock.clone()));
+            missing.extend(self.store.pool_dense(
+                &sub_batch,
+                &mut sub_dense,
+                sub_trace.as_mut(),
+            )?);
+            if let (Some(trace), Some(sub)) = (pool_trace.as_deref_mut(), sub_trace) {
+                if first_fetch {
+                    trace.fetch_begin_us = sub.fetch_begin_us;
+                    first_fetch = false;
+                }
+                trace.fetch_end_us = sub.fetch_end_us;
+                trace.hits += sub.hits;
+                trace.misses += sub.misses;
+                trace.coalesced += sub.coalesced;
+                trace.events.extend(sub.events);
+            }
+            for (&index, profile) in group.iter().zip(sub_dense.chunks(dense_dim)) {
+                dense[index * dense_dim..(index + 1) * dense_dim].copy_from_slice(profile);
+            }
+        }
+        // One batch can report a missing row once per group; collapse to the
+        // ungrouped contract of unique rows.
+        missing.sort_unstable();
+        missing.dedup();
+        Ok(missing)
+    }
+
     /// Execute one coalesced batch through pooling, filtering and ranking. Responses are
     /// in request order with `latency_us` zero (the replay driver fills latencies from
     /// its clock).
@@ -778,9 +988,7 @@ impl ServeEngine {
         //    one in-memory add per accumulated row beyond each request's first.
         let misses_before = self.store.cache_stats().misses;
         let mut dense = vec![0.0f32; requests.len() * dense_dim];
-        let missing = self
-            .store
-            .pool_dense(&batch, &mut dense, pool_trace.as_mut())?;
+        let missing = self.pool_batch_dense(requests, &batch, &mut dense, pool_trace.as_mut())?;
         let pool_end_us = pool_trace.as_ref().map(|t| t.clock.now_us());
         if !missing.is_empty() {
             // Degraded-mode accounting: every zero-filled row, and every query whose
@@ -793,7 +1001,11 @@ impl ServeEngine {
                 }
             }
         }
-        let misses = (self.store.cache_stats().misses - misses_before) as usize;
+        let misses = self
+            .store
+            .cache_stats()
+            .misses
+            .saturating_sub(misses_before) as usize;
         let read = Cost::from_fom(self.tcam.fom().cma.read);
         let add = Cost::from_fom(self.tcam.fom().cma.add);
         let adds: usize = (0..batch.len())
@@ -915,6 +1127,8 @@ impl ServeEngine {
             policy: self.config.policy,
             shards: self.store.num_shards(),
             cache_capacity: self.config.cache_capacity,
+            cache_policy: self.config.cache_policy.label().to_string(),
+            cache_placement: self.config.cache_placement.label().to_string(),
             telemetry: self.telemetry.clone(),
             cache: self.store.cache_stats(),
             runtime: None,
@@ -989,6 +1203,9 @@ mod tests {
         ServeConfig {
             shards: 4,
             cache_capacity,
+            cache_policy: CachePolicy::Clock,
+            cache_placement: CachePlacement::Router,
+            shard_batching: false,
             precision,
             policy: BatchPolicy::new(32, 300.0).unwrap(),
             signature_bits: 64,
@@ -1263,6 +1480,195 @@ mod tests {
         // Warm or cold, the numeric results are identical.
         for (a, b) in cold.responses.iter().zip(warm.responses.iter()) {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    fn custom_engine(
+        shards: usize,
+        capacity: usize,
+        precision: ServePrecision,
+        policy: CachePolicy,
+        placement: CachePlacement,
+        shard_batching: bool,
+    ) -> ServeEngine {
+        let cfg = ServeConfig {
+            shards,
+            cache_policy: policy,
+            cache_placement: placement,
+            shard_batching,
+            ..config(capacity, precision)
+        };
+        ServeEngine::new(tiny_model(), &items(), cfg).unwrap()
+    }
+
+    /// The tentpole's bit-identity pin: moving the cache from the router into
+    /// per-shard-node caches must not change a single output bit, at either precision
+    /// and across shard counts — only the counters move.
+    #[test]
+    fn per_shard_cache_replay_is_bit_identical_to_the_router_cache() {
+        let workload = ReplayWorkload::generate(&replay_config(2000)).unwrap();
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            for shards in [1usize, 2, 8] {
+                let policy = CachePolicy::Clock;
+                let router = custom_engine(
+                    shards,
+                    128,
+                    precision,
+                    policy,
+                    CachePlacement::Router,
+                    false,
+                )
+                .replay(&workload)
+                .unwrap();
+                let sharded =
+                    custom_engine(shards, 128, precision, policy, CachePlacement::Shard, false)
+                        .replay(&workload)
+                        .unwrap();
+                for (a, b) in router.responses.iter().zip(sharded.responses.iter()) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "query {} ({precision:?}, {shards} shards)",
+                        a.id
+                    );
+                    assert_eq!(a.candidates, b.candidates);
+                }
+                // Every lookup is accounted for under both placements, and the shard
+                // placement still absorbs the Zipf head.
+                assert_eq!(
+                    router.report.cache.lookups(),
+                    sharded.report.cache.lookups(),
+                    "({precision:?}, {shards} shards)"
+                );
+                assert!(
+                    sharded.report.cache.hit_rate() > 0.3,
+                    "shard-placement hit rate {} ({precision:?}, {shards} shards)",
+                    sharded.report.cache.hit_rate()
+                );
+                assert_eq!(sharded.report.cache_placement, "shard");
+            }
+        }
+    }
+
+    /// The admission-quality ordering the cache-scaling study plots: at a capacity far
+    /// below the Zipf head, frequency-informed policies beat CLOCK, and TinyLFU's
+    /// admission filter beats plain LFU — with bit-identical responses throughout.
+    #[test]
+    fn cache_policies_rank_by_hit_rate_under_zipf_skew() {
+        let workload = ReplayWorkload::generate(&replay_config(10_000)).unwrap();
+        let mut rates = Vec::new();
+        let mut reference: Option<Vec<ServeResponse>> = None;
+        for policy in CachePolicy::ALL {
+            let outcome = custom_engine(
+                4,
+                32,
+                ServePrecision::Fp32,
+                policy,
+                CachePlacement::Router,
+                false,
+            )
+            .replay(&workload)
+            .unwrap();
+            match &reference {
+                None => reference = Some(outcome.responses.clone()),
+                Some(expected) => {
+                    for (a, b) in outcome.responses.iter().zip(expected.iter()) {
+                        assert_eq!(a.score.to_bits(), b.score.to_bits(), "{policy:?}");
+                    }
+                }
+            }
+            rates.push((policy, outcome.report.cache.hit_rate()));
+        }
+        let rate = |p: CachePolicy| rates.iter().find(|(q, _)| *q == p).unwrap().1;
+        assert!(
+            rate(CachePolicy::TinyLfu) >= rate(CachePolicy::Lfu),
+            "{rates:?}"
+        );
+        assert!(
+            rate(CachePolicy::Lfu) >= rate(CachePolicy::Clock),
+            "{rates:?}"
+        );
+    }
+
+    /// Shard-aware batching regroups a batch by home shard before pooling; the
+    /// responses must stay bit-identical to the flat pooling order.
+    #[test]
+    fn shard_batching_replay_is_bit_identical() {
+        let workload = ReplayWorkload::generate(&replay_config(1500)).unwrap();
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            for placement in [CachePlacement::Router, CachePlacement::Shard] {
+                let flat = custom_engine(4, 64, precision, CachePolicy::Clock, placement, false)
+                    .replay(&workload)
+                    .unwrap();
+                let grouped = custom_engine(4, 64, precision, CachePolicy::Clock, placement, true)
+                    .replay(&workload)
+                    .unwrap();
+                assert_eq!(flat.responses.len(), grouped.responses.len());
+                for (a, b) in flat.responses.iter().zip(grouped.responses.iter()) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "query {} ({precision:?}, {placement:?})",
+                        a.id
+                    );
+                    assert_eq!(a.candidates, b.candidates);
+                }
+                assert_eq!(
+                    flat.report.cache.lookups(),
+                    grouped.report.cache.lookups(),
+                    "({precision:?}, {placement:?})"
+                );
+            }
+        }
+    }
+
+    /// The coalescing property: when one batch references the same row many times, the
+    /// row is fetched once — exactly one miss, every duplicate counted as coalesced —
+    /// under every policy and both cache placements.
+    #[test]
+    fn coalesced_in_flight_misses_count_once_under_every_policy_and_placement() {
+        for policy in CachePolicy::ALL {
+            for placement in [CachePlacement::Router, CachePlacement::Shard] {
+                let mut engine =
+                    custom_engine(4, 64, ServePrecision::Fp32, policy, placement, false);
+                let requests: Vec<ServeRequest> = (0..8)
+                    .map(|i| ServeRequest {
+                        id: i,
+                        arrival_us: 0.0,
+                        query: InferenceQuery {
+                            user_index: i as usize,
+                            candidates: 50,
+                            top_k: 5,
+                        },
+                        // Identical histories: 3 unique rows, 24 total lookups.
+                        history: vec![3, 300, 900],
+                        sparse: vec![1, 2, 3],
+                    })
+                    .collect();
+                engine.process_batch(&requests).unwrap();
+                let cold = engine.cache_stats();
+                assert_eq!(cold.misses, 3, "{policy:?}/{placement:?}: one miss per row");
+                assert_eq!(
+                    cold.coalesced, 21,
+                    "{policy:?}/{placement:?}: duplicates coalesce"
+                );
+                assert_eq!(cold.hits, 0, "{policy:?}/{placement:?}");
+                // A second identical batch is served without touching shard storage:
+                // no new misses, every lookup a hit or coalesced behind one.
+                engine.process_batch(&requests).unwrap();
+                let warm = engine.cache_stats();
+                assert_eq!(
+                    warm.misses, 3,
+                    "{policy:?}/{placement:?}: warm batch reads no storage"
+                );
+                assert_eq!(
+                    warm.hits + warm.coalesced,
+                    45,
+                    "{policy:?}/{placement:?}: {warm:?}"
+                );
+            }
         }
     }
 }

@@ -9,8 +9,11 @@
 //!   max-batch-size / max-wait policy (size and deadline flushes);
 //! * [`shard`] — embedding tables range-partitioned across shards with scoped-thread
 //!   fetch workers, generic over f32 and int8 (CMA-format) rows;
-//! * [`cache`] — a CLOCK hot-row cache with hit/miss counters, the piece that turns
-//!   Zipf-skewed traffic into a measurable win;
+//! * [`cache`] — the hot-row cache with CLOCK, LFU and TinyLFU (frequency sketch +
+//!   doorkeeper admission) replacement policies and hit/miss/coalesce counters, the
+//!   piece that turns Zipf-skewed traffic into a measurable win; it serves either as
+//!   one router-side cache or split into per-shard-node caches
+//!   ([`CachePlacement`]);
 //! * [`engine`] — the pipeline: pooled user profiles (GPCiM-costed), LSH + TCAM
 //!   candidate filtering ([`imars_fabric::cma::CmaArray::search_batch`]), batched DLRM
 //!   ranking, with every numeric result bit-identical cache-on versus cache-off;
@@ -27,7 +30,7 @@
 //! * [`cluster`] — multi-node shard routing: per-shard bounded queues + workers, a
 //!   router/gather pair with bit-identical outputs to the single-node path, and an
 //!   RSC-bus interconnect charge per cross-shard hop; with a
-//!   [`ResilienceConfig`](cluster::ResilienceConfig) the router survives shard death —
+//!   [`ResilienceConfig`] the router survives shard death —
 //!   deadline timeouts, bounded retries with backoff, hedged reads, and promotion of a
 //!   dead shard's replicated hot rows, with graceful zero-fill degradation beyond that;
 //! * [`transport`] — length-prefixed binary framing over Unix-domain sockets and the
@@ -44,6 +47,8 @@
 //!   sub-request child spans with retry/hedge/timeout/promotion events, seeded
 //!   head-based sampling into a bounded log, a slow-query log, and a
 //!   Chrome-trace-event JSON exporter (Perfetto-loadable).
+
+#![warn(missing_docs)]
 
 pub mod batcher;
 pub mod cache;
@@ -62,10 +67,12 @@ pub mod trace;
 pub mod transport;
 
 pub use batcher::{BatchPolicy, DynamicBatcher, FlushReason, FlushedBatch};
-pub use cache::{CacheStats, HotRowCache};
+pub use cache::{CachePlacement, CachePolicy, CacheStats, HotRowCache};
 pub use chaos::{ChaosPlan, FaultKind, FaultSpec};
 pub use clock::{Clock, ManualClock, WallClock};
-pub use cluster::{ClusterClient, ClusterConfig, ClusterHandle, ClusterOptions, ResilienceConfig};
+pub use cluster::{
+    ClusterClient, ClusterConfig, ClusterHandle, ClusterOptions, NodeCacheConfig, ResilienceConfig,
+};
 pub use engine::{
     ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse,
 };

@@ -21,6 +21,26 @@
 //! to exactly one serving shard (no loss, no duplication — replication affects *where*
 //! a row can be served, not how many sub-requests carry it), and per-shard sub-batches
 //! keep the scan order so the gather stage can merge them canonically.
+//!
+//! # Example: building a plan and splitting a batch
+//!
+//! ```
+//! use imars_serve::{Placement, ShardPlan};
+//!
+//! // An 8-row catalogue over 2 shards, range placement, no replication:
+//! // rows 0..=3 live on shard 0 and rows 4..=7 on shard 1.
+//! let plan = ShardPlan::build(8, 2, Placement::Range, 0, None).unwrap();
+//! assert_eq!(plan.primary_shard(3), 0);
+//! assert_eq!(plan.primary_shard(4), 1);
+//!
+//! // A batch touching both halves splits into one sub-request per shard; the
+//! // positions recorded per sub-batch let the gather stage merge canonically.
+//! let split = plan.split(&[1, 6, 2]);
+//! assert_eq!(split.fanout(), 2);
+//! assert_eq!(split.per_shard[0].rows, vec![1, 2]);
+//! assert_eq!(split.per_shard[1].rows, vec![6]);
+//! assert_eq!(split.home, 0); // shard 0 serves the plurality of the batch
+//! ```
 
 use serde::{Deserialize, Serialize};
 

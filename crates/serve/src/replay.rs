@@ -1,7 +1,7 @@
 //! Zipf traffic replay: turning the dataset layer's workload generators into a timed
 //! request trace.
 //!
-//! [`InferenceWorkload`](imars_datasets::InferenceWorkload) supplies the user/query
+//! [`InferenceWorkload`] supplies the user/query
 //! stream; this module attaches to each query a Zipf-skewed multi-hot item history (the
 //! rows the shard/cache layer will fetch — rank 0 is the hottest item), DLRM categorical
 //! features, and a Poisson arrival timestamp at a configured offered load. The trace is

@@ -153,6 +153,8 @@ pub struct ServeRuntime {
     start_us: f64,
     report_shards: usize,
     report_cache_capacity: usize,
+    report_cache_policy: String,
+    report_cache_placement: String,
     report_policy: crate::batcher::BatchPolicy,
     /// Shared cluster counters when the engine serves from a shard cluster; the
     /// shutdown report snapshots them once (they are shared across worker clones, so
@@ -216,6 +218,8 @@ impl ServeRuntime {
             workers,
             report_shards: engine.num_shards(),
             report_cache_capacity: engine.config().cache_capacity,
+            report_cache_policy: engine.config().cache_policy.label().to_string(),
+            report_cache_placement: engine.config().cache_placement.label().to_string(),
             report_policy: policy,
             report_cluster: engine.cluster_counters(),
             config,
@@ -374,6 +378,8 @@ impl ServeRuntime {
             policy: self.report_policy,
             shards: self.report_shards,
             cache_capacity: self.report_cache_capacity,
+            cache_policy: self.report_cache_policy.clone(),
+            cache_placement: self.report_cache_placement.clone(),
             telemetry,
             cache,
             runtime: Some(runtime),
@@ -679,6 +685,9 @@ mod tests {
         let config = ServeConfig {
             shards: 4,
             cache_capacity: 64,
+            cache_policy: crate::cache::CachePolicy::Clock,
+            cache_placement: crate::cache::CachePlacement::Router,
+            shard_batching: false,
             precision: ServePrecision::Fp32,
             policy,
             signature_bits: 64,
@@ -942,6 +951,9 @@ mod tests {
             let config = ServeConfig {
                 shards: 4,
                 cache_capacity: 64,
+                cache_policy: crate::cache::CachePolicy::Clock,
+                cache_placement: crate::cache::CachePlacement::Router,
+                shard_batching: false,
                 precision,
                 policy: BatchPolicy::new(16, 300.0).unwrap(),
                 signature_bits: 64,

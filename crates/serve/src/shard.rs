@@ -8,17 +8,20 @@
 //! independent CMA banks serving disjoint row ranges in parallel.
 //!
 //! Storage is generic over the row element: `f32` shards mirror an
-//! [`EmbeddingTable`](imars_recsys::embedding::EmbeddingTable), `i8` shards mirror the
+//! `EmbeddingTable`, `i8` shards mirror the
 //! packed int8 rows of
 //! [`PackedTable`](imars_fabric::cma::PackedTable) /
-//! [`QuantizedTable`](imars_recsys::quantization::QuantizedTable). Pooling uses the same
+//! `QuantizedTable`. Pooling uses the same
 //! accumulation semantics as those sources (plain f32 adds, lane-wise saturating int8
 //! adds), so shard-served results are bit-identical to the unsharded reference.
+
+use std::sync::{Arc, Mutex};
 
 use imars_recsys::batch::{par_runs, worker_count, PoolingBatch};
 use imars_recsys::embedding::EmbeddingTable;
 use imars_recsys::quantization::QuantizedTable;
 
+use crate::cache::{CachePolicy, CacheStats, HotRowCache};
 use crate::error::ServeError;
 
 /// A row element that can be pool-accumulated. `f32` uses plain addition (the
@@ -115,6 +118,14 @@ pub(crate) trait RowSource<T: Lane> {
     fn trace_drain(&mut self) -> Vec<crate::trace::FetchEvent> {
         Vec::new()
     }
+
+    /// Whether this source serves fetches through per-shard-node caches (the
+    /// [`CachePlacement::Shard`](crate::cache::CachePlacement::Shard) layout). When
+    /// true, [`RowSource::fetch_rows`] absorbs repeated rows at the node and the
+    /// router-side pooling path skips its own cache probes.
+    fn node_cached(&self) -> bool {
+        false
+    }
 }
 
 /// Accumulate request-order sums from a staged flat-lookup buffer: request `i` pools
@@ -143,8 +154,10 @@ pub(crate) fn pool_from_staging<T: Lane>(
     });
 }
 
-/// An embedding table split into contiguous row-range shards.
-#[derive(Debug, Clone, PartialEq)]
+/// An embedding table split into contiguous row-range shards, optionally fronted by
+/// one hot-row cache per shard (the in-process model of per-shard-node caching: each
+/// shard serves repeated fetches from its own cache instead of its row storage).
+#[derive(Debug, Clone)]
 pub struct ShardedTable<T> {
     dim: usize,
     rows: usize,
@@ -152,6 +165,12 @@ pub struct ShardedTable<T> {
     /// Row-major storage per shard; shard `s` holds global rows
     /// `s * rows_per_shard .. min((s + 1) * rows_per_shard, rows)`.
     shards: Vec<Vec<T>>,
+    /// One cache per shard when node caching is installed (shared across engine
+    /// clones, like a shard node's cache is shared across its workers). Locked per
+    /// row fetch; each shard's fetches are served by one thread per batch, so the
+    /// per-shard access sequence — and therefore every counter — is deterministic on
+    /// the simulated replay path.
+    node_caches: Option<Arc<Vec<Mutex<HotRowCache<T>>>>>,
 }
 
 impl<T: Lane> ShardedTable<T> {
@@ -199,7 +218,76 @@ impl<T: Lane> ShardedTable<T> {
             rows: all.len(),
             rows_per_shard,
             shards,
+            node_caches: None,
         })
+    }
+
+    /// Install one hot-row cache per shard (capacity `per_shard_capacity` rows each,
+    /// replaced under `policy`), turning this table into the in-process model of
+    /// per-shard-node caching: [`ShardedTable::fetch_into`] serves repeated rows from
+    /// the owning shard's cache instead of its storage. A zero capacity removes the
+    /// caches again. The caches are shared across clones of this table, the way a
+    /// shard node's cache is shared across its workers.
+    pub fn install_node_caches(&mut self, per_shard_capacity: usize, policy: CachePolicy) {
+        self.node_caches = (per_shard_capacity > 0).then(|| {
+            Arc::new(
+                (0..self.shards.len())
+                    .map(|_| {
+                        Mutex::new(HotRowCache::with_policy(
+                            per_shard_capacity,
+                            self.dim,
+                            policy,
+                        ))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        });
+    }
+
+    /// Whether per-shard-node caches are installed.
+    pub fn node_cached(&self) -> bool {
+        self.node_caches.is_some()
+    }
+
+    /// Counters of one shard's node cache (`None` without node caches or for an
+    /// out-of-range shard).
+    pub fn node_cache_stats_of(&self, shard: usize) -> Option<CacheStats> {
+        let caches = self.node_caches.as_ref()?;
+        let cache = caches.get(shard)?;
+        Some(cache.lock().expect("node cache lock").stats())
+    }
+
+    /// Aggregated counters of the per-shard-node caches (all-zero when none are
+    /// installed).
+    pub fn node_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        if let Some(caches) = &self.node_caches {
+            for cache in caches.iter() {
+                total.merge(&cache.lock().expect("node cache lock").stats());
+            }
+        }
+        total
+    }
+
+    /// Zero the node caches' counters (resident rows are kept).
+    pub fn reset_node_cache_stats(&mut self) {
+        if let Some(caches) = &self.node_caches {
+            for cache in caches.iter() {
+                cache.lock().expect("node cache lock").reset_stats();
+            }
+        }
+    }
+
+    /// Serve one row fetch through a shard's node cache: a hit copies the cached row,
+    /// a miss reads storage and admits the row per the cache's policy.
+    fn fetch_via_cache(&self, cache: &Mutex<HotRowCache<T>>, row: u32, chunk: &mut [T]) {
+        let mut cache = cache.lock().expect("node cache lock");
+        if let Some(data) = cache.lookup(row) {
+            chunk.copy_from_slice(data);
+        } else {
+            chunk.copy_from_slice(self.row(row));
+            cache.insert(row, chunk);
+        }
     }
 
     /// Total number of rows across all shards.
@@ -263,8 +351,19 @@ impl<T: Lane> ShardedTable<T> {
     pub fn fetch_into(&self, work: Vec<(u32, &mut [T])>) {
         debug_assert!(work.iter().all(|(_, chunk)| chunk.len() == self.dim));
         if worker_count(work.len()) <= 1 || self.shards.len() <= 1 {
-            for (row, chunk) in work {
-                chunk.copy_from_slice(self.row(row));
+            // The serial path visits rows in flat order, so each shard's cache sees
+            // the same subsequence it would from its dedicated worker below.
+            match &self.node_caches {
+                Some(caches) => {
+                    for (row, chunk) in work {
+                        self.fetch_via_cache(&caches[self.shard_of(row)], row, chunk);
+                    }
+                }
+                None => {
+                    for (row, chunk) in work {
+                        chunk.copy_from_slice(self.row(row));
+                    }
+                }
             }
             return;
         }
@@ -274,13 +373,20 @@ impl<T: Lane> ShardedTable<T> {
             per_shard[self.shard_of(row)].push((row, chunk));
         }
         std::thread::scope(|scope| {
-            for jobs in per_shard {
+            for (shard, jobs) in per_shard.into_iter().enumerate() {
                 if jobs.is_empty() {
                     continue;
                 }
-                scope.spawn(move || {
-                    for (row, chunk) in jobs {
-                        chunk.copy_from_slice(self.row(row));
+                scope.spawn(move || match &self.node_caches {
+                    Some(caches) => {
+                        for (row, chunk) in jobs {
+                            self.fetch_via_cache(&caches[shard], row, chunk);
+                        }
+                    }
+                    None => {
+                        for (row, chunk) in jobs {
+                            chunk.copy_from_slice(self.row(row));
+                        }
                     }
                 });
             }
@@ -341,6 +447,10 @@ impl<T: Lane> RowSource<T> for ShardedTable<T> {
 
     fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
         self.pool_batch(batch, out)
+    }
+
+    fn node_cached(&self) -> bool {
+        ShardedTable::node_cached(self)
     }
 }
 

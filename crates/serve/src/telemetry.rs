@@ -215,7 +215,7 @@ impl StageBreakdown {
     }
 
     /// The stage with the largest p99 and its share of the end-to-end p99 — the
-    /// headline "p99 is NN% <stage>" attribution. `None` while nothing was sampled or
+    /// headline "p99 is NN% \<stage\>" attribution. `None` while nothing was sampled or
     /// the end-to-end p99 is zero (frozen-clock runs).
     pub fn tail_attribution(&self) -> Option<(&'static str, f64)> {
         let total_p99 = self.total.quantile_us(0.99);
@@ -317,6 +317,19 @@ impl ServeTelemetry {
             0.0
         } else {
             self.total_cost.energy_pj / self.queries as f64
+        }
+    }
+
+    /// Modeled queries per second: queries over the accumulated modeled GPCiM +
+    /// interconnect latency. Unlike [`ServeTelemetry::served_qps`] (which folds in
+    /// *measured* service time), this is a pure function of the replayed trace and the
+    /// cost model — byte-deterministic across runs, which is what the `cache_scaling`
+    /// study's qps-vs-capacity curves require.
+    pub fn modeled_qps(&self) -> f64 {
+        if self.queries == 0 || self.total_cost.latency_ns <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.total_cost.latency_ns * 1e-9)
         }
     }
 
@@ -432,6 +445,11 @@ pub struct ClusterStats {
     pub shard_rejections: Vec<u64>,
     /// Deepest observed sub-request queue depth per shard.
     pub shard_queue_depth_max: Vec<u64>,
+    /// Node-cache hits per shard (all zero when per-shard-node caching is off).
+    pub shard_cache_hits: Vec<u64>,
+    /// Node-cache misses per shard — rows the node actually read from its resident
+    /// storage (the CMA RAM reads the modeled cost charges).
+    pub shard_cache_misses: Vec<u64>,
     /// Sub-request attempts that blew their deadline (resilient path only).
     pub timeouts: u64,
     /// Re-dispatches of timed-out or failed sub-requests.
@@ -487,6 +505,11 @@ impl ClusterStats {
     pub fn any_faults_handled(&self) -> bool {
         self.timeouts + self.retries + self.hedges + self.promotions + self.missing_rows > 0
     }
+
+    /// Whether any shard node served lookups through its own cache.
+    pub fn node_cached(&self) -> bool {
+        self.shard_cache_hits.iter().sum::<u64>() + self.shard_cache_misses.iter().sum::<u64>() > 0
+    }
 }
 
 /// The summary of one replay run, ready for printing and JSON serialization.
@@ -500,6 +523,10 @@ pub struct ServeReport {
     pub shards: usize,
     /// Hot-row cache capacity in rows (0 = disabled).
     pub cache_capacity: usize,
+    /// Replacement-policy label (`"clock"`, `"lfu"` or `"tinylfu"`).
+    pub cache_policy: String,
+    /// Cache-placement label (`"router"` or `"shard"`).
+    pub cache_placement: String,
     /// Serving counters.
     pub telemetry: ServeTelemetry,
     /// Cache counters at the end of the run.
@@ -544,12 +571,15 @@ impl ServeReport {
         );
         let _ = writeln!(
             s,
-            "  cache: capacity {} rows, hit rate {:.1}% ({} hits / {} lookups, {} evictions)",
+            "  cache: capacity {} rows ({} at {}), hit rate {:.1}% ({} hits / {} lookups, {} evictions, {} rejected)",
             self.cache_capacity,
+            self.cache_policy,
+            self.cache_placement,
             self.cache.hit_rate() * 100.0,
             self.cache.hits,
             self.cache.lookups(),
             self.cache.evictions,
+            self.cache.rejections,
         );
         let _ = writeln!(
             s,
@@ -576,6 +606,17 @@ impl ServeReport {
                 cluster.imbalance(),
                 cluster.total_rejections(),
             );
+            if cluster.node_cached() {
+                let hits: u64 = cluster.shard_cache_hits.iter().sum();
+                let misses: u64 = cluster.shard_cache_misses.iter().sum();
+                let _ = writeln!(
+                    s,
+                    "  node caches: {:.1}% hit rate at the shards ({} hits / {} lookups)",
+                    100.0 * hits as f64 / (hits + misses).max(1) as f64,
+                    hits,
+                    hits + misses,
+                );
+            }
             if cluster.any_faults_handled() {
                 let _ = writeln!(
                     s,
@@ -680,14 +721,17 @@ impl ServeReport {
         );
         let _ = writeln!(
             json,
-            "  \"cache\": {{\"capacity\": {}, \"hits\": {}, \"coalesced\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"insertions\": {}, \"evictions\": {}}},",
+            "  \"cache\": {{\"capacity\": {}, \"policy\": \"{}\", \"placement\": \"{}\", \"hits\": {}, \"coalesced\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"insertions\": {}, \"evictions\": {}, \"rejections\": {}}},",
             self.cache_capacity,
+            escape(&self.cache_policy),
+            escape(&self.cache_placement),
             self.cache.hits,
             self.cache.coalesced,
             self.cache.misses,
             self.cache.hit_rate(),
             self.cache.insertions,
             self.cache.evictions,
+            self.cache.rejections,
         );
         let _ = writeln!(
             json,
@@ -788,6 +832,16 @@ impl ServeReport {
                 json,
                 "    \"shard_queue_depth_max\": {},",
                 list(&cluster.shard_queue_depth_max)
+            );
+            let _ = writeln!(
+                json,
+                "    \"shard_cache_hits\": {},",
+                list(&cluster.shard_cache_hits)
+            );
+            let _ = writeln!(
+                json,
+                "    \"shard_cache_misses\": {},",
+                list(&cluster.shard_cache_misses)
             );
             let _ = writeln!(
                 json,
@@ -996,6 +1050,8 @@ mod tests {
             policy: BatchPolicy::new(16, 200.0).unwrap(),
             shards: 4,
             cache_capacity: 64,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry,
             cache: CacheStats {
                 hits: 70,
@@ -1003,6 +1059,7 @@ mod tests {
                 misses: 25,
                 insertions: 25,
                 evictions: 3,
+                rejections: 0,
             },
             runtime: None,
             cluster: None,
@@ -1120,6 +1177,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 2,
             cache_capacity: 32,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry: ServeTelemetry::default(),
             cache: CacheStats::default(),
             runtime: Some(RuntimeStats {
@@ -1195,6 +1254,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 4,
             cache_capacity: 32,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry: ServeTelemetry::default(),
             cache: CacheStats::default(),
             runtime: None,
@@ -1255,6 +1316,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 4,
             cache_capacity: 0,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry,
             cache: CacheStats::default(),
             runtime: None,
@@ -1303,6 +1366,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 1,
             cache_capacity: 0,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry: ServeTelemetry::default(),
             cache: CacheStats::default(),
             runtime: None,
@@ -1340,6 +1405,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 1,
             cache_capacity: 0,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry,
             cache: CacheStats::default(),
             runtime: None,
@@ -1425,6 +1492,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 1,
             cache_capacity: 0,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry,
             cache: CacheStats::default(),
             runtime: None,
@@ -1452,6 +1521,8 @@ mod tests {
             policy: BatchPolicy::new(8, 100.0).unwrap(),
             shards: 1,
             cache_capacity: 0,
+            cache_policy: "clock".to_string(),
+            cache_placement: "router".to_string(),
             telemetry: ServeTelemetry::default(),
             cache: CacheStats::default(),
             runtime: None,

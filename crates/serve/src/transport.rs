@@ -23,6 +23,8 @@
 //! | 4 | `ERROR` | UTF-8 description; the connection is considered poisoned |
 //! | 5 | `CHAOS` | `fault u8, fire_after u64, param u64` (fault-injection control) |
 //! | 6 | `SHUTDOWN` | empty; the node stops accepting and exits its accept loop |
+//! | 7 | `CACHE` | `capacity u64, policy u8`; arm the node's hot-row cache |
+//! | 8 | `STATS` | `hits, misses, insertions, evictions, rejections` (`u64` each): one fetch's node-cache counter deltas, sent after its `ROWS` frame |
 //!
 //! The shard node ([`run_shard_node`]) is type-agnostic: it stores rows as opaque byte
 //! blobs keyed by global row id (`elem_bytes` comes from the `LOAD` frame), so one node
@@ -30,7 +32,7 @@
 //! storage — the threaded runtime's per-worker router clones each dial their own
 //! connection.
 //!
-//! The client side ([`SocketLink`]) gives the router queue-identical semantics:
+//! The client side (`SocketLink`) gives the router queue-identical semantics:
 //! a **bounded write-ahead queue** feeds a writer thread, so backpressure surfaces as
 //! [`PushError::Full`] exactly like a shard queue at capacity — never as unbounded
 //! buffering — and a reader thread decodes `ROWS` frames into the router's reply queue.
@@ -47,7 +49,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::cluster::SubResponse;
+use crate::cache::{CachePolicy, CacheStats, HotRowCache};
+use crate::cluster::{ClusterCounters, SubResponse};
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::Lane;
 
@@ -63,6 +66,10 @@ pub const KIND_ERROR: u8 = 4;
 pub const KIND_CHAOS: u8 = 5;
 /// `SHUTDOWN`: stop the node.
 pub const KIND_SHUTDOWN: u8 = 6;
+/// `CACHE`: arm the node's hot-row cache (capacity + policy).
+pub const KIND_CACHE: u8 = 7;
+/// `STATS`: one fetch's node-cache counter deltas (follows its `ROWS` frame).
+pub const KIND_STATS: u8 = 8;
 
 /// Upper bound on one frame's length field — a corrupt prefix must not allocate
 /// gigabytes. 256 MiB comfortably holds the largest catalogue partition the
@@ -187,6 +194,59 @@ pub(crate) fn encode_chaos(shard: u32, fault: u8, fire_after: u64, param: u64) -
     .encode()
 }
 
+/// Encode a `CACHE` frame arming a hot-row cache of `capacity` rows under `policy` on
+/// the node.
+pub(crate) fn encode_cache_config(shard: u32, capacity: u64, policy: CachePolicy) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.extend_from_slice(&capacity.to_le_bytes());
+    payload.push(policy.wire_code());
+    Frame {
+        kind: KIND_CACHE,
+        shard,
+        tag: 0,
+        payload,
+    }
+    .encode()
+}
+
+/// Encode a `STATS` frame reporting one fetch's node-cache counter deltas.
+fn encode_stats(shard: u32, tag: u64, delta: &CacheStats) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(40);
+    for value in [
+        delta.hits,
+        delta.misses,
+        delta.insertions,
+        delta.evictions,
+        delta.rejections,
+    ] {
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    Frame {
+        kind: KIND_STATS,
+        shard,
+        tag,
+        payload,
+    }
+    .encode()
+}
+
+/// Decode a `STATS` payload back into counter deltas (`None` when malformed).
+fn decode_stats(payload: &[u8]) -> Option<CacheStats> {
+    if payload.len() != 40 {
+        return None;
+    }
+    let word =
+        |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    Some(CacheStats {
+        hits: word(0),
+        coalesced: 0,
+        misses: word(1),
+        insertions: word(2),
+        evictions: word(3),
+        rejections: word(4),
+    })
+}
+
 /// Encode a `SHUTDOWN` frame.
 pub(crate) fn encode_shutdown(shard: u32) -> Vec<u8> {
     Frame {
@@ -229,6 +289,37 @@ impl NodeStorage {
     }
 }
 
+/// A node's hot-row cache arming, set by a `CACHE` frame. The cache itself is built
+/// lazily on the first fetch after both the config and the storage (which fixes the
+/// row width) are known, and is shared by every connection — the node caches where
+/// its rows live, regardless of how many router clones dial in.
+#[derive(Debug, Default)]
+struct NodeCache {
+    capacity: usize,
+    policy: CachePolicy,
+    /// The byte-blob cache (`dim` = row bytes): the node is type-agnostic, so it
+    /// caches wire bytes exactly as stored.
+    cache: Option<HotRowCache<u8>>,
+}
+
+impl NodeCache {
+    /// The armed cache, created on first use once `row_bytes` is known. `None` when
+    /// node caching is off (or storage is not loaded yet).
+    fn armed(&mut self, row_bytes: usize) -> Option<&mut HotRowCache<u8>> {
+        if self.capacity == 0 || row_bytes == 0 {
+            return None;
+        }
+        if self.cache.is_none() {
+            self.cache = Some(HotRowCache::with_policy(
+                self.capacity,
+                row_bytes,
+                self.policy,
+            ));
+        }
+        self.cache.as_mut()
+    }
+}
+
 /// A node's armed fault, set by a `CHAOS` frame (zero kind = none).
 #[derive(Debug, Default)]
 struct NodeChaos {
@@ -254,17 +345,21 @@ pub fn run_shard_node(path: &Path) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let storage = Arc::new(Mutex::new(NodeStorage::default()));
+    let cache = Arc::new(Mutex::new(NodeCache::default()));
     let chaos = Arc::new(NodeChaos::default());
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let storage = storage.clone();
+                let cache = cache.clone();
                 let chaos = chaos.clone();
                 let stop = stop.clone();
                 // Connection threads are not joined: each exits on its own EOF (the
                 // client hangs up) or when `stop` trips; the accept loop only has to
                 // stop handing out new ones.
-                std::thread::spawn(move || serve_connection(stream, &storage, &chaos, &stop));
+                std::thread::spawn(move || {
+                    serve_connection(stream, &storage, &cache, &chaos, &stop)
+                });
             }
             Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -279,6 +374,7 @@ pub fn run_shard_node(path: &Path) -> io::Result<()> {
 fn serve_connection(
     mut stream: UnixStream,
     storage: &Mutex<NodeStorage>,
+    cache: &Mutex<NodeCache>,
     chaos: &NodeChaos,
     stop: &AtomicBool,
 ) {
@@ -322,37 +418,74 @@ fn serve_connection(
                     4 => continue, // drop the reply frame on the floor
                     _ => {}
                 }
-                let response = {
+                let (response, stats_delta) = {
                     let storage = storage.lock().expect("node storage lock");
+                    let mut node_cache = cache.lock().expect("node cache lock");
+                    let mut cache = node_cache.armed(storage.row_bytes);
+                    let before = cache.as_deref().map(|cache| cache.stats());
                     let mut payload =
                         Vec::with_capacity(frame.payload.len() / 4 * storage.row_bytes);
                     let mut missing = false;
                     for id in frame.payload.chunks_exact(4) {
                         let row = u32::from_le_bytes(id.try_into().expect("4 bytes"));
+                        let cached = cache.as_deref_mut().and_then(|cache| {
+                            cache
+                                .lookup(row)
+                                .map(|bytes| payload.extend_from_slice(bytes))
+                        });
+                        if cached.is_some() {
+                            continue;
+                        }
                         match storage.rows.get(&row) {
-                            Some(bytes) => payload.extend_from_slice(bytes),
+                            Some(bytes) => {
+                                payload.extend_from_slice(bytes);
+                                if let Some(cache) = cache.as_deref_mut() {
+                                    cache.insert(row, bytes);
+                                }
+                            }
                             None => {
                                 missing = true;
                                 break;
                             }
                         }
                     }
+                    let delta = before
+                        .zip(cache.as_deref())
+                        .map(|(before, cache)| cache.stats().delta_since(&before));
                     if missing {
-                        Frame {
-                            kind: KIND_ERROR,
-                            shard: frame.shard,
-                            tag: frame.tag,
-                            payload: b"row not resident".to_vec(),
-                        }
+                        (
+                            Frame {
+                                kind: KIND_ERROR,
+                                shard: frame.shard,
+                                tag: frame.tag,
+                                payload: b"row not resident".to_vec(),
+                            },
+                            delta,
+                        )
                     } else {
-                        Frame {
-                            kind: KIND_ROWS,
-                            shard: frame.shard,
-                            tag: frame.tag,
-                            payload,
-                        }
+                        (
+                            Frame {
+                                kind: KIND_ROWS,
+                                shard: frame.shard,
+                                tag: frame.tag,
+                                payload,
+                            },
+                            delta,
+                        )
                     }
                 };
+                // STATS travels *before* the data frame: the link's reader folds the
+                // delta into the shared counters and only then delivers the rows, so
+                // by the time the router gathers a reply the node-cache counters
+                // already cover it (same happens-before the in-process workers give).
+                if let Some(delta) = stats_delta {
+                    if stream
+                        .write_all(&encode_stats(frame.shard, frame.tag, &delta))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
                 if stream.write_all(&response.encode()).is_err() {
                     return;
                 }
@@ -368,6 +501,26 @@ fn serve_connection(
                         Ordering::SeqCst,
                     );
                     chaos.fault.store(frame.payload[0], Ordering::SeqCst);
+                }
+            }
+            KIND_CACHE => {
+                if frame.payload.len() == 9 {
+                    let capacity =
+                        u64::from_le_bytes(frame.payload[0..8].try_into().expect("8 bytes"))
+                            as usize;
+                    let Some(policy) = CachePolicy::from_wire(frame.payload[8]) else {
+                        return; // unknown policy: protocol violation, drop the link
+                    };
+                    let mut state = cache.lock().expect("node cache lock");
+                    // Re-arming with the same config (a router clone's re-dial) keeps
+                    // the warm cache; a different config rebuilds it cold.
+                    if state.capacity != capacity || state.policy != policy {
+                        *state = NodeCache {
+                            capacity,
+                            policy,
+                            cache: None,
+                        };
+                    }
                 }
             }
             KIND_SHUTDOWN => {
@@ -411,9 +564,13 @@ pub(crate) struct SocketLink<T> {
     /// Encoded frames awaiting the writer thread — the bounded write-ahead.
     write: Arc<BoundedQueue<Vec<u8>>>,
     closed: Arc<AtomicBool>,
-    /// The encoded `LOAD` frame, kept so a router clone can re-dial and re-install
-    /// storage on its own connection (loads are idempotent on the node).
+    /// The encoded handshake bytes — a `LOAD` frame, optionally followed by a `CACHE`
+    /// frame — kept so a router clone can re-dial and re-install storage (and re-arm
+    /// the node cache) on its own connection; both are idempotent on the node.
     load_frame: Arc<Vec<u8>>,
+    /// Where the reader thread folds `STATS` frames (node-cache counter deltas);
+    /// `None` drops them, for links dialed outside a cluster.
+    counters: Option<Arc<ClusterCounters>>,
     stream: UnixStream,
     writer: Option<JoinHandle<()>>,
     reader: Option<JoinHandle<()>>,
@@ -435,6 +592,7 @@ impl<T: Lane> SocketLink<T> {
         load_frame: Arc<Vec<u8>>,
         write_capacity: usize,
         reply: Arc<BoundedQueue<SubResponse<T>>>,
+        counters: Option<Arc<ClusterCounters>>,
     ) -> io::Result<Self> {
         let mut stream = UnixStream::connect(path)?;
         stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
@@ -463,6 +621,7 @@ impl<T: Lane> SocketLink<T> {
             let mut stream = stream.try_clone()?;
             let write = write.clone();
             let closed = closed.clone();
+            let counters = counters.clone();
             std::thread::spawn(move || loop {
                 let frame = match Frame::read_from(&mut stream) {
                     Ok(frame) => frame,
@@ -489,6 +648,22 @@ impl<T: Lane> SocketLink<T> {
                             return; // the router is gone; nothing left to deliver to
                         }
                     }
+                    KIND_STATS => {
+                        // Node-cache counter deltas. A malformed payload is a protocol
+                        // violation like any other unexpected frame.
+                        match decode_stats(&frame.payload) {
+                            Some(delta) => {
+                                if let Some(counters) = &counters {
+                                    counters.record_node_cache(frame.shard as usize, &delta);
+                                }
+                            }
+                            None => {
+                                closed.store(true, Ordering::SeqCst);
+                                write.close();
+                                return;
+                            }
+                        }
+                    }
                     _ => {
                         // ERROR (or protocol violation): poison the link.
                         closed.store(true, Ordering::SeqCst);
@@ -505,6 +680,7 @@ impl<T: Lane> SocketLink<T> {
             write,
             closed,
             load_frame,
+            counters,
             stream,
             writer: Some(writer),
             reader: Some(reader),
@@ -526,6 +702,7 @@ impl<T: Lane> SocketLink<T> {
             self.load_frame.clone(),
             self.write.capacity(),
             reply,
+            self.counters.clone(),
         )
     }
 
@@ -616,7 +793,15 @@ mod tests {
     ) -> SocketLink<T> {
         let started = std::time::Instant::now();
         loop {
-            match SocketLink::connect(shard, path, dim, load_frame.clone(), 16, reply.clone()) {
+            match SocketLink::connect(
+                shard,
+                path,
+                dim,
+                load_frame.clone(),
+                16,
+                reply.clone(),
+                None,
+            ) {
                 Ok(link) => return link,
                 Err(error) => {
                     assert!(

@@ -33,6 +33,14 @@
 //! promoted onto surviving shards, the rest degrade to zero-filled lookups — and the
 //! degraded-mode accounting lands in `serve_replay_chaos.json`.
 //!
+//! With `--cache-policy {clock,lfu,tinylfu}`, `--cache-capacity <rows>` and
+//! `--cache-placement {router,shard}` the hot-row cache hierarchy is reconfigured:
+//! the replacement/admission policy, the row budget, and whether the cache lives at
+//! the router (the classic layout) or is split across the shard nodes. With
+//! `--shard-batching` each batch's requests are grouped by home shard before pooling.
+//! All four knobs move only counters and modeled cost — every configuration is
+//! asserted bit-identical to the cache-off control.
+//!
 //! With `--trace-out <path>` every run is traced (seeded head-based sampling, one
 //! query in 8) and a combined Chrome-trace-event JSON — one trace "process" per run,
 //! loadable in Perfetto or `chrome://tracing` — is written to `<path>`: the simulated
@@ -49,9 +57,10 @@ use imars::recsys::dlrm::{Dlrm, DlrmConfig};
 use imars::recsys::EmbeddingTable;
 use imars::serve::transport::socket_path;
 use imars::serve::{
-    chrome_export, replay_threaded, run_shard_node, ChaosPlan, ClusterConfig, ClusterOptions,
-    FaultSpec, Placement, ReplayConfig, ReplayWorkload, ResilienceConfig, RuntimeConfig,
-    ServeConfig, ServeEngine, ThreadedReplayConfig, TraceConfig, TraceLog,
+    chrome_export, replay_threaded, run_shard_node, CachePlacement, CachePolicy, ChaosPlan,
+    ClusterConfig, ClusterOptions, FaultSpec, Placement, ReplayConfig, ReplayWorkload,
+    ResilienceConfig, RuntimeConfig, ServeConfig, ServeEngine, ThreadedReplayConfig, TraceConfig,
+    TraceLog,
 };
 
 const NUM_ITEMS: usize = 8192;
@@ -71,8 +80,7 @@ fn model_config() -> DlrmConfig {
     }
 }
 
-fn engine(cache_capacity: usize, items: &EmbeddingTable) -> ServeEngine {
-    let config = ServeConfig::paper_serving(cache_capacity).expect("valid config");
+fn engine(config: ServeConfig, items: &EmbeddingTable) -> ServeEngine {
     ServeEngine::new(
         Dlrm::new(model_config()).expect("valid config"),
         items,
@@ -207,6 +215,46 @@ fn main() {
             }
         },
     };
+    let cache_policy = match args.iter().position(|arg| arg == "--cache-policy") {
+        None => CachePolicy::Clock,
+        Some(i) => match args.get(i + 1).and_then(|text| CachePolicy::parse(text)) {
+            Some(policy) => policy,
+            None => {
+                eprintln!("serve_replay: --cache-policy must be 'clock', 'lfu' or 'tinylfu'");
+                std::process::exit(2);
+            }
+        },
+    };
+    let cache_placement = match args.iter().position(|arg| arg == "--cache-placement") {
+        None => CachePlacement::Router,
+        Some(i) => match args.get(i + 1).and_then(|text| CachePlacement::parse(text)) {
+            Some(placement) => placement,
+            None => {
+                eprintln!("serve_replay: --cache-placement must be 'router' or 'shard'");
+                std::process::exit(2);
+            }
+        },
+    };
+    let cache_capacity = match args.iter().position(|arg| arg == "--cache-capacity") {
+        None => CACHE_ROWS,
+        Some(i) => match args.get(i + 1).and_then(|value| value.parse().ok()) {
+            Some(rows) => rows,
+            None => {
+                eprintln!("serve_replay: --cache-capacity needs a row count");
+                std::process::exit(2);
+            }
+        },
+    };
+    let shard_batching = args.iter().any(|arg| arg == "--shard-batching");
+    // The one cache layout every run in this process shares; capacity varies per run
+    // (the cache-off control pins bit-identity at capacity 0).
+    let serve_config = |capacity: usize| {
+        let mut config = ServeConfig::paper_serving(capacity).expect("valid config");
+        config.cache_policy = cache_policy;
+        config.cache_placement = cache_placement;
+        config.shard_batching = shard_batching;
+        config
+    };
     let queries = if smoke { 1_000 } else { 10_000 };
 
     let items = EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 77).expect("valid table");
@@ -218,7 +266,7 @@ fn main() {
     );
 
     // 1. The headline run: sharded + cached serving.
-    let mut cached_engine = engine(CACHE_ROWS, &items);
+    let mut cached_engine = engine(serve_config(cache_capacity), &items);
     if tracing {
         cached_engine.enable_tracing(trace_config);
     }
@@ -233,7 +281,7 @@ fn main() {
     }
 
     // 2. Same trace, cache disabled: identical outputs, higher modeled energy.
-    let mut uncached_engine = engine(0, &items);
+    let mut uncached_engine = engine(serve_config(0), &items);
     let uncached = uncached_engine.replay(&workload).expect("replay succeeds");
     assert_eq!(cached.responses.len(), uncached.responses.len());
     for (a, b) in cached.responses.iter().zip(uncached.responses.iter()) {
@@ -276,7 +324,7 @@ fn main() {
     //    it on real threads, and the ranking outputs must still match bit for bit.
     if threads > 0 {
         println!("\n== Threaded runtime: {threads} workers, real-time Poisson pacing ==");
-        let mut runtime_engine = engine(CACHE_ROWS, &items);
+        let mut runtime_engine = engine(serve_config(cache_capacity), &items);
         if tracing {
             runtime_engine.enable_tracing(trace_config);
         }
@@ -351,14 +399,14 @@ fn main() {
             resilience: None,
         };
         // Single-node control on the same permuted trace: the equivalence anchor.
-        let mut control = engine(CACHE_ROWS, &items);
+        let mut control = engine(serve_config(cache_capacity), &items);
         let expected = control
             .replay(&sharded_workload)
             .expect("control replay succeeds");
         let (mut clustered, handle) = ServeEngine::new_clustered(
             Dlrm::new(model_config()).expect("valid config"),
             &items,
-            ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+            serve_config(cache_capacity),
             &cluster_config,
             Some(&histogram),
         )
@@ -467,7 +515,7 @@ fn main() {
             let (mut uds_engine, uds_handle) = ServeEngine::new_clustered_sockets(
                 Dlrm::new(model_config()).expect("valid config"),
                 &items,
-                ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+                serve_config(cache_capacity),
                 &cluster_config,
                 Some(&histogram),
                 &sockets,
@@ -542,12 +590,13 @@ fn main() {
             let (mut chaos_engine, chaos_handle) = ServeEngine::new_clustered_with(
                 Dlrm::new(model_config()).expect("valid config"),
                 &items,
-                ServeConfig::paper_serving(CACHE_ROWS).expect("valid config"),
+                serve_config(cache_capacity),
                 &chaos_cluster,
                 Some(&histogram),
                 ClusterOptions {
                     chaos: Some(plan.clone()),
                     clock: None,
+                    node_cache: None,
                 },
             )
             .expect("valid chaos engine");
