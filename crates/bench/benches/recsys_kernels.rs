@@ -13,6 +13,11 @@
 //! Geometry follows the acceptance target: batch ≥ 64 requests, pooling factor ≥ 16,
 //! dim = 32 (the paper's embedding width). The derived `batched_speedup_vs_naive`
 //! metric lands in the JSON summary.
+//!
+//! The `simd/*` rows pit the runtime-dispatched pooling kernels against their scalar
+//! references (f32 pooling accumulate, blocked f32 dot, packed int8 SWAR accumulate);
+//! the derived `simd_*_speedup` metrics quantify what the SSE2/AVX2 paths buy on the
+//! host CPU.
 
 use imars_bench::{black_box, Harness};
 use imars_fabric::cma::PackedTable;
@@ -88,6 +93,75 @@ fn main() {
         }
     });
 
+    // SIMD vs scalar, kernel by kernel. The dispatched side resolves its path once per
+    // process (scalar when IMARS_FORCE_SCALAR is set, so on the reference container
+    // these rows are only meaningful without it); the scalar side calls the always-on
+    // reference implementation directly.
+    let mut pooled = vec![0.0f32; DIM];
+    let pool_simd_ns = harness.bench("simd/pool_f32_dispatch", || {
+        for request in &requests_usize {
+            pooled.fill(0.0);
+            for &index in request {
+                imars_recsys::simd::add_assign_f32(
+                    &mut pooled,
+                    table.lookup(index).expect("in range"),
+                );
+            }
+            black_box(&pooled);
+        }
+    });
+    let pool_scalar_ns = harness.bench("simd/pool_f32_scalar", || {
+        for request in &requests_usize {
+            pooled.fill(0.0);
+            for &index in request {
+                imars_recsys::simd::add_assign_f32_scalar(
+                    &mut pooled,
+                    table.lookup(index).expect("in range"),
+                );
+            }
+            black_box(&pooled);
+        }
+    });
+
+    // Blocked dot at the MLP's widest layer; 64 reps per iteration so a sample is
+    // comfortably above timer resolution.
+    const DOT_LEN: usize = 256;
+    let w: Vec<f32> = (0..DOT_LEN).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let x: Vec<f32> = (0..DOT_LEN).map(|i| ((i as f32) * 0.61).cos()).collect();
+    let dot_simd_ns = harness.bench("simd/dot_f32_dispatch", || {
+        for _ in 0..64 {
+            black_box(imars_recsys::simd::dot_f32(black_box(&w), black_box(&x)));
+        }
+    });
+    let dot_scalar_ns = harness.bench("simd/dot_f32_scalar", || {
+        for _ in 0..64 {
+            black_box(imars_recsys::simd::dot_f32_scalar(
+                black_box(&w),
+                black_box(&x),
+            ));
+        }
+    });
+
+    // Packed int8 SWAR accumulate over a 4096-lane row (saturated lanes cost the same
+    // as live ones, so no reset between reps).
+    const SWAR_WORDS: usize = 512;
+    let mut acc_words = vec![0u64; SWAR_WORDS];
+    let row_words: Vec<u64> = (0..SWAR_WORDS as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let swar_simd_ns = harness.bench("simd/int8_swar_dispatch", || {
+        for _ in 0..16 {
+            imars_fabric::simd::saturating_accumulate_packed(&mut acc_words, &row_words);
+        }
+        black_box(&acc_words);
+    });
+    let swar_scalar_ns = harness.bench("simd/int8_swar_scalar", || {
+        for _ in 0..16 {
+            imars_fabric::simd::saturating_accumulate_packed_scalar(&mut acc_words, &row_words);
+        }
+        black_box(&acc_words);
+    });
+
     // Derived metrics: per-iteration time covers the whole batch, so ratios compare
     // like with like. The acceptance target is batched >= 3x naive. On shared/virtual
     // hosts the medians absorb noise spikes, so the min-based ratio (fastest sample of
@@ -102,6 +176,21 @@ fn main() {
         "batched_lookup_throughput",
         (BATCH * POOLING_FACTOR) as f64 / batched_ns * 1e3,
         "Mlookups/s",
+    );
+    harness.metric(
+        "simd_pool_f32_speedup",
+        pool_scalar_ns / pool_simd_ns.max(f64::MIN_POSITIVE),
+        "x",
+    );
+    harness.metric(
+        "simd_dot_f32_speedup",
+        dot_scalar_ns / dot_simd_ns.max(f64::MIN_POSITIVE),
+        "x",
+    );
+    harness.metric(
+        "simd_int8_swar_speedup",
+        swar_scalar_ns / swar_simd_ns.max(f64::MIN_POSITIVE),
+        "x",
     );
     if !harness.is_smoke() && speedup.max(speedup_min) < 3.0 {
         eprintln!("warning: batched pooling speedup {speedup:.2}x (min-based {speedup_min:.2}x) is below the 3x target");

@@ -29,6 +29,7 @@ pub mod end_to_end;
 pub mod error;
 pub mod et_lookup;
 pub mod et_mapping;
+pub mod large_scale;
 pub mod nns_eval;
 pub mod pipeline;
 pub mod system;

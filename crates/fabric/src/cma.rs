@@ -73,11 +73,13 @@ pub fn saturating_add_packed_i8(a: u64, b: u64) -> u64 {
 
 /// Accumulate one packed row into a packed accumulator with lane-wise saturating int8
 /// adds. Rows shorter than the accumulator contribute zero to the remaining words.
+///
+/// Dispatches to the widest SIMD kernel the host supports (see [`crate::simd`]); every
+/// path is bit-identical to [`crate::simd::saturating_accumulate_packed_scalar`], the
+/// always-on SWAR reference built from [`saturating_add_packed_i8`].
 #[inline]
 pub fn saturating_accumulate_packed(acc: &mut [u64], row: &[u64]) {
-    for (a, &r) in acc.iter_mut().zip(row.iter()) {
-        *a = saturating_add_packed_i8(*a, r);
-    }
+    crate::simd::saturating_accumulate_packed(acc, row);
 }
 
 /// A dense int8 embedding table stored in the packed row format of the CMA (8 elements
@@ -99,12 +101,22 @@ impl PackedTable {
     ///
     /// # Errors
     ///
-    /// Returns [`FabricError::DimensionMismatch`] if any row is not `dim` long.
+    /// Returns [`FabricError::DimensionMismatch`] if `dim` is zero or any row is not
+    /// `dim` long. Rejecting dim 0 up front keeps `words_per_row = dim.div_ceil(8)`
+    /// phantom-word free: the old `.max(1)` floor gave zero-dimensional rows one packed
+    /// word that pooling then accumulated.
     pub fn from_rows<'a, I>(rows: I, dim: usize) -> Result<Self, FabricError>
     where
         I: IntoIterator<Item = &'a [i8]>,
     {
-        let words_per_row = dim.div_ceil(8).max(1);
+        if dim == 0 {
+            return Err(FabricError::DimensionMismatch {
+                expected: 1,
+                actual: 0,
+                what: "packed table dimension",
+            });
+        }
+        let words_per_row = dim.div_ceil(8);
         let mut data = Vec::new();
         let mut count = 0usize;
         for row in rows {
@@ -649,6 +661,36 @@ mod tests {
         let b = [1i8; 7];
         let result = PackedTable::from_rows([a.as_slice(), b.as_slice()], 8);
         assert!(matches!(result, Err(FabricError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn packed_table_rejects_dim_zero() {
+        // A dim-0 table used to get a phantom packed word per row (`div_ceil(8).max(1)`)
+        // that pooling then accumulated; dim 0 is now an error across pack/unpack/pool.
+        let result = PackedTable::from_rows(std::iter::empty(), 0);
+        assert!(matches!(
+            result,
+            Err(FabricError::DimensionMismatch {
+                actual: 0,
+                what: "packed table dimension",
+                ..
+            })
+        ));
+        let rows = [[0i8; 0]];
+        let with_rows = PackedTable::from_rows(rows.iter().map(|r| r.as_slice()), 0);
+        assert!(matches!(
+            with_rows,
+            Err(FabricError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pack_unpack_dim_zero_are_empty_and_consistent() {
+        // The free pack/unpack helpers treat dim 0 as a true zero-word row.
+        assert!(pack_embedding(&[]).is_empty());
+        assert!(unpack_embedding(&[], 0).is_empty());
+        let mut out: [i8; 0] = [];
+        unpack_embedding_into(&[], &mut out);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod crossbar;
 pub mod error;
 pub mod interconnect;
 pub mod mat;
+pub mod simd;
 
 pub use accumulator::GpcimAccumulator;
 pub use bank::CmaBank;
@@ -53,3 +54,4 @@ pub use config::FabricConfig;
 pub use cost::{Cost, CostBreakdown, CostComponent, Outcome};
 pub use crossbar::{CrossbarArray, CrossbarBank};
 pub use error::FabricError;
+pub use simd::SimdLevel;

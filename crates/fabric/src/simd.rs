@@ -1,0 +1,278 @@
+//! Runtime-dispatched SIMD widenings of the packed int8 saturating-add kernels.
+//!
+//! The scalar SWAR kernel in [`crate::cma`] processes one 64-bit word (8 int8 lanes) per
+//! step. On x86-64 the same lane-wise saturating add exists as a single instruction over
+//! 16 bytes (`PADDSB`, SSE2) or 32 bytes (`VPADDSB`, AVX2), so this module widens the
+//! pooling inner loop to 2 or 4 packed words per step and falls back to the scalar SWAR
+//! kernel for the ragged tail.
+//!
+//! # Dispatch and the scalar-reference contract
+//!
+//! The implementation level is picked once per process by [`active_level`]:
+//!
+//! * `IMARS_FORCE_SCALAR` (any non-empty value other than `0`) forces the scalar path —
+//!   CI runs the whole test suite a second time under this override;
+//! * otherwise AVX2 is used when `is_x86_feature_detected!("avx2")` reports it;
+//! * otherwise SSE2, which is part of the x86-64 baseline;
+//! * non-x86-64 targets always take the scalar path.
+//!
+//! Saturating int8 addition is a pure lane-wise operation — no carries, rounding, or
+//! reassociation cross a lane boundary — so every path is **bit-identical** to the scalar
+//! SWAR kernel by construction, and the `*_scalar` functions stay exported as the
+//! always-on reference that property tests pin each SIMD path against.
+
+use std::sync::OnceLock;
+
+use crate::cma::saturating_add_packed_i8;
+
+/// Which kernel implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable SWAR / element-wise loops — the bit-identity reference.
+    Scalar,
+    /// 16-byte lanes (`PADDSB`), always available on x86-64.
+    Sse2,
+    /// 32-byte lanes (`VPADDSB`), detected at runtime.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name, used in study JSON and bench metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// True when the `IMARS_FORCE_SCALAR` environment variable asks for the scalar path.
+pub fn force_scalar() -> bool {
+    std::env::var_os("IMARS_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn detect_level() -> SimdLevel {
+    if force_scalar() {
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdLevel::Scalar
+}
+
+/// The implementation level every packed int8 kernel in this process dispatches to.
+/// Detected once and cached.
+pub fn active_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect_level)
+}
+
+/// Scalar reference: accumulate one packed row into a packed accumulator with lane-wise
+/// saturating int8 adds, one 64-bit word at a time. Rows shorter than the accumulator
+/// contribute zero to the remaining words.
+#[inline]
+pub fn saturating_accumulate_packed_scalar(acc: &mut [u64], row: &[u64]) {
+    for (a, &r) in acc.iter_mut().zip(row.iter()) {
+        *a = saturating_add_packed_i8(*a, r);
+    }
+}
+
+/// Dispatched widening of [`saturating_accumulate_packed_scalar`]: 32-byte lanes under
+/// AVX2, 16-byte lanes under SSE2, with the scalar SWAR kernel covering the tail words.
+/// Bit-identical to the scalar reference on every input.
+#[inline]
+pub fn saturating_accumulate_packed(acc: &mut [u64], row: &[u64]) {
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { accumulate_packed_avx2(acc, row) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { accumulate_packed_sse2(acc, row) },
+        _ => saturating_accumulate_packed_scalar(acc, row),
+    }
+}
+
+/// Scalar reference: element-wise saturating int8 add over unpacked lanes, zipped to the
+/// shorter of the two slices.
+#[inline]
+pub fn saturating_add_assign_i8_scalar(acc: &mut [i8], src: &[i8]) {
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a = a.saturating_add(s);
+    }
+}
+
+/// Dispatched widening of [`saturating_add_assign_i8_scalar`] over unpacked int8 lanes —
+/// the kernel behind the serving tier's int8 pooling accumulate. Bit-identical to the
+/// scalar reference on every input.
+#[inline]
+pub fn saturating_add_assign_i8(acc: &mut [i8], src: &[i8]) {
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { add_assign_i8_avx2(acc, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { add_assign_i8_sse2(acc, src) },
+        _ => saturating_add_assign_i8_scalar(acc, src),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn accumulate_packed_sse2(acc: &mut [u64], row: &[u64]) {
+    use std::arch::x86_64::{__m128i, _mm_adds_epi8, _mm_loadu_si128, _mm_storeu_si128};
+    let n = acc.len().min(row.len());
+    let pairs = n / 2;
+    let acc_ptr = acc.as_mut_ptr();
+    let row_ptr = row.as_ptr();
+    for i in 0..pairs {
+        let a = _mm_loadu_si128(acc_ptr.add(i * 2) as *const __m128i);
+        let r = _mm_loadu_si128(row_ptr.add(i * 2) as *const __m128i);
+        _mm_storeu_si128(acc_ptr.add(i * 2) as *mut __m128i, _mm_adds_epi8(a, r));
+    }
+    for i in pairs * 2..n {
+        acc[i] = saturating_add_packed_i8(acc[i], row[i]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_packed_avx2(acc: &mut [u64], row: &[u64]) {
+    use std::arch::x86_64::{__m256i, _mm256_adds_epi8, _mm256_loadu_si256, _mm256_storeu_si256};
+    let n = acc.len().min(row.len());
+    let quads = n / 4;
+    let acc_ptr = acc.as_mut_ptr();
+    let row_ptr = row.as_ptr();
+    for i in 0..quads {
+        let a = _mm256_loadu_si256(acc_ptr.add(i * 4) as *const __m256i);
+        let r = _mm256_loadu_si256(row_ptr.add(i * 4) as *const __m256i);
+        _mm256_storeu_si256(acc_ptr.add(i * 4) as *mut __m256i, _mm256_adds_epi8(a, r));
+    }
+    for i in quads * 4..n {
+        acc[i] = saturating_add_packed_i8(acc[i], row[i]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn add_assign_i8_sse2(acc: &mut [i8], src: &[i8]) {
+    use std::arch::x86_64::{__m128i, _mm_adds_epi8, _mm_loadu_si128, _mm_storeu_si128};
+    let n = acc.len().min(src.len());
+    let blocks = n / 16;
+    let acc_ptr = acc.as_mut_ptr();
+    let src_ptr = src.as_ptr();
+    for i in 0..blocks {
+        let a = _mm_loadu_si128(acc_ptr.add(i * 16) as *const __m128i);
+        let s = _mm_loadu_si128(src_ptr.add(i * 16) as *const __m128i);
+        _mm_storeu_si128(acc_ptr.add(i * 16) as *mut __m128i, _mm_adds_epi8(a, s));
+    }
+    for i in blocks * 16..n {
+        acc[i] = acc[i].saturating_add(src[i]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_i8_avx2(acc: &mut [i8], src: &[i8]) {
+    use std::arch::x86_64::{__m256i, _mm256_adds_epi8, _mm256_loadu_si256, _mm256_storeu_si256};
+    let n = acc.len().min(src.len());
+    let blocks = n / 32;
+    let acc_ptr = acc.as_mut_ptr();
+    let src_ptr = src.as_ptr();
+    for i in 0..blocks {
+        let a = _mm256_loadu_si256(acc_ptr.add(i * 32) as *const __m256i);
+        let s = _mm256_loadu_si256(src_ptr.add(i * 32) as *const __m256i);
+        _mm256_storeu_si256(acc_ptr.add(i * 32) as *mut __m256i, _mm256_adds_epi8(a, s));
+    }
+    for i in blocks * 32..n {
+        acc[i] = acc[i].saturating_add(src[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pack(elements: &[i8]) -> Vec<u64> {
+        crate::cma::pack_embedding(elements)
+    }
+
+    #[test]
+    fn active_level_is_cached_and_consistent() {
+        assert_eq!(active_level(), active_level());
+        assert!(!active_level().name().is_empty());
+    }
+
+    #[test]
+    fn packed_simd_matches_scalar_across_dims_and_saturation() {
+        let mut rng = StdRng::seed_from_u64(0x51_3D);
+        for dim in 1..=129usize {
+            for case in 0..4 {
+                let (a, b): (Vec<i8>, Vec<i8>) = match case {
+                    // Saturation-heavy corners: every lane at the extremes.
+                    0 => (vec![127i8; dim], vec![127i8; dim]),
+                    1 => (vec![-128i8; dim], vec![-128i8; dim]),
+                    2 => (vec![127i8; dim], vec![-128i8; dim]),
+                    _ => (
+                        (0..dim).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect(),
+                        (0..dim).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect(),
+                    ),
+                };
+                let row = pack(&b);
+                let mut simd_acc = pack(&a);
+                let mut scalar_acc = simd_acc.clone();
+                saturating_accumulate_packed(&mut simd_acc, &row);
+                saturating_accumulate_packed_scalar(&mut scalar_acc, &row);
+                assert_eq!(simd_acc, scalar_acc, "dim {dim} case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_simd_handles_short_rows() {
+        // A row shorter than the accumulator must leave the tail words untouched.
+        let mut acc = pack(&[10i8; 40]);
+        let row = pack(&[100i8; 24]);
+        let mut reference = acc.clone();
+        saturating_accumulate_packed(&mut acc, &row);
+        saturating_accumulate_packed_scalar(&mut reference, &row);
+        assert_eq!(acc, reference);
+        assert_eq!(acc[3..], pack(&[10i8; 40])[3..]);
+    }
+
+    #[test]
+    fn unpacked_simd_matches_scalar_at_every_offset() {
+        let mut rng = StdRng::seed_from_u64(0xA1107);
+        let base: Vec<i8> = (0..256).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect();
+        let src: Vec<i8> = (0..256).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect();
+        // Misaligned starts exercise the unaligned loads; lengths sweep the tail loop.
+        for offset in 0..8usize {
+            for dim in (1..=129).step_by(7).chain([129]) {
+                let mut simd_acc = base[offset..offset + dim].to_vec();
+                let mut scalar_acc = simd_acc.clone();
+                saturating_add_assign_i8(&mut simd_acc, &src[offset..offset + dim]);
+                saturating_add_assign_i8_scalar(&mut scalar_acc, &src[offset..offset + dim]);
+                assert_eq!(simd_acc, scalar_acc, "offset {offset} dim {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpacked_simd_saturates_like_scalar() {
+        for (fill_a, fill_b) in [(127i8, 127i8), (-128, -128), (-128, 127), (127, 1)] {
+            let mut simd_acc = vec![fill_a; 100];
+            let mut scalar_acc = vec![fill_a; 100];
+            let src = vec![fill_b; 100];
+            saturating_add_assign_i8(&mut simd_acc, &src);
+            saturating_add_assign_i8_scalar(&mut scalar_acc, &src);
+            assert_eq!(simd_acc, scalar_acc);
+        }
+    }
+}

@@ -163,13 +163,15 @@ impl EmbeddingTable {
 
     /// Accumulate the selected rows into `out` (which must be zeroed by the caller).
     /// Indices must already be validated.
+    ///
+    /// The per-row element-wise add dispatches to the widest SIMD kernel the host
+    /// supports (see [`crate::simd`]); every path is bit-identical to the scalar loop
+    /// because each output element sees exactly one add per row in index order.
     #[inline]
     fn accumulate_rows<I: RowIndex>(&self, indices: &[I], out: &mut [f32]) {
         for &index in indices {
             let row = &self.data[index.as_index() * self.dim..][..self.dim];
-            for (acc, value) in out.iter_mut().zip(row.iter()) {
-                *acc += value;
-            }
+            crate::simd::add_assign_f32(out, row);
         }
     }
 
@@ -352,6 +354,15 @@ impl EmbeddingTable {
     /// The full parameter count of the table.
     pub fn parameter_count(&self) -> usize {
         self.rows * self.dim
+    }
+
+    /// Move the table's row storage into a shared [`crate::arena::RowArena`] without
+    /// copying any element — the `Vec` itself becomes the arena's single allocation.
+    /// This is how the serving tier loads paper-scale catalogues: one arena per dtype,
+    /// shard views as offset ranges.
+    pub fn into_arena(self) -> crate::arena::RowArena<f32> {
+        crate::arena::RowArena::from_vec(self.data, self.dim)
+            .expect("EmbeddingTable invariants guarantee a valid arena shape")
     }
 }
 

@@ -12,6 +12,10 @@
 //!
 //! * [`embedding`] — embedding tables with lookup, sum-pooling and SGD updates, plus the
 //!   zero-allocation batched gather/pool hot path;
+//! * [`arena`] — shared contiguous row storage ([`RowArena`]) so sharded serving aliases
+//!   one allocation per dtype instead of copying rows;
+//! * [`simd`] — runtime-dispatched SIMD f32 kernels (pooling accumulate, blocked dot)
+//!   pinned bit-identical to their scalar references;
 //! * [`batch`] — CSR pooling batches and the scoped-thread fan-out helpers;
 //! * [`mlp`] — fully connected networks with ReLU/sigmoid activations and backpropagation;
 //! * [`youtube_dnn`] / [`dlrm`] — the two paper models;
@@ -25,6 +29,7 @@
 //! * [`training`] — sampled-softmax / logistic-loss training loops used by the accuracy
 //!   experiments.
 
+pub mod arena;
 pub mod batch;
 pub mod dlrm;
 pub mod embedding;
@@ -35,10 +40,12 @@ pub mod metrics;
 pub mod mlp;
 pub mod nns;
 pub mod quantization;
+pub mod simd;
 pub mod topk;
 pub mod training;
 pub mod youtube_dnn;
 
+pub use arena::RowArena;
 pub use batch::{PoolingBatch, PoolingMode};
 pub use dlrm::{Dlrm, DlrmConfig};
 pub use embedding::EmbeddingTable;

@@ -52,28 +52,14 @@ impl Activation {
 /// Dot product blocked over four independent accumulator lanes.
 ///
 /// The single sequential accumulator of the naive mat-vec serializes every
-/// floating-point add behind the previous one; four lanes keep the FPU pipeline full and
-/// roughly triple the throughput on the 1-core reference container. Every forward path
-/// (single-sample, scratch, batched) funnels through this one kernel, so all of them stay
-/// bit-identical to each other.
+/// floating-point add behind the previous one; four lanes keep the FPU pipeline full.
+/// Every forward path (single-sample, scratch, batched) funnels through this one kernel,
+/// so all of them stay bit-identical to each other. The blocking now dispatches to the
+/// SIMD kernel in [`crate::simd`], whose vector path executes the same four lanes as one
+/// 128-bit op and is pinned bit-identical to the scalar reference.
 #[inline]
 fn dot_blocked(w: &[f32], x: &[f32]) -> f32 {
-    let n = w.len().min(x.len());
-    let mut acc = [0.0f32; 4];
-    let blocks = n / 4;
-    for b in 0..blocks {
-        let w4 = &w[b * 4..b * 4 + 4];
-        let x4 = &x[b * 4..b * 4 + 4];
-        acc[0] += w4[0] * x4[0];
-        acc[1] += w4[1] * x4[1];
-        acc[2] += w4[2] * x4[2];
-        acc[3] += w4[3] * x4[3];
-    }
-    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for i in blocks * 4..n {
-        sum += w[i] * x[i];
-    }
-    sum
+    crate::simd::dot_f32(w, x)
 }
 
 /// One dense layer: `outputs = activation(W x + b)` with `W` of shape `out × in`.

@@ -124,6 +124,15 @@ impl QuantizedTable {
     pub fn max_quantization_error(&self) -> f32 {
         self.params.scale * 0.5
     }
+
+    /// Move the table's row storage into a shared [`crate::arena::RowArena`] without
+    /// copying any element, returning the quantization parameters alongside it. The
+    /// serving tier keeps the params to dequantize pooled sums.
+    pub fn into_arena(self) -> (crate::arena::RowArena<i8>, QuantizationParams) {
+        let arena = crate::arena::RowArena::from_vec(self.data, self.dim)
+            .expect("QuantizedTable invariants guarantee a valid arena shape");
+        (arena, self.params)
+    }
 }
 
 #[cfg(test)]

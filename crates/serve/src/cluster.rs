@@ -57,6 +57,7 @@ use std::time::Duration;
 use imars_fabric::config::InterconnectParams;
 use imars_fabric::cost::{Cost, CostBreakdown};
 use imars_fabric::interconnect::RscBus;
+use imars_recsys::arena::RowArena;
 use imars_recsys::batch::PoolingBatch;
 
 use crate::cache::{CachePolicy, CacheStats, HotRowCache};
@@ -215,9 +216,6 @@ impl ClusterConfig {
     }
 }
 
-/// Sentinel in the slot table for a row this shard does not store.
-const NOT_RESIDENT: u32 = u32::MAX;
-
 /// Real-time slice of one resilient gather poll: short enough that injected-clock
 /// deadlines are rechecked promptly, long enough not to spin.
 const GATHER_POLL: Duration = Duration::from_micros(500);
@@ -227,39 +225,54 @@ const GATHER_POLL: Duration = Duration::from_micros(500);
 /// rescue a short burst with zero degradation before the breaker trips.
 const DEAD_AFTER_STRIKES: u32 = 3;
 
-/// One shard's resident rows: the plan's partition (plus replicas), indexed by global
-/// row id through a dense slot table — the worker resolves every requested row through
-/// it, so the lookup is a single array load rather than a hash probe.
+/// One shard's resident rows: a view into the shared [`RowArena`] plus a residency
+/// bitset over global row ids (the plan's partition plus replicas).
+///
+/// In-process shard nodes used to copy their resident rows into a private slot table,
+/// so loading an 8-shard catalogue held the whole table twice. Now every node clones
+/// the arena handle — one allocation per dtype, shared with the engine and every other
+/// shard — and residency is pure bookkeeping: the bit says "the plan placed this row
+/// here", the row bytes are read from the shared arena.
 #[derive(Debug)]
 struct ShardStorage<T> {
-    dim: usize,
-    /// Global row id -> slot in `data` ([`NOT_RESIDENT`] when the row lives elsewhere).
-    slots: Vec<u32>,
-    /// Row-major storage, one `dim`-wide row per slot.
-    data: Vec<T>,
+    /// Bit `row` set when this shard may serve `row` (partition member or replica).
+    resident: Vec<u64>,
+    /// The shared row storage (cheap handle clone, never a row copy).
+    arena: RowArena<T>,
 }
 
 impl<T: Lane> ShardStorage<T> {
-    fn build(rows: &[&[T]], dim: usize, resident: &[u32]) -> Self {
-        let mut slots = vec![NOT_RESIDENT; rows.len()];
-        let mut data = Vec::with_capacity(resident.len() * dim);
-        for (slot, &row) in resident.iter().enumerate() {
-            slots[row as usize] = slot as u32;
-            data.extend_from_slice(rows[row as usize]);
+    fn build(arena: &RowArena<T>, resident: &[u32]) -> Self {
+        let mut bits = vec![0u64; arena.rows().div_ceil(64)];
+        for &row in resident {
+            bits[row as usize / 64] |= 1 << (row % 64);
         }
-        Self { dim, slots, data }
+        Self {
+            resident: bits,
+            arena: arena.clone(),
+        }
     }
 
-    /// The resident copy of `row`. Panics if the row does not live on this shard — the
+    fn dim(&self) -> usize {
+        self.arena.dim()
+    }
+
+    /// Whether the plan placed `row` (or a replica of it) on this shard.
+    fn is_resident(&self, row: u32) -> bool {
+        self.resident
+            .get(row as usize / 64)
+            .is_some_and(|word| word & (1 << (row % 64)) != 0)
+    }
+
+    /// The resident view of `row`. Panics if the row does not live on this shard — the
     /// router only sends rows the plan assigns here, so a violation is a routing bug
     /// and must fail the node (the panic guard turns it into [`ServeError::ShardFailed`]).
     fn row(&self, row: u32) -> &[T] {
-        let slot = self.slots[row as usize];
         assert!(
-            slot != NOT_RESIDENT,
+            self.is_resident(row),
             "row {row} is not resident on this shard"
         );
-        &self.data[slot as usize * self.dim..(slot as usize + 1) * self.dim]
+        self.arena.row(row as usize)
     }
 }
 
@@ -558,7 +571,7 @@ fn run_shard_worker<T: Lane>(
             !request.poison,
             "shard {shard}: poisoned sub-request (injected failure)"
         );
-        let mut data = Vec::with_capacity(request.rows.len() * storage.dim);
+        let mut data = Vec::with_capacity(request.rows.len() * storage.dim());
         match &cache {
             None => {
                 for &row in &request.rows {
@@ -1663,23 +1676,23 @@ pub struct ClusterOptions {
 /// Spawn the shard nodes for a catalogue and hand back a router plus the owning handle.
 #[cfg(test)]
 pub(crate) fn spawn_cluster<T: Lane>(
-    rows: &[&[T]],
-    dim: usize,
+    arena: &RowArena<T>,
     plan: ShardPlan,
     config: &ClusterConfig,
 ) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
-    spawn_cluster_with(rows, dim, plan, config, ClusterOptions::default())
+    spawn_cluster_with(arena, plan, config, ClusterOptions::default())
 }
 
-/// [`spawn_cluster`] with chaos injection and a custom clock.
+/// [`spawn_cluster`] with chaos injection and a custom clock. Every shard node views
+/// the caller's [`RowArena`] — loading copies zero rows.
 pub(crate) fn spawn_cluster_with<T: Lane>(
-    rows: &[&[T]],
-    dim: usize,
+    arena: &RowArena<T>,
     plan: ShardPlan,
     config: &ClusterConfig,
     options: ClusterOptions,
 ) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
     config.validate()?;
+    let dim = arena.dim();
     let num_shards = plan.num_shards();
     let counters = Arc::new(ClusterCounters::new(
         num_shards,
@@ -1692,7 +1705,7 @@ pub(crate) fn spawn_cluster_with<T: Lane>(
     let mut workers = Vec::with_capacity(num_shards * config.workers_per_shard);
     let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
     for shard in 0..num_shards {
-        let storage = Arc::new(ShardStorage::build(rows, dim, plan.rows_on(shard)));
+        let storage = Arc::new(ShardStorage::build(arena, plan.rows_on(shard)));
         let input: Arc<BoundedQueue<SubRequest<T>>> =
             Arc::new(BoundedQueue::new(config.queue_capacity));
         // One cache per shard *node*, shared by its workers — the cache lives where
@@ -1739,14 +1752,14 @@ pub(crate) fn spawn_cluster_with<T: Lane>(
 /// rows over the wire. The socket path always runs the resilient fetch machinery; the
 /// handle owns shutdown (each node is told to exit) but no threads.
 pub(crate) fn connect_cluster<T: Lane>(
-    rows: &[&[T]],
-    dim: usize,
+    arena: &RowArena<T>,
     plan: ShardPlan,
     config: &ClusterConfig,
     sockets: &[PathBuf],
     options: ClusterOptions,
 ) -> Result<(ClusterClient<T>, ClusterHandle), ServeError> {
     config.validate()?;
+    let dim = arena.dim();
     let num_shards = plan.num_shards();
     if sockets.len() != num_shards {
         return Err(ServeError::InvalidConfig {
@@ -1768,7 +1781,7 @@ pub(crate) fn connect_cluster<T: Lane>(
     let mut closers: Vec<Box<dyn Fn() + Send + Sync>> = Vec::with_capacity(num_shards);
     let node_cache = options.node_cache.filter(|cache| cache.capacity > 0);
     for (shard, path) in sockets.iter().enumerate() {
-        let mut handshake = transport::encode_load(shard as u32, dim, rows, plan.rows_on(shard));
+        let mut handshake = transport::encode_load(shard as u32, arena, plan.rows_on(shard));
         if let Some(cache) = node_cache {
             // The CACHE frame rides the same handshake bytes as the LOAD, so a router
             // clone's re-dial re-arms the node cache exactly like it re-installs rows.
@@ -1883,6 +1896,10 @@ mod tests {
         EmbeddingTable::new(NUM_ITEMS, ITEM_DIM, 31).unwrap()
     }
 
+    fn arena_of(table: &EmbeddingTable) -> RowArena<f32> {
+        RowArena::from_rows(table.iter_rows(), table.dim()).unwrap()
+    }
+
     fn serve_config(cache_capacity: usize, precision: ServePrecision) -> ServeConfig {
         ServeConfig {
             shards: 4,
@@ -1940,10 +1957,9 @@ mod tests {
     #[test]
     fn cluster_fetch_returns_the_exact_table_rows() {
         let table = items();
-        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let arena = arena_of(&table);
         let plan = ShardPlan::build(NUM_ITEMS, 4, Placement::Range, 0, None).unwrap();
-        let (mut client, handle) =
-            spawn_cluster(&rows, ITEM_DIM, plan, &cluster_config(4, 2)).unwrap();
+        let (mut client, handle) = spawn_cluster(&arena, plan, &cluster_config(4, 2)).unwrap();
         let wanted: Vec<u32> = vec![0, 511, 17, 17, 300, 42, 128, 200];
         let mut out = vec![0.0f32; wanted.len() * ITEM_DIM];
         let work: Vec<(u32, &mut [f32])> = wanted
@@ -2237,13 +2253,38 @@ mod tests {
         }
     }
 
+    /// Memory accounting for cluster loading: spawning an 8-shard cluster must not
+    /// copy any rows — every shard storage is an `Arc` handle onto the caller's one
+    /// arena allocation, and shutdown releases exactly those handles.
+    #[test]
+    fn cluster_loading_shares_one_arena_allocation_across_shards() {
+        let table = items();
+        let arena = arena_of(&table);
+        assert_eq!(arena.handle_count(), 1);
+        let resident = arena.resident_bytes();
+        assert_eq!(resident, NUM_ITEMS * ITEM_DIM * std::mem::size_of::<f32>());
+        let plan = ShardPlan::build(NUM_ITEMS, 8, Placement::Range, 0, None).unwrap();
+        let (mut client, handle) = spawn_cluster(&arena, plan, &cluster_config(8, 2)).unwrap();
+        // Loading 8 shards added 8 handles onto the same buffer — zero row copies,
+        // zero extra resident bytes.
+        assert_eq!(arena.handle_count(), 1 + 8);
+        assert_eq!(arena.resident_bytes(), resident);
+        // The shared storage actually serves.
+        let mut out = vec![0.0f32; ITEM_DIM];
+        let work: Vec<(u32, &mut [f32])> = vec![(300, &mut out)];
+        client.fetch_rows(work).unwrap();
+        assert_eq!(out, table.lookup(300).unwrap());
+        handle.shutdown().unwrap();
+        // Joining the nodes dropped their handles; the catalogue is ours alone again.
+        assert_eq!(arena.handle_count(), 1);
+    }
+
     #[test]
     fn a_panicking_shard_node_surfaces_shard_failed_instead_of_deadlocking() {
         let table = items();
-        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let arena = arena_of(&table);
         let plan = ShardPlan::build(NUM_ITEMS, 4, Placement::Range, 0, None).unwrap();
-        let (mut client, handle) =
-            spawn_cluster(&rows, ITEM_DIM, plan, &cluster_config(4, 1)).unwrap();
+        let (mut client, handle) = spawn_cluster(&arena, plan, &cluster_config(4, 1)).unwrap();
         client.poison_next_fetch();
         let rows_wanted: Vec<u32> = vec![1, 200, 400];
         let mut out = vec![0.0f32; rows_wanted.len() * ITEM_DIM];
@@ -2308,7 +2349,7 @@ mod tests {
     #[test]
     fn shard_queue_overflow_counts_rejections_then_blocks() {
         let table = items();
-        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let arena = arena_of(&table);
         let plan = ShardPlan::build(NUM_ITEMS, 1, Placement::Range, 0, None).unwrap();
         let config = ClusterConfig {
             queue_capacity: 1,
@@ -2347,7 +2388,7 @@ mod tests {
                 fail_fast: true,
             })
             .unwrap();
-        let storage = Arc::new(ShardStorage::build(&rows, ITEM_DIM, &[0, 1, 2]));
+        let storage = Arc::new(ShardStorage::build(&arena, &[0, 1, 2]));
         let fetcher = std::thread::spawn({
             let mut client = client.clone();
             move || {
@@ -2392,9 +2433,9 @@ mod tests {
     #[test]
     fn clones_share_the_cluster_but_not_reply_queues() {
         let table = items();
-        let rows: Vec<&[f32]> = table.iter_rows().collect();
+        let arena = arena_of(&table);
         let plan = ShardPlan::build(NUM_ITEMS, 2, Placement::Range, 0, None).unwrap();
-        let (client, handle) = spawn_cluster(&rows, ITEM_DIM, plan, &cluster_config(2, 1)).unwrap();
+        let (client, handle) = spawn_cluster(&arena, plan, &cluster_config(2, 1)).unwrap();
         let mut clones: Vec<ClusterClient<f32>> = (0..4).map(|_| client.clone()).collect();
         std::thread::scope(|scope| {
             for (i, clone) in clones.iter_mut().enumerate() {
@@ -2431,7 +2472,7 @@ mod tests {
     }
 
     fn assert_hedged_fetch<T: Lane + PartialEq + std::fmt::Debug>(source: &[Vec<T>]) {
-        let rows: Vec<&[T]> = source.iter().map(Vec::as_slice).collect();
+        let arena = RowArena::from_rows(source.iter().map(Vec::as_slice), ITEM_DIM).unwrap();
         // Row r has frequency NUM_ITEMS - r, so the replicated half is rows 0..256.
         let histogram: Vec<u64> = (1..=NUM_ITEMS as u64).rev().collect();
         let plan = ShardPlan::build(
@@ -2463,8 +2504,7 @@ mod tests {
             clock: Some(clock.clone()),
             node_cache: None,
         };
-        let (mut client, handle) =
-            spawn_cluster_with(&rows, ITEM_DIM, plan, &config, options).unwrap();
+        let (mut client, handle) = spawn_cluster_with(&arena, plan, &config, options).unwrap();
         let fetcher = std::thread::spawn(move || {
             let mut out = vec![T::default(); wanted.len() * ITEM_DIM];
             let work: Vec<(u32, &mut [T])> = wanted

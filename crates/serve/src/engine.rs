@@ -27,6 +27,7 @@ use std::time::Instant;
 use imars_device::characterization::ArrayFom;
 use imars_fabric::cma::CmaArray;
 use imars_fabric::cost::{Cost, CostComponent};
+use imars_recsys::arena::RowArena;
 use imars_recsys::batch::PoolingBatch;
 use imars_recsys::dlrm::{Dlrm, DlrmSample};
 use imars_recsys::embedding::EmbeddingTable;
@@ -46,7 +47,7 @@ use crate::cluster::{
 use crate::error::ServeError;
 use crate::placement::ShardPlan;
 use crate::replay::ReplayWorkload;
-use crate::shard::{shard_embedding, shard_quantized, Lane, RowSource, ShardedTable};
+use crate::shard::{shard_embedding, Lane, RowSource, ShardedTable};
 use crate::telemetry::{ClusterStats, ServeReport, ServeTelemetry};
 use crate::trace::{BatchScratch, PoolTrace, TraceConfig, TraceLog, Tracer};
 use imars_fabric::cost::CostBreakdown;
@@ -551,14 +552,16 @@ impl ServeEngine {
                 }
             }
             ServePrecision::Int8 => {
-                let quantized = QuantizedTable::from_table(items);
-                let mut shards = shard_quantized(&quantized, config.shards)?;
+                // Quantize once, then move the buffer straight into the shared arena:
+                // the sharded view aliases that single allocation, no per-shard copies.
+                let (arena, params) = QuantizedTable::from_table(items).into_arena();
+                let mut shards = ShardedTable::from_arena(arena, config.shards)?;
                 shards.install_node_caches(
                     config.node_cache_capacity(shards.num_shards()),
                     config.cache_policy,
                 );
                 ItemStore::Int8 {
-                    params: quantized.params(),
+                    params,
                     cache: HotRowCache::with_policy(
                         config.router_cache_capacity(),
                         items.dim(),
@@ -638,9 +641,9 @@ impl ServeEngine {
         options.node_cache = config.node_cache_config(plan.num_shards());
         let (store, handle) = match config.precision {
             ServePrecision::Fp32 => {
-                let rows: Vec<&[f32]> = items.iter_rows().collect();
-                let (client, handle) =
-                    spawn_cluster_with(&rows, items.dim(), plan, cluster, options)?;
+                let arena = RowArena::from_rows(items.iter_rows(), items.dim())
+                    .expect("embedding table rows are uniform");
+                let (client, handle) = spawn_cluster_with(&arena, plan, cluster, options)?;
                 (
                     ItemStore::ClusterFp32 {
                         client,
@@ -654,12 +657,8 @@ impl ServeEngine {
                 )
             }
             ServePrecision::Int8 => {
-                let quantized = QuantizedTable::from_table(items);
-                let rows: Vec<&[i8]> = (0..quantized.rows())
-                    .map(|row| quantized.row(row).expect("row index in range"))
-                    .collect();
-                let (client, handle) =
-                    spawn_cluster_with(&rows, items.dim(), plan, cluster, options)?;
+                let (arena, params) = QuantizedTable::from_table(items).into_arena();
+                let (client, handle) = spawn_cluster_with(&arena, plan, cluster, options)?;
                 (
                     ItemStore::ClusterInt8 {
                         client,
@@ -668,7 +667,7 @@ impl ServeEngine {
                             items.dim(),
                             config.cache_policy,
                         ),
-                        params: quantized.params(),
+                        params,
                     },
                     handle,
                 )
@@ -721,9 +720,9 @@ impl ServeEngine {
         options.node_cache = config.node_cache_config(plan.num_shards());
         let (store, handle) = match config.precision {
             ServePrecision::Fp32 => {
-                let rows: Vec<&[f32]> = items.iter_rows().collect();
-                let (client, handle) =
-                    connect_cluster(&rows, items.dim(), plan, cluster, sockets, options)?;
+                let arena = RowArena::from_rows(items.iter_rows(), items.dim())
+                    .expect("embedding table rows are uniform");
+                let (client, handle) = connect_cluster(&arena, plan, cluster, sockets, options)?;
                 (
                     ItemStore::ClusterFp32 {
                         client,
@@ -737,12 +736,8 @@ impl ServeEngine {
                 )
             }
             ServePrecision::Int8 => {
-                let quantized = QuantizedTable::from_table(items);
-                let rows: Vec<&[i8]> = (0..quantized.rows())
-                    .map(|row| quantized.row(row).expect("row index in range"))
-                    .collect();
-                let (client, handle) =
-                    connect_cluster(&rows, items.dim(), plan, cluster, sockets, options)?;
+                let (arena, params) = QuantizedTable::from_table(items).into_arena();
+                let (client, handle) = connect_cluster(&arena, plan, cluster, sockets, options)?;
                 (
                     ItemStore::ClusterInt8 {
                         client,
@@ -751,7 +746,7 @@ impl ServeEngine {
                             items.dim(),
                             config.cache_policy,
                         ),
-                        params: quantized.params(),
+                        params,
                     },
                     handle,
                 )
@@ -814,6 +809,17 @@ impl ServeEngine {
     /// small catalogue).
     pub fn num_shards(&self) -> usize {
         self.store.num_shards()
+    }
+
+    /// Bytes of item-row storage resident in the engine's shared arena — the
+    /// memory-accounting figure the paper-scale study reports. `None` when the
+    /// catalogue lives on a cluster's shard nodes rather than in-process.
+    pub fn catalogue_resident_bytes(&self) -> Option<usize> {
+        match &self.store {
+            ItemStore::Fp32 { shards, .. } => Some(shards.arena().resident_bytes()),
+            ItemStore::Int8 { shards, .. } => Some(shards.arena().resident_bytes()),
+            ItemStore::ClusterFp32 { .. } | ItemStore::ClusterInt8 { .. } => None,
+        }
     }
 
     /// Cache counters accumulated so far.

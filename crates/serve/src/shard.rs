@@ -17,6 +17,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use imars_recsys::arena::RowArena;
 use imars_recsys::batch::{par_runs, worker_count, PoolingBatch};
 use imars_recsys::embedding::EmbeddingTable;
 use imars_recsys::quantization::QuantizedTable;
@@ -35,6 +36,17 @@ pub trait Lane: Copy + Default + Send + Sync + 'static {
     /// Accumulate `value` into `acc`.
     fn accumulate(acc: &mut Self, value: Self);
 
+    /// Accumulate a whole row into `acc`, element by element in index order. The
+    /// default is the scalar zip over [`Lane::accumulate`]; `f32` and `i8` override it
+    /// with the runtime-dispatched SIMD kernels, which are pinned bit-identical to this
+    /// scalar loop.
+    #[inline]
+    fn accumulate_slice(acc: &mut [Self], src: &[Self]) {
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            Self::accumulate(a, s);
+        }
+    }
+
     /// Append the little-endian wire encoding of `self` to `out`.
     fn to_wire(self, out: &mut Vec<u8>);
 
@@ -48,6 +60,11 @@ impl Lane for f32 {
     #[inline]
     fn accumulate(acc: &mut Self, value: Self) {
         *acc += value;
+    }
+
+    #[inline]
+    fn accumulate_slice(acc: &mut [Self], src: &[Self]) {
+        imars_recsys::simd::add_assign_f32(acc, src);
     }
 
     #[inline]
@@ -67,6 +84,11 @@ impl Lane for i8 {
     #[inline]
     fn accumulate(acc: &mut Self, value: Self) {
         *acc = acc.saturating_add(value);
+    }
+
+    #[inline]
+    fn accumulate_slice(acc: &mut [Self], src: &[Self]) {
+        imars_fabric::simd::saturating_add_assign_i8(acc, src);
     }
 
     #[inline]
@@ -143,12 +165,7 @@ pub(crate) fn pool_from_staging<T: Lane>(
         for (i, slot) in run.iter_mut().enumerate() {
             slot.fill(T::default());
             for position in offsets[first + i]..offsets[first + i + 1] {
-                for (acc, &value) in slot
-                    .iter_mut()
-                    .zip(&staging[position * dim..(position + 1) * dim])
-                {
-                    T::accumulate(acc, value);
-                }
+                T::accumulate_slice(slot, &staging[position * dim..(position + 1) * dim]);
             }
         }
     });
@@ -157,14 +174,18 @@ pub(crate) fn pool_from_staging<T: Lane>(
 /// An embedding table split into contiguous row-range shards, optionally fronted by
 /// one hot-row cache per shard (the in-process model of per-shard-node caching: each
 /// shard serves repeated fetches from its own cache instead of its row storage).
+///
+/// Shards do **not** own row copies: every shard is an offset range into one shared
+/// [`RowArena`] allocation per dtype, so sharding a million-row table costs no row
+/// memory beyond the arena itself (the old per-shard `Vec<T>` layout cost ~2× while
+/// loading). Clones of this table alias the same arena.
 #[derive(Debug, Clone)]
 pub struct ShardedTable<T> {
-    dim: usize,
-    rows: usize,
     rows_per_shard: usize,
-    /// Row-major storage per shard; shard `s` holds global rows
+    num_shards: usize,
+    /// The shared row storage; shard `s` views global rows
     /// `s * rows_per_shard .. min((s + 1) * rows_per_shard, rows)`.
-    shards: Vec<Vec<T>>,
+    arena: RowArena<T>,
     /// One cache per shard when node caching is installed (shared across engine
     /// clones, like a shard node's cache is shared across its workers). Locked per
     /// row fetch; each shard's fetches are served by one thread per batch, so the
@@ -176,7 +197,8 @@ pub struct ShardedTable<T> {
 impl<T: Lane> ShardedTable<T> {
     /// Build a sharded table from rows in index order, split into at most `shards`
     /// contiguous ranges. Fewer shards are created when there are fewer rows than
-    /// requested shards.
+    /// requested shards. The rows are copied once into a fresh arena; loading an
+    /// existing table should prefer the zero-copy [`ShardedTable::from_arena`].
     ///
     /// # Errors
     ///
@@ -187,37 +209,50 @@ impl<T: Lane> ShardedTable<T> {
         I: IntoIterator<Item = &'a [T]>,
         T: 'a,
     {
-        if dim == 0 || shards == 0 {
+        if dim == 0 {
             return Err(ServeError::InvalidConfig {
-                reason: format!("sharded table needs nonzero dim and shard count, got dim={dim} shards={shards}"),
+                reason: format!(
+                    "sharded table needs nonzero dim and shard count, got dim={dim} shards={shards}"
+                ),
             });
         }
-        let all: Vec<&[T]> = rows.into_iter().collect();
-        for row in &all {
-            if row.len() != dim {
-                return Err(ServeError::ShapeMismatch {
-                    what: "sharded table row",
-                    expected: dim,
-                    actual: row.len(),
-                });
-            }
+        let arena = RowArena::from_rows(rows, dim).map_err(|error| match error {
+            imars_recsys::RecsysError::ShapeMismatch {
+                expected, actual, ..
+            } => ServeError::ShapeMismatch {
+                what: "sharded table row",
+                expected,
+                actual,
+            },
+            other => ServeError::InvalidConfig {
+                reason: other.to_string(),
+            },
+        })?;
+        Self::from_arena(arena, shards)
+    }
+
+    /// Partition an existing [`RowArena`] into at most `shards` contiguous row-range
+    /// views without copying a single row — the table shares the arena's allocation
+    /// with the caller and with every clone of itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `shards` is zero.
+    pub fn from_arena(arena: RowArena<T>, shards: usize) -> Result<Self, ServeError> {
+        if shards == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "sharded table needs nonzero dim and shard count, got dim={} shards={shards}",
+                    arena.dim()
+                ),
+            });
         }
-        let rows_per_shard = all.len().div_ceil(shards).max(1);
-        let shards = all
-            .chunks(rows_per_shard)
-            .map(|chunk| {
-                let mut flat = Vec::with_capacity(chunk.len() * dim);
-                for row in chunk {
-                    flat.extend_from_slice(row);
-                }
-                flat
-            })
-            .collect();
+        let rows_per_shard = arena.rows().div_ceil(shards).max(1);
+        let num_shards = arena.rows().div_ceil(rows_per_shard);
         Ok(Self {
-            dim,
-            rows: all.len(),
             rows_per_shard,
-            shards,
+            num_shards,
+            arena,
             node_caches: None,
         })
     }
@@ -231,11 +266,11 @@ impl<T: Lane> ShardedTable<T> {
     pub fn install_node_caches(&mut self, per_shard_capacity: usize, policy: CachePolicy) {
         self.node_caches = (per_shard_capacity > 0).then(|| {
             Arc::new(
-                (0..self.shards.len())
+                (0..self.num_shards)
                     .map(|_| {
                         Mutex::new(HotRowCache::with_policy(
                             per_shard_capacity,
-                            self.dim,
+                            self.arena.dim(),
                             policy,
                         ))
                     })
@@ -292,17 +327,23 @@ impl<T: Lane> ShardedTable<T> {
 
     /// Total number of rows across all shards.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.arena.rows()
     }
 
     /// Elements per row.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.arena.dim()
     }
 
     /// Number of shards actually created.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.num_shards
+    }
+
+    /// The shared row storage every shard views. Memory-accounting tests use this to
+    /// assert that sharding aliases one allocation instead of copying rows.
+    pub fn arena(&self) -> &RowArena<T> {
+        &self.arena
     }
 
     /// Rows per shard (the last shard may hold fewer).
@@ -316,13 +357,11 @@ impl<T: Lane> ShardedTable<T> {
         row as usize / self.rows_per_shard
     }
 
-    /// Borrow one row. Panics if `row` is out of range; use
-    /// [`ShardedTable::check_indices`] up front on untrusted input.
+    /// Borrow one row straight from the shared arena. Panics if `row` is out of range;
+    /// use [`ShardedTable::check_indices`] up front on untrusted input.
     #[inline]
     pub fn row(&self, row: u32) -> &[T] {
-        let shard = self.shard_of(row);
-        let local = row as usize - shard * self.rows_per_shard;
-        &self.shards[shard][local * self.dim..(local + 1) * self.dim]
+        self.arena.row(row as usize)
     }
 
     /// Validate that every index addresses a valid row.
@@ -332,10 +371,10 @@ impl<T: Lane> ShardedTable<T> {
     /// Returns [`ServeError::RowOutOfRange`] naming the first offending index.
     pub fn check_indices(&self, indices: &[u32]) -> Result<(), ServeError> {
         for &index in indices {
-            if index as usize >= self.rows {
+            if index as usize >= self.arena.rows() {
                 return Err(ServeError::RowOutOfRange {
                     row: index as usize,
-                    rows: self.rows,
+                    rows: self.arena.rows(),
                 });
             }
         }
@@ -349,8 +388,10 @@ impl<T: Lane> ShardedTable<T> {
     /// Small batches run serially — the spawn overhead is not worth paying below the
     /// [`worker_count`] threshold.
     pub fn fetch_into(&self, work: Vec<(u32, &mut [T])>) {
-        debug_assert!(work.iter().all(|(_, chunk)| chunk.len() == self.dim));
-        if worker_count(work.len()) <= 1 || self.shards.len() <= 1 {
+        debug_assert!(work
+            .iter()
+            .all(|(_, chunk)| chunk.len() == self.arena.dim()));
+        if worker_count(work.len()) <= 1 || self.num_shards <= 1 {
             // The serial path visits rows in flat order, so each shard's cache sees
             // the same subsequence it would from its dedicated worker below.
             match &self.node_caches {
@@ -368,7 +409,7 @@ impl<T: Lane> ShardedTable<T> {
             return;
         }
         let mut per_shard: Vec<Vec<(u32, &mut [T])>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
+            (0..self.num_shards).map(|_| Vec::new()).collect();
         for (row, chunk) in work {
             per_shard[self.shard_of(row)].push((row, chunk));
         }
@@ -408,22 +449,21 @@ impl<T: Lane> ShardedTable<T> {
     /// Returns [`ServeError::ShapeMismatch`] if `out` is not `batch.len() * dim` long,
     /// or [`ServeError::RowOutOfRange`] if any request references an invalid row.
     pub fn pool_batch(&self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
-        if out.len() != batch.len() * self.dim {
+        let dim = self.arena.dim();
+        if out.len() != batch.len() * dim {
             return Err(ServeError::ShapeMismatch {
                 what: "batch pooling output",
-                expected: batch.len() * self.dim,
+                expected: batch.len() * dim,
                 actual: out.len(),
             });
         }
         self.check_indices(batch.indices())?;
-        let mut slots: Vec<&mut [T]> = out.chunks_mut(self.dim).collect();
+        let mut slots: Vec<&mut [T]> = out.chunks_mut(dim).collect();
         par_runs(&mut slots, |first, run| {
             for (i, slot) in run.iter_mut().enumerate() {
                 slot.fill(T::default());
                 for &row in batch.request(first + i) {
-                    for (acc, &value) in slot.iter_mut().zip(self.row(row)) {
-                        T::accumulate(acc, value);
-                    }
+                    T::accumulate_slice(slot, self.row(row));
                 }
             }
         });
@@ -475,10 +515,7 @@ pub fn shard_quantized(
     table: &QuantizedTable,
     shards: usize,
 ) -> Result<ShardedTable<i8>, ServeError> {
-    let rows: Vec<&[i8]> = (0..table.rows())
-        .map(|row| table.row(row).expect("row index in range"))
-        .collect();
-    ShardedTable::from_rows(rows, table.dim(), shards)
+    ShardedTable::from_rows(table.iter_rows(), table.dim(), shards)
 }
 
 #[cfg(test)]
@@ -511,6 +548,34 @@ mod tests {
             ShardedTable::from_rows(ragged, 2, 2),
             Err(ServeError::ShapeMismatch { .. })
         ));
+    }
+
+    /// The arena tentpole's memory accounting: sharding a table moves ONE allocation
+    /// into the arena (pointer-identical to the table's own buffer) and shard views are
+    /// offset ranges over it — no per-shard row copies, in either dtype.
+    #[test]
+    fn sharding_reuses_the_table_allocation_without_row_copies() {
+        let t = table(1000, 8, 7);
+        let data_ptr = t.lookup(0).unwrap().as_ptr();
+        let arena = t.into_arena();
+        let sharded = ShardedTable::from_arena(arena.clone(), 8).unwrap();
+        assert_eq!(sharded.num_shards(), 8);
+        assert_eq!(sharded.arena().storage_ptr(), data_ptr);
+        assert!(sharded.arena().shares_storage(&arena));
+        // Two handles (ours + the table's), one allocation's worth of bytes.
+        assert_eq!(arena.handle_count(), 2);
+        assert_eq!(
+            arena.resident_bytes(),
+            1000 * 8 * std::mem::size_of::<f32>()
+        );
+
+        let quantized = QuantizedTable::from_table(&table(1000, 8, 9));
+        let int8_ptr = quantized.row(0).unwrap().as_ptr();
+        let (int8_arena, _) = quantized.into_arena();
+        let sharded = ShardedTable::from_arena(int8_arena.clone(), 8).unwrap();
+        assert_eq!(sharded.arena().storage_ptr(), int8_ptr);
+        assert_eq!(int8_arena.handle_count(), 2);
+        assert_eq!(int8_arena.resident_bytes(), 1000 * 8);
     }
 
     #[test]

@@ -50,11 +50,20 @@ impl LatencyHistogram {
     }
 
     fn bucket_of(latency_us: f64) -> usize {
-        if latency_us <= BASE_US {
+        // NaN would fall through a plain `<= BASE_US` comparison into the log-domain
+        // math; route it to bucket 0 alongside negatives, zero and sub-base values.
+        if latency_us.is_nan() || latency_us <= BASE_US {
             return 0;
         }
-        let index = ((latency_us / BASE_US).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
-        index.min(BUCKETS - 1)
+        let index = ((latency_us / BASE_US).log2() * BUCKETS_PER_OCTAVE).floor();
+        // Clamp in f64 before the cast: huge observations (up to f64::MAX or +inf)
+        // produce an index far beyond the table and must land in the last bucket, not
+        // depend on float-to-int cast semantics.
+        if index >= (BUCKETS - 1) as f64 {
+            BUCKETS - 1
+        } else {
+            index as usize
+        }
     }
 
     /// Upper edge of a bucket in microseconds.
@@ -998,6 +1007,52 @@ mod tests {
         assert_eq!(h.min_us(), 0.0);
         assert_eq!(h.max_us(), 0.0);
         assert_eq!(h.quantile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn bucket_of_clamps_at_both_ends() {
+        // Everything at or below the base resolution is bucket 0 — including the exact
+        // boundary, negatives, and NaN.
+        assert_eq!(LatencyHistogram::bucket_of(0.0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(-1.0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(f64::NAN), 0);
+        assert_eq!(LatencyHistogram::bucket_of(BASE_US), 0);
+        assert_eq!(LatencyHistogram::bucket_of(f64::MIN_POSITIVE), 0);
+        // The far end saturates into the last bucket instead of indexing past it.
+        assert_eq!(LatencyHistogram::bucket_of(f64::MAX), BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(f64::INFINITY), BUCKETS - 1);
+        // In between, indices are monotone in the latency and within the table.
+        let mut last = 0usize;
+        let mut latency = BASE_US;
+        while latency < 1e12 {
+            let bucket = LatencyHistogram::bucket_of(latency);
+            assert!(bucket >= last, "buckets must be monotone at {latency}");
+            assert!(bucket < BUCKETS);
+            last = bucket;
+            latency *= 1.7;
+        }
+        // Each bucket's contents sit at or below its reported upper edge.
+        for index in [0, 1, 7, 8, 100, 511] {
+            let upper = LatencyHistogram::bucket_upper_us(index);
+            assert!(
+                LatencyHistogram::bucket_of(upper * 0.999) <= index,
+                "value below edge {upper} left bucket {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn recording_boundary_latencies_stays_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(BASE_US);
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min_us(), 0.0);
+        assert_eq!(h.max_us(), f64::MAX);
+        // Quantiles stay bracketed by the observed extremes, never an out-of-table read.
+        assert!(h.quantile_us(0.0) >= 0.0);
+        assert!(h.quantile_us(1.0) <= f64::MAX);
     }
 
     #[test]

@@ -137,20 +137,22 @@ impl Frame {
     }
 }
 
-/// Encode a `LOAD` frame carrying `resident` rows of the catalogue (each `dim` wide).
+/// Encode a `LOAD` frame carrying `resident` rows of the catalogue, read straight from
+/// the shared [`RowArena`] (the encoder is the only copy the handshake makes — the
+/// router keeps no per-shard row storage).
 pub(crate) fn encode_load<T: Lane>(
     shard: u32,
-    dim: usize,
-    rows: &[&[T]],
+    arena: &imars_recsys::arena::RowArena<T>,
     resident: &[u32],
 ) -> Vec<u8> {
+    let dim = arena.dim();
     let mut payload = Vec::with_capacity(12 + resident.len() * (4 + dim * T::WIRE_BYTES));
     payload.extend_from_slice(&(T::WIRE_BYTES as u32).to_le_bytes());
     payload.extend_from_slice(&(dim as u32).to_le_bytes());
     payload.extend_from_slice(&(resident.len() as u32).to_le_bytes());
     for &row in resident {
         payload.extend_from_slice(&row.to_le_bytes());
-        for &value in rows[row as usize] {
+        for &value in arena.row(row as usize) {
             value.to_wire(&mut payload);
         }
     }
@@ -853,9 +855,10 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..8)
             .map(|r| (0..4).map(|i| (r * 10 + i) as f32).collect())
             .collect();
-        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let arena =
+            imars_recsys::arena::RowArena::from_rows(rows.iter().map(|r| r.as_slice()), 4).unwrap();
         let resident: Vec<u32> = (0..8).collect();
-        let load = Arc::new(encode_load(0, 4, &refs, &resident));
+        let load = Arc::new(encode_load(0, &arena, &resident));
         let reply: Arc<BoundedQueue<SubResponse<f32>>> = Arc::new(BoundedQueue::new(8));
         let link = connect_when_up(0, &path, 4, load.clone(), reply.clone());
         link.send_blocking(encode_fetch(0, 7, &[3, 1, 5])).unwrap();
@@ -893,8 +896,9 @@ mod tests {
             std::thread::spawn(move || run_shard_node(&path))
         };
         let rows: Vec<Vec<i8>> = vec![vec![1, 2], vec![3, 4]];
-        let refs: Vec<&[i8]> = rows.iter().map(|r| r.as_slice()).collect();
-        let load = Arc::new(encode_load(1, 2, &refs, &[0]));
+        let arena =
+            imars_recsys::arena::RowArena::from_rows(rows.iter().map(|r| r.as_slice()), 2).unwrap();
+        let load = Arc::new(encode_load(1, &arena, &[0]));
         let reply: Arc<BoundedQueue<SubResponse<i8>>> = Arc::new(BoundedQueue::new(4));
         let link = connect_when_up(1, &path, 2, load, reply.clone());
         assert!(!link.is_closed());
