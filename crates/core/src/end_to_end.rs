@@ -195,6 +195,11 @@ pub struct ServeClusterFoms {
     pub cross_shard_bytes: Option<u64>,
     /// Shard load imbalance factor (multi-node runs only).
     pub shard_imbalance: Option<f64>,
+    /// Peak per-window completion throughput over the scraped time series — a
+    /// measured figure, like the latency quantiles, not a modeled one.
+    pub peak_window_qps: f64,
+    /// Number of non-empty windows the metrics scraper saw.
+    pub metrics_windows: usize,
 }
 
 impl ServeClusterFoms {
@@ -210,7 +215,9 @@ impl ServeClusterFoms {
             .metric("energy_pj_per_query", self.energy_pj_per_query)
             .metric("p50_us", self.p50_us)
             .metric("p95_us", self.p95_us)
-            .metric("served_qps", self.served_qps);
+            .metric("served_qps", self.served_qps)
+            .metric("peak_window_qps", self.peak_window_qps)
+            .metric("metrics_windows", self.metrics_windows as f64);
         if let Some(bytes) = self.cross_shard_bytes {
             row = row.metric("cross_shard_kb", bytes as f64 / 1e3);
         }
@@ -292,10 +299,12 @@ pub fn serve_cluster_study(config: &ServeStudyConfig) -> Result<ServeClusterFoms
         let (mut engine, handle) =
             ServeEngine::new_clustered(model, &items, serve_config, &cluster, None)
                 .map_err(serve_error)?;
+        engine.enable_metrics(workload.metrics_config(20));
         let outcome = engine.replay(&workload).map_err(serve_error)?;
         (outcome.report, Some(handle))
     } else {
         let mut engine = ServeEngine::new(model, &items, serve_config).map_err(serve_error)?;
+        engine.enable_metrics(workload.metrics_config(20));
         let outcome = engine.replay(&workload).map_err(serve_error)?;
         (outcome.report, None)
     };
@@ -304,6 +313,7 @@ pub fn serve_cluster_study(config: &ServeStudyConfig) -> Result<ServeClusterFoms
     }
 
     let cluster = report.cluster.as_ref();
+    let metrics = report.metrics.as_ref();
     Ok(ServeClusterFoms {
         config: config.clone(),
         cache_hit_rate: report.cache.hit_rate(),
@@ -313,6 +323,10 @@ pub fn serve_cluster_study(config: &ServeStudyConfig) -> Result<ServeClusterFoms
         served_qps: report.telemetry.served_qps(),
         cross_shard_bytes: cluster.map(|c| c.cross_shard_bytes),
         shard_imbalance: cluster.map(|c| c.imbalance()),
+        peak_window_qps: metrics
+            .and_then(|series| series.peak_qps())
+            .map_or(0.0, |(_, qps)| qps),
+        metrics_windows: metrics.map_or(0, |series| series.windows.len()),
     })
 }
 
@@ -356,6 +370,12 @@ mod tests {
         assert!(foms.served_qps > 0.0);
         assert!(foms.p95_us >= foms.p50_us);
         assert!(foms.cross_shard_bytes.is_none());
+        assert!(foms.metrics_windows > 0, "the time series must be scraped");
+        assert!(
+            foms.peak_window_qps > 0.0,
+            "some window completed queries, so the peak is positive"
+        );
+        assert!(foms.study_row().get_metric("peak_window_qps").unwrap() > 0.0);
     }
 
     #[test]

@@ -64,11 +64,12 @@ use crate::cache::{CachePolicy, CacheStats, HotRowCache};
 use crate::chaos::{ChaosPlan, FaultAction};
 use crate::clock::{Clock, WallClock};
 use crate::error::ServeError;
+use crate::metrics::ShardFaultDelta;
 use crate::placement::{Placement, ShardPlan};
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::{pool_from_staging, Lane, RowSource};
 use crate::telemetry::ClusterStats;
-use crate::trace::{FetchEvent, FetchEventKind};
+use crate::trace::{FetchEvent, FetchEventKind, NodeSpan, NodeSpanRecord};
 use crate::transport::{self, SocketLink};
 
 /// Configuration of a shard cluster.
@@ -276,6 +277,17 @@ impl<T: Lane> ShardStorage<T> {
     }
 }
 
+/// The trace context a traced fetch carries to the serving worker: the tracer's clock
+/// plus the dispatch timestamp, so the shard node measures its own server-side span
+/// (queue wait, cache probe, storage read) on the *tracer's* clock — frozen on a
+/// [`ManualClock`](crate::clock::ManualClock), which keeps traced replays
+/// byte-deterministic. `None` (the untraced default) costs the worker one branch.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceContext {
+    clock: Arc<dyn Clock>,
+    enqueued_us: f64,
+}
+
 /// A row-fetch sub-request routed to one shard.
 #[derive(Debug)]
 pub(crate) struct SubRequest<T> {
@@ -293,6 +305,8 @@ pub(crate) struct SubRequest<T> {
     /// router surfaces [`ServeError::ShardFailed`]. Resilient requests keep their reply
     /// queue open — the router recovers through its own timeout/retry machinery.
     fail_fast: bool,
+    /// `Some` when the router's trace sink is armed: the worker records a node span.
+    trace: Option<TraceContext>,
 }
 
 /// One shard's response to a [`SubRequest`]: the requested rows, concatenated in
@@ -302,6 +316,9 @@ pub(crate) struct SubResponse<T> {
     pub(crate) tag: u64,
     pub(crate) shard: usize,
     pub(crate) data: Vec<T>,
+    /// The node's server-side span, present exactly when the request was traced
+    /// (socket nodes ship it on a `NODE_SPAN` frame ahead of the rows).
+    pub(crate) node_span: Option<NodeSpan>,
 }
 
 /// Counters shared by every router clone and the cluster handle.
@@ -571,17 +588,35 @@ fn run_shard_worker<T: Lane>(
             !request.poison,
             "shard {shard}: poisoned sub-request (injected failure)"
         );
+        // A traced request carries the tracer's clock: the worker measures its own
+        // server-side span on it (queue wait so far, then cache probe and storage
+        // read below). On a frozen manual clock every duration is exactly zero, so
+        // traced replays stay byte-deterministic across worker counts.
+        let mut node_span = request.trace.as_ref().map(|context| {
+            (
+                context.clock.clone(),
+                NodeSpan {
+                    queue_wait_us: (context.clock.now_us() - context.enqueued_us).max(0.0),
+                    ..NodeSpan::default()
+                },
+            )
+        });
         let mut data = Vec::with_capacity(request.rows.len() * storage.dim());
         match &cache {
             None => {
+                let read_started = node_span.as_ref().map(|(clock, _)| clock.now_us());
                 for &row in &request.rows {
                     data.extend_from_slice(storage.row(row));
+                }
+                if let (Some((clock, span)), Some(started)) = (node_span.as_mut(), read_started) {
+                    span.storage_read_us = (clock.now_us() - started).max(0.0);
                 }
             }
             Some(cache) => {
                 let mut cache = cache.lock().expect("node cache lock");
                 let before = cache.stats();
                 for &row in &request.rows {
+                    let probe_started = node_span.as_ref().map(|(clock, _)| clock.now_us());
                     let hit = match cache.lookup(row) {
                         Some(resident) => {
                             data.extend_from_slice(resident);
@@ -589,10 +624,21 @@ fn run_shard_worker<T: Lane>(
                         }
                         None => false,
                     };
+                    if let (Some((clock, span)), Some(started)) =
+                        (node_span.as_mut(), probe_started)
+                    {
+                        span.cache_probe_us += (clock.now_us() - started).max(0.0);
+                    }
                     if !hit {
+                        let read_started = node_span.as_ref().map(|(clock, _)| clock.now_us());
                         let fetched = storage.row(row);
                         data.extend_from_slice(fetched);
                         cache.insert(row, fetched);
+                        if let (Some((clock, span)), Some(started)) =
+                            (node_span.as_mut(), read_started)
+                        {
+                            span.storage_read_us += (clock.now_us() - started).max(0.0);
+                        }
                     }
                 }
                 let delta = cache.stats().delta_since(&before);
@@ -606,6 +652,7 @@ fn run_shard_worker<T: Lane>(
             tag: request.tag,
             shard,
             data,
+            node_span: node_span.map(|(_, span)| span),
         });
     }
 }
@@ -740,6 +787,9 @@ struct FetchUnit {
 struct TraceSink {
     clock: Arc<dyn Clock>,
     events: Vec<FetchEvent>,
+    /// Server-side spans gathered off the responses, tagged with the attempt tag and
+    /// serving shard so the trace assembler can attach each to its fetch span.
+    node_spans: Vec<NodeSpanRecord>,
 }
 
 /// A router into the cluster: splits fetch work by shard, fans sub-requests out, and
@@ -776,6 +826,11 @@ pub struct ClusterClient<T> {
     /// Armed per traced batch via [`RowSource::trace_arm`], drained by
     /// [`RowSource::trace_drain`]; `None` (the untraced default) records nothing.
     trace: Option<TraceSink>,
+    /// Per-shard fault deltas since the engine last drained them
+    /// ([`RowSource::take_fault_deltas`]). Buffered per router clone — never read
+    /// from the shared atomics, whose deltas would race across worker clones — so
+    /// the metrics plane's per-window attribution stays deterministic.
+    fault_window: Vec<ShardFaultDelta>,
     /// Per-shard-node cache configuration, when the cluster was spawned with one.
     /// The caches live with the shard nodes; this side only reads their counters.
     node_cache: Option<NodeCacheConfig>,
@@ -813,6 +868,7 @@ impl<T: Lane> Clone for ClusterClient<T> {
             timeout_strikes: vec![0; self.timeout_strikes.len()],
             missing: Vec::new(),
             trace: None,
+            fault_window: vec![ShardFaultDelta::default(); self.fault_window.len()],
             node_cache: self.node_cache,
         }
     }
@@ -907,6 +963,27 @@ impl<T: Lane> ClusterClient<T> {
         }
     }
 
+    /// The trace context to carry on a sub-request dispatched right now: the sink's
+    /// clock plus its current time. `None` when the sink is unarmed.
+    fn trace_context(&self) -> Option<TraceContext> {
+        self.trace.as_ref().map(|sink| TraceContext {
+            clock: sink.clock.clone(),
+            enqueued_us: sink.clock.now_us(),
+        })
+    }
+
+    /// Stash a gathered response's server-side span on the armed sink (no-op when
+    /// untraced or when the response carries none — an untraced attempt's reply).
+    fn trace_node_span(&mut self, shard: usize, tag: u64, span: Option<NodeSpan>) {
+        if let (Some(sink), Some(span)) = (&mut self.trace, span) {
+            sink.node_spans.push(NodeSpanRecord {
+                shard: shard as u32,
+                tag,
+                span,
+            });
+        }
+    }
+
     fn push_subrequest(&self, shard: usize, request: SubRequest<T>) -> Result<(), ServeError> {
         let ShardLink::Queue(input) = &self.links[shard] else {
             unreachable!("the strict path only runs over in-process queue links")
@@ -967,6 +1044,7 @@ impl<T: Lane> ClusterClient<T> {
                     reply: self.reply.clone(),
                     poison: false,
                     fail_fast: false,
+                    trace: self.trace_context(),
                 };
                 match input.try_push(request) {
                     Ok(depth) => {
@@ -993,7 +1071,7 @@ impl<T: Lane> ClusterClient<T> {
                 let record_served = || {
                     self.counters.served[shard].fetch_add(rows.len() as u64, Ordering::Relaxed);
                 };
-                let frame = transport::encode_fetch(shard as u32, tag, rows);
+                let frame = transport::encode_fetch(shard as u32, tag, rows, self.trace.is_some());
                 match link.try_send(frame) {
                     Ok(depth) => {
                         record_depth(depth);
@@ -1079,6 +1157,7 @@ impl<T: Lane> ClusterClient<T> {
             }
             Err(DispatchFail::Timeout) => {
                 self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.fault_window[target].timeouts += 1;
                 self.strike(target);
                 self.trace_event(FetchEventKind::Timeout, target, tag);
                 Err(DispatchFail::Timeout)
@@ -1154,9 +1233,11 @@ impl<T: Lane> ClusterClient<T> {
                     return;
                 };
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.fault_window[failed].retries += 1;
                 self.trace_event(FetchEventKind::Retry, failed, 0);
                 if target != units[i].origin {
                     self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                    self.fault_window[target].promotions += 1;
                     self.trace_event(FetchEventKind::Promotion, target, 0);
                 }
                 if self
@@ -1168,6 +1249,7 @@ impl<T: Lane> ClusterClient<T> {
             } else if !self.dead[failed] && !self.links[failed].is_down() {
                 // Unreplicated rows and the owner may just be slow: back off, retry it.
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.fault_window[failed].retries += 1;
                 self.trace_event(FetchEventKind::Retry, failed, 0);
                 let delay = resilience.backoff_us * f64::from(units[i].dispatches);
                 units[i].waiting = Some((failed, self.clock.now_us() + delay));
@@ -1210,6 +1292,8 @@ impl<T: Lane> ClusterClient<T> {
                 };
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
                 self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                self.fault_window[failed].retries += 1;
+                self.fault_window[target].promotions += 1;
                 self.trace_event(FetchEventKind::Retry, failed, 0);
                 self.trace_event(FetchEventKind::Promotion, target, 0);
                 if self
@@ -1260,11 +1344,29 @@ impl<T: Lane> RowSource<T> for ClusterClient<T> {
         self.trace = Some(TraceSink {
             clock: clock.clone(),
             events: Vec::new(),
+            node_spans: Vec::new(),
         });
+    }
+
+    fn trace_drain_node_spans(&mut self) -> Vec<NodeSpanRecord> {
+        self.trace
+            .as_mut()
+            .map_or_else(Vec::new, |sink| std::mem::take(&mut sink.node_spans))
     }
 
     fn trace_drain(&mut self) -> Vec<FetchEvent> {
         self.trace.take().map_or_else(Vec::new, |sink| sink.events)
+    }
+
+    fn take_fault_deltas(&mut self) -> Vec<ShardFaultDelta> {
+        if self.fault_window.iter().all(ShardFaultDelta::is_zero) {
+            return Vec::new();
+        }
+        let shards = self.fault_window.len();
+        std::mem::replace(
+            &mut self.fault_window,
+            vec![ShardFaultDelta::default(); shards],
+        )
     }
 
     fn pool_direct(&mut self, batch: &PoolingBatch, out: &mut [T]) -> Result<(), ServeError> {
@@ -1341,6 +1443,7 @@ impl<T: Lane> ClusterClient<T> {
         let mut fanout_cost: Option<Cost> = None;
         let mut awaiting: HashMap<usize, &[u32]> = HashMap::with_capacity(split.fanout());
         for sub in &split.per_shard {
+            let trace = self.trace_context();
             if let Err(error) = self.push_subrequest(
                 sub.shard,
                 SubRequest {
@@ -1349,6 +1452,7 @@ impl<T: Lane> ClusterClient<T> {
                     reply: self.reply.clone(),
                     poison,
                     fail_fast: true,
+                    trace,
                 },
             ) {
                 // Dispatch failed mid-fan-out: absorb the responses of the shards
@@ -1403,6 +1507,7 @@ impl<T: Lane> ClusterClient<T> {
                         .remove(&response.shard)
                         .expect("each touched shard responds once");
                     self.trace_event(FetchEventKind::Reply, response.shard, response.tag);
+                    self.trace_node_span(response.shard, response.tag, response.node_span);
                     for (i, &position) in positions.iter().enumerate() {
                         let chunk = chunks[position as usize]
                             .take()
@@ -1560,6 +1665,7 @@ impl<T: Lane> ClusterClient<T> {
                             self.dead[shard] = true;
                         } else {
                             self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.fault_window[shard].timeouts += 1;
                             self.strike(shard);
                         }
                         let attempt = units[i].attempts.remove(k);
@@ -1622,6 +1728,7 @@ impl<T: Lane> ClusterClient<T> {
                         continue;
                     }
                     self.trace_event(FetchEventKind::Reply, response.shard, response.tag);
+                    self.trace_node_span(response.shard, response.tag, response.node_span);
                     for (k, &position) in units[i].positions.iter().enumerate() {
                         let chunk = chunks[position as usize]
                             .take()
@@ -1872,6 +1979,7 @@ fn assemble_client<T: Lane>(
         timeout_strikes: vec![0; num_shards],
         missing: Vec::new(),
         trace: None,
+        fault_window: vec![ShardFaultDelta::default(); num_shards],
         node_cache: None,
     }
 }
@@ -2253,6 +2361,156 @@ mod tests {
         }
     }
 
+    /// The metrics-determinism satellite: on a frozen manual clock the scraped
+    /// time-series JSON and the Prometheus exposition are a pure function of
+    /// `(seed, workload)` — byte-identical across repeated runs and across 1/4
+    /// runtime workers, at 1/2/8 shards and in both precisions. Cache off, like the
+    /// trace test: per-worker cache state would make per-batch hit deltas
+    /// scheduling-dependent.
+    #[test]
+    fn metrics_series_and_exposition_are_byte_deterministic_on_a_manual_clock() {
+        use crate::metrics::{exposition, MetricsConfig};
+        use crate::trace::TraceConfig;
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(400)).unwrap();
+        let trace_config = TraceConfig {
+            sample_every: 4,
+            seed: 11,
+            capacity: 4096,
+            slow_k: 6,
+        };
+        let run = |precision: ServePrecision, shards: usize, workers: usize| {
+            let (mut engine, handle) = ServeEngine::new_clustered(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &table,
+                serve_config(0, precision),
+                &cluster_config(shards, 1),
+                None,
+            )
+            .unwrap();
+            engine.enable_tracing(trace_config);
+            engine.enable_metrics(MetricsConfig {
+                interval_us: 1_000.0,
+            });
+            let clock = Arc::new(ManualClock::new());
+            let runtime =
+                ServeRuntime::start(&engine, RuntimeConfig::new(workers, 1024).unwrap(), clock)
+                    .unwrap();
+            for request in workload.requests() {
+                runtime.submit(request.clone()).unwrap();
+            }
+            let outcome = runtime.shutdown().unwrap();
+            handle.shutdown().unwrap();
+            let series = outcome.report.metrics.clone().expect("metrics enabled");
+            assert_eq!(
+                series.windows.iter().map(|w| w.completions).sum::<u64>(),
+                400,
+                "every completion scraped exactly once"
+            );
+            (
+                series.to_json(),
+                exposition(&outcome.report, Some(&outcome.trace)),
+            )
+        };
+        for precision in [ServePrecision::Fp32, ServePrecision::Int8] {
+            for shards in [1usize, 2, 8] {
+                let (series_a, text_a) = run(precision, shards, 1);
+                let (series_b, text_b) = run(precision, shards, 1);
+                assert_eq!(
+                    series_a, series_b,
+                    "repeat run must be byte-identical ({precision:?}, {shards} shards)"
+                );
+                assert_eq!(text_a, text_b);
+                let (series_c, text_c) = run(precision, shards, 4);
+                assert_eq!(
+                    series_a, series_c,
+                    "worker count must not perturb the series ({precision:?}, {shards} shards)"
+                );
+                assert_eq!(text_a, text_c);
+            }
+        }
+    }
+
+    /// The chaos-visibility satellite: a mid-replay shard fault shows up in the
+    /// scraped time series, while a healthy run's fault columns stay all-zero.
+    /// A kill closes the shard's queue, so it surfaces on the dead-owner path as a
+    /// per-window retry/promotion spike on the killed shard; a stall keeps the
+    /// shard "up" but mute, so it additionally drives the deadline path and lands
+    /// windowed timeouts on the stalled shard.
+    #[test]
+    fn a_chaos_kill_spikes_the_per_window_fault_series() {
+        let table = items();
+        let workload = ReplayWorkload::generate(&replay_config(300)).unwrap();
+        let histogram = workload.row_histogram(NUM_ITEMS).unwrap();
+        let mut cluster = cluster_config(4, 1);
+        cluster.placement = Placement::Frequency;
+        cluster.hot_replicas = 64;
+        // A tight deadline so a stalled shard expires in test time, not in 2 s.
+        cluster.resilience = Some(ResilienceConfig {
+            request_timeout_us: 2_000.0,
+            hedge_after_us: f64::INFINITY,
+            max_retries: 2,
+            backoff_us: 100.0,
+        });
+        let serve = |chaos: Option<Arc<ChaosPlan>>| {
+            let (mut engine, handle) = ServeEngine::new_clustered_with(
+                Dlrm::new(DlrmConfig::tiny()).unwrap(),
+                &table,
+                serve_config(64, ServePrecision::Fp32),
+                &cluster,
+                Some(&histogram),
+                ClusterOptions {
+                    chaos,
+                    clock: None,
+                    node_cache: None,
+                },
+            )
+            .unwrap();
+            engine.enable_metrics(workload.metrics_config(10));
+            let outcome = engine.replay(&workload).unwrap();
+            let _ = handle.shutdown(); // a killed worker is reported, not hung on
+            outcome.report.metrics.expect("metrics enabled")
+        };
+        let healthy = serve(None);
+        assert!(
+            healthy
+                .fault_events()
+                .iter()
+                .all(|&(_, faults)| faults == 0),
+            "healthy run: no fault events in any window"
+        );
+        let killed = serve(Some(Arc::new(ChaosPlan::parse("kill:1", 5).unwrap())));
+        let retries_on_killed: u64 = killed
+            .windows
+            .iter()
+            .map(|w| w.shard_retries.get(1).copied().unwrap_or(0))
+            .sum();
+        assert!(
+            retries_on_killed > 0,
+            "the kill must surface as windowed retries on shard 1"
+        );
+        let promotions: u64 = killed
+            .windows
+            .iter()
+            .flat_map(|w| w.shard_promotions.iter())
+            .sum();
+        assert!(promotions > 0, "replicated rows promote in the series");
+        assert!(
+            killed.fault_events().iter().any(|&(_, faults)| faults > 0),
+            "the spike is visible per window"
+        );
+        let stalled = serve(Some(Arc::new(ChaosPlan::parse("stall:1", 5).unwrap())));
+        let timeouts_on_stalled: u64 = stalled
+            .windows
+            .iter()
+            .map(|w| w.shard_timeouts.get(1).copied().unwrap_or(0))
+            .sum();
+        assert!(
+            timeouts_on_stalled > 0,
+            "the stall must surface as windowed deadline timeouts on shard 1"
+        );
+    }
+
     /// Memory accounting for cluster loading: spawning an 8-shard cluster must not
     /// copy any rows — every shard storage is an `Arc` handle onto the caller's one
     /// arena allocation, and shutdown releases exactly those handles.
@@ -2376,6 +2634,7 @@ mod tests {
             timeout_strikes: vec![0],
             missing: Vec::new(),
             trace: None,
+            fault_window: vec![ShardFaultDelta::default()],
             node_cache: None,
         };
         // Fill the queue so the next push must overflow.
@@ -2386,6 +2645,7 @@ mod tests {
                 reply: client.reply.clone(),
                 poison: false,
                 fail_fast: true,
+                trace: None,
             })
             .unwrap();
         let storage = Arc::new(ShardStorage::build(&arena, &[0, 1, 2]));
@@ -2421,6 +2681,7 @@ mod tests {
                 tag: request.tag,
                 shard: 0,
                 data,
+                node_span: None,
             })
             .unwrap();
         let out = fetcher.join().unwrap().unwrap();
@@ -2711,7 +2972,16 @@ mod tests {
     fn uds_cluster_replay_matches_in_process_bit_for_bit() {
         let table = items();
         let workload = ReplayWorkload::generate(&replay_config(200)).unwrap();
-        let cluster = cluster_config(2, 1);
+        // The socket path always runs the resilient fan-out (per-attempt tags), so the
+        // in-process oracle must too, or the trace comparison would diff tag schemes.
+        let mut cluster = cluster_config(2, 1);
+        cluster.resilience = Some(ResilienceConfig::default());
+        let trace_config = crate::trace::TraceConfig {
+            sample_every: 4,
+            seed: 11,
+            capacity: 4096,
+            slow_k: 6,
+        };
         let (mut oracle, oracle_handle) = ServeEngine::new_clustered(
             Dlrm::new(DlrmConfig::tiny()).unwrap(),
             &table,
@@ -2720,6 +2990,7 @@ mod tests {
             None,
         )
         .unwrap();
+        oracle.enable_tracing(trace_config);
         let expected = oracle.replay(&workload).unwrap();
         oracle_handle.shutdown().unwrap();
         let sockets: Vec<PathBuf> = (0..cluster.shards)
@@ -2750,6 +3021,7 @@ mod tests {
             ClusterOptions::default(),
         )
         .unwrap();
+        engine.enable_tracing(trace_config);
         let outcome = engine.replay(&workload).unwrap();
         assert_eq!(outcome.responses.len(), expected.responses.len());
         for (uds, inproc) in outcome.responses.iter().zip(&expected.responses) {
@@ -2764,6 +3036,34 @@ mod tests {
         }
         assert_eq!(outcome.report.cache, expected.report.cache);
         assert_eq!(outcome.report.telemetry.degraded_queries, 0);
+        // Trace-context propagation: fault-free UDS traces are structurally identical
+        // to the in-process oracle — same sampled set, same routing, no fault events —
+        // and every completed sub-request carries the shard node's own server-side
+        // span shipped back over the wire (not reconstructed at the router).
+        assert!(outcome.trace.sampled() > 0);
+        assert_eq!(outcome.trace.sampled(), expected.trace.sampled());
+        for (uds, inproc) in outcome.trace.traces().iter().zip(expected.trace.traces()) {
+            assert_eq!(uds.id, inproc.id);
+            assert!(uds.events.is_empty(), "fault-free: no events over uds");
+            assert!(inproc.events.is_empty());
+            assert_eq!(uds.fetch.len(), inproc.fetch.len(), "query {}", uds.id);
+            for (f_uds, f_inproc) in uds.fetch.iter().zip(&inproc.fetch) {
+                assert_eq!(f_uds.shard, f_inproc.shard, "query {}", uds.id);
+                assert_eq!(f_uds.tag, f_inproc.tag);
+                assert_eq!(f_uds.hedge, f_inproc.hedge);
+                assert_eq!(f_uds.completed, f_inproc.completed);
+                let node = f_uds
+                    .node
+                    .expect("uds replies on traced fetches carry a node span");
+                assert!(node.queue_wait_us >= 0.0 && node.queue_wait_us.is_finite());
+                assert!(node.cache_probe_us >= 0.0 && node.cache_probe_us.is_finite());
+                assert!(node.storage_read_us >= 0.0 && node.storage_read_us.is_finite());
+                assert!(
+                    f_inproc.node.is_some(),
+                    "the in-process oracle measures node spans too"
+                );
+            }
+        }
         drop(engine); // hang the links up before the nodes are told to exit
         handle.shutdown().unwrap();
         for node in nodes {

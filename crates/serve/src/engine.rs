@@ -45,6 +45,7 @@ use crate::cluster::{
     ClusterHandle, ClusterOptions, NodeCacheConfig,
 };
 use crate::error::ServeError;
+use crate::metrics::{MetricsConfig, MetricsScraper};
 use crate::placement::ShardPlan;
 use crate::replay::ReplayWorkload;
 use crate::shard::{shard_embedding, Lane, RowSource, ShardedTable};
@@ -282,6 +283,29 @@ impl ItemStore {
         }
     }
 
+    /// Router-side cache counters only. The metrics plane's per-window cache
+    /// attribution reads these instead of [`ItemStore::cache_stats`]: the node-cache
+    /// counters are shared atomics that other worker clones mutate concurrently, so
+    /// folding them into a window would make the per-window split nondeterministic.
+    fn router_cache_stats(&self) -> CacheStats {
+        match self {
+            ItemStore::Fp32 { cache, .. } => cache.stats(),
+            ItemStore::Int8 { cache, .. } => cache.stats(),
+            ItemStore::ClusterFp32 { cache, .. } => cache.stats(),
+            ItemStore::ClusterInt8 { cache, .. } => cache.stats(),
+        }
+    }
+
+    /// Drain the router clone's per-shard fault deltas (empty for in-process stores
+    /// and fault-free batches).
+    fn take_fault_deltas(&mut self) -> Vec<crate::metrics::ShardFaultDelta> {
+        match self {
+            ItemStore::ClusterFp32 { client, .. } => client.take_fault_deltas(),
+            ItemStore::ClusterInt8 { client, .. } => client.take_fault_deltas(),
+            _ => Vec::new(),
+        }
+    }
+
     /// A snapshot of the cluster counters (None for in-process stores).
     fn cluster_stats(&self) -> Option<ClusterStats> {
         match self {
@@ -433,6 +457,7 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
         source.pool_direct(batch, profiles)?;
         if let Some(trace) = trace.as_deref_mut() {
             trace.fetch_end_us = trace.clock.now_us();
+            trace.node_spans = source.trace_drain_node_spans();
             trace.events = source.trace_drain();
         }
         cache.record_misses(batch.total_lookups() as u64);
@@ -476,6 +501,7 @@ fn pool_profiles<T: Lane, S: RowSource<T>>(
     }
     if let Some(trace) = trace {
         trace.fetch_end_us = trace.clock.now_us();
+        trace.node_spans = source.trace_drain_node_spans();
         trace.events = source.trace_drain();
         trace.misses = fetched.len() as u64;
         trace.coalesced = coalesced.len() as u64;
@@ -513,6 +539,10 @@ pub struct ServeEngine {
     config: ServeConfig,
     telemetry: ServeTelemetry,
     tracer: Option<Tracer>,
+    /// The live metrics plane, armed by [`ServeEngine::enable_metrics`]: buckets
+    /// arrivals / completions / latencies / faults into fixed event-time windows.
+    /// Per-clone state — the threaded runtime merges its workers' scrapers.
+    metrics: Option<MetricsScraper>,
 }
 
 impl ServeEngine {
@@ -579,6 +609,7 @@ impl ServeEngine {
             config,
             telemetry: ServeTelemetry::default(),
             tracer: None,
+            metrics: None,
         })
     }
 
@@ -682,6 +713,7 @@ impl ServeEngine {
                 config,
                 telemetry: ServeTelemetry::default(),
                 tracer: None,
+                metrics: None,
             },
             handle,
         ))
@@ -761,6 +793,7 @@ impl ServeEngine {
                 config,
                 telemetry: ServeTelemetry::default(),
                 tracer: None,
+                metrics: None,
             },
             handle,
         ))
@@ -850,6 +883,69 @@ impl ServeEngine {
         if let Some(tracer) = &mut self.tracer {
             tracer.reset();
         }
+        if let Some(scraper) = &mut self.metrics {
+            let config = MetricsConfig {
+                interval_us: scraper.interval_us(),
+            };
+            *scraper = MetricsScraper::new(&config, self.store.num_shards());
+        }
+    }
+
+    /// Arm the live metrics plane: every subsequent replay buckets arrivals,
+    /// completions, latencies, router-cache traffic and per-shard fault deltas into
+    /// fixed event-time windows of `config.interval_us`, reported as
+    /// [`ServeReport::metrics`]. Windowing is by *event time*, so the resulting
+    /// series is byte-identical across worker counts on a frozen manual clock.
+    pub fn enable_metrics(&mut self, config: MetricsConfig) {
+        self.metrics = Some(MetricsScraper::new(&config, self.store.num_shards()));
+    }
+
+    /// Whether [`ServeEngine::enable_metrics`] armed the metrics plane.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Take this clone's scraper (the threaded runtime collects one per worker and
+    /// merges them window-wise). `None` when metrics are off.
+    pub(crate) fn take_metrics(&mut self) -> Option<MetricsScraper> {
+        self.metrics.take()
+    }
+
+    /// The router-cache marker to diff a batch's cache traffic against —
+    /// `None` (free) when metrics are off.
+    pub(crate) fn metrics_cache_marker(&self) -> Option<CacheStats> {
+        self.metrics
+            .as_ref()
+            .map(|_| self.store.router_cache_stats())
+    }
+
+    /// Record one served batch on the metrics plane: `arrivals` are the batch's
+    /// request arrival stamps, `latencies` the per-request end-to-end latencies, and
+    /// `marker` the pre-batch cache marker from
+    /// [`ServeEngine::metrics_cache_marker`]. No-op when metrics are off.
+    pub(crate) fn record_metrics_batch(
+        &mut self,
+        marker: Option<CacheStats>,
+        arrivals: &[f64],
+        completed_us: f64,
+        latencies: &[f64],
+    ) {
+        let Some(before) = marker else { return };
+        let after = self.store.router_cache_stats();
+        let faults = self.store.take_fault_deltas();
+        let Some(scraper) = &mut self.metrics else {
+            return;
+        };
+        for &at_us in arrivals {
+            scraper.record_arrival(at_us);
+        }
+        scraper.record_batch(
+            completed_us,
+            latencies,
+            after.hits.saturating_sub(before.hits),
+            after.misses.saturating_sub(before.misses),
+            &faults,
+        );
     }
 
     /// Turn on per-query tracing with `config` (a `sample_every` of 0 turns it off
@@ -948,6 +1044,7 @@ impl ServeEngine {
                 trace.misses += sub.misses;
                 trace.coalesced += sub.coalesced;
                 trace.events.extend(sub.events);
+                trace.node_spans.extend(sub.node_spans);
             }
             for (&index, profile) in group.iter().zip(sub_dense.chunks(dense_dim)) {
                 dense[index * dense_dim..(index + 1) * dense_dim].copy_from_slice(profile);
@@ -1066,6 +1163,7 @@ impl ServeEngine {
                 misses: pool.misses,
                 coalesced: pool.coalesced,
                 events: pool.events,
+                node_spans: pool.node_spans,
             };
             self.tracer
                 .as_mut()
@@ -1139,6 +1237,7 @@ impl ServeEngine {
             cache: self.store.cache_stats(),
             runtime: None,
             cluster: self.store.cluster_stats(),
+            metrics: self.metrics.as_ref().map(MetricsScraper::series),
         };
         let trace = self.take_trace_log();
         Ok(ReplayOutcome {
@@ -1155,6 +1254,7 @@ impl ServeEngine {
         out: &mut Vec<ServeResponse>,
     ) -> Result<(), ServeError> {
         let start_us = engine_free_us.max(batch.trigger_us);
+        let marker = self.metrics_cache_marker();
         let started = Instant::now();
         let mut responses = self.process_batch(&batch.requests)?;
         let service_us = started.elapsed().as_secs_f64() * 1e6;
@@ -1162,6 +1262,11 @@ impl ServeEngine {
         *engine_free_us = completion_us;
         self.telemetry.busy_us += service_us;
         self.telemetry.makespan_us = completion_us;
+        if marker.is_some() {
+            let arrivals: Vec<f64> = batch.requests.iter().map(|r| r.arrival_us).collect();
+            let latencies: Vec<f64> = arrivals.iter().map(|&at| completion_us - at).collect();
+            self.record_metrics_batch(marker, &arrivals, completion_us, &latencies);
+        }
         if let Some(tracer) = &mut self.tracer {
             // Re-anchor the batch's measured stage marks onto the virtual timeline:
             // pooling starts at the simulated service start.
@@ -1676,5 +1781,101 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The metrics plane on the simulated path: event-time windows cover every
+    /// arrival and completion exactly once, the per-window cache split sums to the
+    /// run totals, and the series lands in the report JSON.
+    #[test]
+    fn simulated_replay_scrapes_a_coherent_time_series() {
+        let workload = ReplayWorkload::generate(&replay_config(400)).unwrap();
+        let mut served = engine(64, ServePrecision::Fp32);
+        assert!(!served.metrics_enabled());
+        served.enable_metrics(workload.metrics_config(10));
+        assert!(served.metrics_enabled());
+        let outcome = served.replay(&workload).unwrap();
+        let series = outcome.report.metrics.as_ref().expect("metrics enabled");
+        assert!(
+            series.windows.len() > 1,
+            "virtual arrivals span several windows: {}",
+            series.windows.len()
+        );
+        let arrivals: u64 = series.windows.iter().map(|w| w.arrivals).sum();
+        let completions: u64 = series.windows.iter().map(|w| w.completions).sum();
+        assert_eq!(arrivals, 400, "every arrival lands in exactly one window");
+        assert_eq!(completions, 400);
+        assert_eq!(
+            series.windows.last().unwrap().queue_depth,
+            0,
+            "everything drains by the final window"
+        );
+        let hits: u64 = series.windows.iter().map(|w| w.cache_hits).sum();
+        let misses: u64 = series.windows.iter().map(|w| w.cache_misses).sum();
+        assert_eq!(hits, outcome.report.cache.hits);
+        assert_eq!(misses, outcome.report.cache.misses);
+        assert!(series.peak_qps().unwrap().1 > 0.0);
+        // Fault-free single-node run: the per-window fault columns are all zero.
+        assert!(series.fault_events().iter().all(|&(_, faults)| faults == 0));
+        let json = outcome.report.to_json();
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"windows\""));
+        // A replay without metrics keeps the section out entirely.
+        let mut plain = engine(64, ServePrecision::Fp32);
+        let control = plain.replay(&workload).unwrap();
+        assert!(control.report.metrics.is_none());
+        assert!(!control.report.to_json().contains("\"windows\""));
+    }
+
+    /// The exemplar acceptance criterion: with every sampled trace retained, every
+    /// stage-histogram bucket with samples carries an exemplar whose trace id
+    /// resolves to a retained trace, and the exposition dump renders them.
+    #[test]
+    fn every_sampled_stage_bucket_carries_a_resolvable_exemplar() {
+        use crate::metrics::{exposition, StageExemplars};
+        use crate::trace::{Stage, TraceConfig};
+        let workload = ReplayWorkload::generate(&replay_config(300)).unwrap();
+        let mut served = engine(64, ServePrecision::Fp32);
+        served.enable_tracing(TraceConfig {
+            sample_every: 1,
+            seed: 3,
+            capacity: 4096,
+            slow_k: 8,
+        });
+        let outcome = served.replay(&workload).unwrap();
+        assert_eq!(outcome.trace.sampled(), 300);
+        let exemplars = StageExemplars::harvest(&outcome.trace);
+        assert!(!exemplars.is_empty());
+        let retained: std::collections::HashSet<u64> = outcome
+            .trace
+            .traces()
+            .iter()
+            .chain(outcome.trace.slow_queries().iter())
+            .map(|trace| trace.id)
+            .collect();
+        let stages = &outcome.report.telemetry.stages;
+        for (i, (name, histogram)) in stages.stages().iter().enumerate() {
+            for (bucket, _upper_us, count) in histogram.indexed_buckets() {
+                let (id, value_us) = exemplars.lookup(Stage::ALL[i], bucket).unwrap_or_else(|| {
+                    panic!("stage {name} bucket {bucket} has {count} samples but no exemplar")
+                });
+                assert!(
+                    retained.contains(&id),
+                    "stage {name} bucket {bucket}: exemplar {id} must resolve to a retained trace"
+                );
+                assert!(value_us >= 0.0);
+            }
+        }
+        for (bucket, _upper_us, count) in stages.total.indexed_buckets() {
+            let (id, _) = exemplars.lookup_total(bucket).unwrap_or_else(|| {
+                panic!("total bucket {bucket} has {count} samples, no exemplar")
+            });
+            assert!(retained.contains(&id));
+        }
+        let text = exposition(&outcome.report, Some(&outcome.trace));
+        assert!(
+            text.contains("trace_id=\""),
+            "exemplars render in exposition"
+        );
+        assert!(text.ends_with("# EOF\n"));
     }
 }

@@ -44,9 +44,15 @@
 //!   tail-attribution and modeled-cost reporting with a bench-harness-style JSON
 //!   summary;
 //! * [`trace`] — deterministic, clock-injected query tracing: per-stage spans, cluster
-//!   sub-request child spans with retry/hedge/timeout/promotion events, seeded
+//!   sub-request child spans with retry/hedge/timeout/promotion events,
+//!   shard-node-side server spans propagated over the UDS trace context, seeded
 //!   head-based sampling into a bounded log, a slow-query log, and a
-//!   Chrome-trace-event JSON exporter (Perfetto-loadable).
+//!   Chrome-trace-event JSON exporter (Perfetto-loadable);
+//! * [`metrics`] — the live metrics plane: a lock-cheap counter/gauge/histogram
+//!   registry scraped into fixed event-time windows by a deterministic
+//!   [`MetricsScraper`], a per-window time-series section in the report JSON,
+//!   and a Prometheus-style text exposition with histogram exemplars linking
+//!   tail buckets to retained traces.
 
 #![warn(missing_docs)]
 
@@ -57,6 +63,7 @@ pub mod clock;
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod placement;
 pub mod queue;
 pub mod replay;
@@ -77,6 +84,10 @@ pub use engine::{
     ReplayOutcome, ServeConfig, ServeEngine, ServePrecision, ServeRequest, ServeResponse,
 };
 pub use error::ServeError;
+pub use metrics::{
+    exposition, Counter, Gauge, Histogram, MetricsConfig, MetricsScraper, MetricsSeries,
+    ShardFaultDelta, StageExemplars, WindowSample,
+};
 pub use placement::{Placement, ShardPlan, ShardSplit, SubBatch};
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use replay::{ReplayConfig, ReplayWorkload};
@@ -86,7 +97,7 @@ pub use telemetry::{
     ClusterStats, LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry, StageBreakdown,
 };
 pub use trace::{
-    chrome_export, FetchEvent, FetchEventKind, FetchSpan, QueryTrace, Span, Stage, TraceConfig,
-    TraceLog,
+    chrome_export, FetchEvent, FetchEventKind, FetchSpan, NodeSpan, QueryTrace, Span, Stage,
+    TraceConfig, TraceLog,
 };
 pub use transport::run_shard_node;

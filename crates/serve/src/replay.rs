@@ -164,6 +164,29 @@ impl ReplayWorkload {
         self.requests.is_empty()
     }
 
+    /// The trace's arrival span in microseconds: the last request's timestamp
+    /// (arrivals are non-decreasing), zero for an empty trace.
+    pub fn span_us(&self) -> f64 {
+        self.requests
+            .last()
+            .map_or(0.0, |request| request.arrival_us)
+    }
+
+    /// A metrics configuration whose scrape interval splits the trace's arrival span
+    /// into roughly `windows` event-time windows — the canonical way to size the
+    /// [`MetricsScraper`](crate::metrics::MetricsScraper) grid to a generated trace.
+    /// Degenerate traces (zero span or zero `windows`) fall back to the default
+    /// interval, so the window math can never divide by zero.
+    pub fn metrics_config(&self, windows: usize) -> crate::metrics::MetricsConfig {
+        let span = self.span_us();
+        if windows == 0 || !span.is_finite() || span <= 0.0 {
+            return crate::metrics::MetricsConfig::default();
+        }
+        crate::metrics::MetricsConfig {
+            interval_us: (span / windows as f64).max(1.0),
+        }
+    }
+
     /// Per-row access counts over the trace's histories — the measured popularity
     /// histogram that drives frequency-aware shard placement (and hot-replica choice).
     ///
@@ -317,6 +340,24 @@ mod tests {
             workload.row_histogram(10),
             Err(ServeError::RowOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn metrics_config_splits_the_arrival_span_into_windows() {
+        let workload = ReplayWorkload::generate(&config()).unwrap();
+        let span = workload.span_us();
+        assert!(span > 0.0);
+        let metrics = workload.metrics_config(20);
+        assert!((metrics.interval_us - span / 20.0).abs() < 1e-9);
+        // Every arrival lands in one of the requested windows (the last one exactly
+        // on the boundary spills into window `windows`, hence <=).
+        for request in workload.requests() {
+            let index = (request.arrival_us / metrics.interval_us).floor() as i64;
+            assert!((0..=20).contains(&index), "window {index}");
+        }
+        // Degenerate inputs fall back to the default interval.
+        let default_us = crate::metrics::MetricsConfig::default().interval_us;
+        assert_eq!(workload.metrics_config(0).interval_us, default_us);
     }
 
     #[test]

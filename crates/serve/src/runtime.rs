@@ -36,6 +36,7 @@ use crate::cache::CacheStats;
 use crate::clock::{Clock, WallClock};
 use crate::engine::{ReplayOutcome, ServeEngine, ServeRequest, ServeResponse};
 use crate::error::ServeError;
+use crate::metrics::MetricsScraper;
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::replay::ReplayWorkload;
 use crate::telemetry::{LatencyHistogram, RuntimeStats, ServeReport, ServeTelemetry};
@@ -137,6 +138,7 @@ struct WorkerOutput {
     busy_us: f64,
     last_completion_us: f64,
     trace: TraceLog,
+    metrics: Option<MetricsScraper>,
 }
 
 /// A running threaded serving pipeline: submit requests, then [`ServeRuntime::shutdown`]
@@ -345,6 +347,7 @@ impl ServeRuntime {
         let mut trace = TraceLog::default();
         let mut worker_busy_us = Vec::with_capacity(outputs.len());
         let mut last_completion_us = self.start_us;
+        let mut metrics: Option<MetricsScraper> = None;
         for output in outputs {
             telemetry.merge(&output.telemetry);
             telemetry.latency.merge(&output.latency);
@@ -356,6 +359,14 @@ impl ServeRuntime {
             // Head retention commutes with the union, so the merged log equals the
             // single-worker log for the same trace (pinned in the trace tests).
             trace.merge(&output.trace);
+            // Window merging is commutative too: events land in windows by their
+            // timestamps, so the merged series is independent of worker count.
+            if let Some(worker_metrics) = output.metrics {
+                match metrics.as_mut() {
+                    Some(merged) => merged.merge(&worker_metrics),
+                    None => metrics = Some(worker_metrics),
+                }
+            }
         }
         let wall_us = (last_completion_us - self.start_us).max(0.0);
         telemetry.makespan_us = wall_us;
@@ -387,6 +398,7 @@ impl ServeRuntime {
                 .report_cluster
                 .as_ref()
                 .map(|counters| counters.snapshot()),
+            metrics: metrics.as_ref().map(MetricsScraper::series),
         };
         Ok(ReplayOutcome {
             responses,
@@ -527,6 +539,7 @@ fn run_worker(
             .into_iter()
             .map(|timed| (timed.request, timed.submitted_us))
             .unzip();
+        let metrics_marker = engine.metrics_cache_marker();
         let service_started = Instant::now();
         let mut batch_responses = match engine.process_batch(&batch_requests) {
             Ok(batch_responses) => batch_responses,
@@ -547,9 +560,15 @@ fn run_worker(
                 .collect();
             engine.finalize_trace(&queries, trigger_us, completed_us);
         }
-        for (response, submitted_us) in batch_responses.iter_mut().zip(stamps) {
+        for (response, submitted_us) in batch_responses.iter_mut().zip(&stamps) {
             response.latency_us = (completed_us - submitted_us).max(0.0);
             latency.record(response.latency_us);
+        }
+        if metrics_marker.is_some() {
+            // Arrivals are the submit stamps (the measured-latency origin), so the
+            // per-window queue depth reflects what producers actually experienced.
+            let latencies: Vec<f64> = batch_responses.iter().map(|r| r.latency_us).collect();
+            engine.record_metrics_batch(metrics_marker, &stamps, completed_us, &latencies);
         }
         shared
             .completed
@@ -557,6 +576,7 @@ fn run_worker(
         responses.extend(batch_responses);
     }
     let trace = engine.take_trace_log();
+    let metrics = engine.take_metrics();
     Ok(WorkerOutput {
         responses,
         latency,
@@ -565,6 +585,7 @@ fn run_worker(
         busy_us,
         last_completion_us,
         trace,
+        metrics,
     })
 }
 

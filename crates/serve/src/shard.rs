@@ -141,6 +141,22 @@ pub(crate) trait RowSource<T: Lane> {
         Vec::new()
     }
 
+    /// Take the shard-node server spans that arrived with replies since
+    /// [`RowSource::trace_arm`]. Empty for sources without shard nodes. Call this
+    /// *before* [`RowSource::trace_drain`], which disarms the sink.
+    fn trace_drain_node_spans(&mut self) -> Vec<crate::trace::NodeSpanRecord> {
+        Vec::new()
+    }
+
+    /// Drain the per-shard fault-counter deltas (timeouts / retries / promotions)
+    /// accumulated since the last drain, for the metrics plane's per-window
+    /// attribution. Empty for sources that cannot fault. Unlike the shared
+    /// cluster counters, this is clone-local state: draining it per batch is
+    /// deterministic regardless of what other worker clones are doing.
+    fn take_fault_deltas(&mut self) -> Vec<crate::metrics::ShardFaultDelta> {
+        Vec::new()
+    }
+
     /// Whether this source serves fetches through per-shard-node caches (the
     /// [`CachePlacement::Shard`](crate::cache::CachePlacement::Shard) layout). When
     /// true, [`RowSource::fetch_rows`] absorbs repeated rows at the node and the

@@ -49,7 +49,10 @@ impl LatencyHistogram {
         }
     }
 
-    fn bucket_of(latency_us: f64) -> usize {
+    /// The bucket index a value lands in — public so the metrics plane's
+    /// exemplar harvest ([`crate::metrics::StageExemplars`]) can key exemplars
+    /// by the exact bucket the exposition dump renders.
+    pub fn bucket_of(latency_us: f64) -> usize {
         // NaN would fall through a plain `<= BASE_US` comparison into the log-domain
         // math; route it to bucket 0 alongside negatives, zero and sub-base values.
         if latency_us.is_nan() || latency_us <= BASE_US {
@@ -67,7 +70,7 @@ impl LatencyHistogram {
     }
 
     /// Upper edge of a bucket in microseconds.
-    fn bucket_upper_us(index: usize) -> f64 {
+    pub fn bucket_upper_us(index: usize) -> f64 {
         BASE_US * ((index + 1) as f64 / BUCKETS_PER_OCTAVE).exp2()
     }
 
@@ -124,6 +127,18 @@ impl LatencyHistogram {
         self.sum_us += other.sum_us;
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The non-empty buckets as `(bucket_index, upper_edge_us, count)` triples —
+    /// the Prometheus exposition renders cumulative `le` buckets from these and
+    /// attaches per-bucket exemplars by index.
+    pub fn indexed_buckets(&self) -> Vec<(usize, f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (index, Self::bucket_upper_us(index), count))
+            .collect()
     }
 
     /// The non-empty buckets as `(upper_edge_us, count)` pairs — the full distribution,
@@ -285,8 +300,11 @@ pub struct ServeTelemetry {
 
 impl ServeTelemetry {
     /// Queries per second over the virtual makespan (arrival pacing included).
+    /// An empty replay or a frozen-clock run has a zero (or degenerate)
+    /// makespan; the finite check runs first so a NaN makespan reports 0
+    /// instead of putting NaN into the report JSON.
     pub fn served_qps(&self) -> f64 {
-        if self.makespan_us <= 0.0 {
+        if !self.makespan_us.is_finite() || self.makespan_us <= 0.0 {
             0.0
         } else {
             self.queries as f64 / self.makespan_us * 1e6
@@ -294,8 +312,9 @@ impl ServeTelemetry {
     }
 
     /// Queries per second over engine busy time only (peak service rate).
+    /// NaN-proof like [`ServeTelemetry::served_qps`].
     pub fn service_qps(&self) -> f64 {
-        if self.busy_us <= 0.0 {
+        if !self.busy_us.is_finite() || self.busy_us <= 0.0 {
             0.0
         } else {
             self.queries as f64 / self.busy_us * 1e6
@@ -334,8 +353,13 @@ impl ServeTelemetry {
     /// *measured* service time), this is a pure function of the replayed trace and the
     /// cost model — byte-deterministic across runs, which is what the `cache_scaling`
     /// study's qps-vs-capacity curves require.
+    /// Zero-duration guard: an empty replay accumulates no modeled latency, and
+    /// the finite check keeps a NaN cost from leaking NaN into the JSON.
     pub fn modeled_qps(&self) -> f64 {
-        if self.queries == 0 || self.total_cost.latency_ns <= 0.0 {
+        if self.queries == 0
+            || !self.total_cost.latency_ns.is_finite()
+            || self.total_cost.latency_ns <= 0.0
+        {
             0.0
         } else {
             self.queries as f64 / (self.total_cost.latency_ns * 1e-9)
@@ -411,8 +435,9 @@ impl RuntimeStats {
     }
 
     /// Mean worker utilization: total busy time over `workers × wall span`.
+    /// NaN-proof: a zero-duration (or NaN) wall span reports 0, not NaN.
     pub fn utilization(&self) -> f64 {
-        if self.workers == 0 || self.wall_us <= 0.0 {
+        if self.workers == 0 || !self.wall_us.is_finite() || self.wall_us <= 0.0 {
             0.0
         } else {
             let busy: f64 = self.worker_busy_us.iter().sum();
@@ -545,6 +570,9 @@ pub struct ServeReport {
     pub runtime: Option<RuntimeStats>,
     /// Shard-cluster counters; `None` when the engine serves from the in-process table.
     pub cluster: Option<ClusterStats>,
+    /// The scraped time series from the metrics plane; `None` unless metrics
+    /// were enabled on the engine ([`crate::engine::ServeEngine::enable_metrics`]).
+    pub metrics: Option<crate::metrics::MetricsSeries>,
 }
 
 impl ServeReport {
@@ -664,6 +692,20 @@ impl ServeReport {
                 runtime.rejection_rate() * 100.0,
                 runtime.batcher_stalls,
                 runtime.batcher_stall_us,
+            );
+        }
+        if let Some(metrics) = &self.metrics {
+            let peak = metrics.peak_qps();
+            let _ = writeln!(
+                s,
+                "  metrics: {} windows of {:.0}us{}",
+                metrics.windows.len(),
+                metrics.interval_us,
+                match peak {
+                    Some((index, qps)) if qps > 0.0 =>
+                        format!(", peak {qps:.0} qps in window {index}"),
+                    _ => String::new(),
+                },
             );
         }
         if t.stages.sampled > 0 {
@@ -890,6 +932,9 @@ impl ServeReport {
             let _ = writeln!(json, "    \"utilization\": {:.6},", runtime.utilization());
             let _ = writeln!(json, "    \"wall_us\": {:.3}", runtime.wall_us);
             let _ = writeln!(json, "  }},");
+        }
+        if let Some(metrics) = &self.metrics {
+            let _ = writeln!(json, "  \"metrics\": {},", metrics.json_with_indent(2));
         }
         let _ = writeln!(
             json,
@@ -1118,6 +1163,7 @@ mod tests {
             },
             runtime: None,
             cluster: None,
+            metrics: None,
         };
         let json = report.to_json();
         for needle in [
@@ -1250,6 +1296,7 @@ mod tests {
                 wall_us: 5000.0,
             }),
             cluster: None,
+            metrics: None,
         };
         let json = report.to_json();
         for needle in [
@@ -1330,6 +1377,7 @@ mod tests {
                 shard_queue_depth_max: vec![3, 2, 2, 1],
                 ..ClusterStats::default()
             }),
+            metrics: None,
         };
         let json = report.to_json();
         for needle in [
@@ -1387,6 +1435,7 @@ mod tests {
                 missing_rows: 12,
                 ..ClusterStats::default()
             }),
+            metrics: None,
         };
         let json = report.to_json();
         for needle in [
@@ -1427,6 +1476,7 @@ mod tests {
             cache: CacheStats::default(),
             runtime: None,
             cluster: None,
+            metrics: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"suite\": \"bad\\nname\\twith\\u0001controls\","));
@@ -1466,6 +1516,7 @@ mod tests {
             cache: CacheStats::default(),
             runtime: None,
             cluster: None,
+            metrics: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"buckets\": [["), "bucket pairs in {json}");
@@ -1553,6 +1604,7 @@ mod tests {
             cache: CacheStats::default(),
             runtime: None,
             cluster: None,
+            metrics: None,
         };
         let json = report.to_json();
         for needle in [
@@ -1582,6 +1634,7 @@ mod tests {
             cache: CacheStats::default(),
             runtime: None,
             cluster: None,
+            metrics: None,
         };
         assert!(!silent.to_json().contains("stage_breakdown"));
         assert!(!silent.summary().contains("stage breakdown"));

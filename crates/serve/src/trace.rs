@@ -180,6 +180,40 @@ pub struct FetchEvent {
     pub at_us: f64,
 }
 
+/// A server-side span measured *at the shard node itself* and shipped back to the
+/// router over the transport's trace context (or handed over directly by an
+/// in-process shard worker). Unlike the router-side [`FetchSpan`], these durations
+/// separate where the node's time went: waiting in its input queue, probing its
+/// node cache, and reading resident storage.
+///
+/// All fields are durations in microseconds on the node's own clock — the
+/// in-process path measures them on the tracer's injected clock (frozen on a
+/// [`ManualClock`](crate::clock::ManualClock), keeping traces byte-deterministic),
+/// the UDS path measures wall time at the remote process.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeSpan {
+    /// Time the sub-request waited in the node's input queue before a worker
+    /// picked it up.
+    pub queue_wait_us: f64,
+    /// Time spent probing the node's hot-row cache (0 when the node runs
+    /// uncached).
+    pub cache_probe_us: f64,
+    /// Time spent reading rows from the node's resident storage.
+    pub storage_read_us: f64,
+}
+
+/// A node span tied to the attempt that produced it, staged until finalization
+/// renumbers tags and attaches it to the matching [`FetchSpan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct NodeSpanRecord {
+    /// Shard that measured the span.
+    pub shard: u32,
+    /// The attempt's wire tag (renumbered alongside the fetch events).
+    pub tag: u64,
+    /// The measured span.
+    pub span: NodeSpan,
+}
+
 /// One cluster sub-request: a child span of the [`Stage::ClusterFetch`] stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FetchSpan {
@@ -197,6 +231,9 @@ pub struct FetchSpan {
     /// Whether a reply or expiry closed the span (`false`: abandoned, e.g. a hedge
     /// loser drained after the winner landed).
     pub completed: bool,
+    /// The shard node's own server-side span, when the reply carried one (replies
+    /// on traced fetches do; timeouts and abandoned attempts have none).
+    pub node: Option<NodeSpan>,
 }
 
 /// The full trace of one sampled query.
@@ -253,6 +290,8 @@ pub(crate) struct PoolTrace {
     pub fetch_end_us: f64,
     /// Router events drained from the row source after the fetch.
     pub events: Vec<FetchEvent>,
+    /// Shard-node server spans drained from the row source after the fetch.
+    pub node_spans: Vec<NodeSpanRecord>,
 }
 
 impl PoolTrace {
@@ -265,6 +304,7 @@ impl PoolTrace {
             fetch_begin_us: 0.0,
             fetch_end_us: 0.0,
             events: Vec::new(),
+            node_spans: Vec::new(),
         }
     }
 }
@@ -293,6 +333,8 @@ pub(crate) struct BatchScratch {
     pub coalesced: u64,
     /// Router events recorded during the fetch, on the tracer clock.
     pub events: Vec<FetchEvent>,
+    /// Shard-node server spans that arrived with the fetch's replies.
+    pub node_spans: Vec<NodeSpanRecord>,
 }
 
 /// The per-engine tracer: sampling config, injected clock, staged batch marks, and the
@@ -374,7 +416,7 @@ impl Tracer {
         let Some(mut scratch) = self.pending.take() else {
             return;
         };
-        normalize_tags(&mut scratch.events);
+        normalize_tags(&mut scratch.events, &mut scratch.node_spans);
         let shift = virtual_start_us.map_or(0.0, |start| start - scratch.pool_begin_us);
         let pool_begin = scratch.pool_begin_us + shift;
         let pool_end = scratch.pool_end_us + shift;
@@ -382,7 +424,7 @@ impl Tracer {
         let rank_end = scratch.rank_end_us + shift;
         let fetch_begin = scratch.fetch_begin_us + shift;
         let fetch_end = scratch.fetch_end_us + shift;
-        let fetch = assemble_fetch_spans(&scratch.events, shift, fetch_end);
+        let fetch = assemble_fetch_spans(&scratch.events, &scratch.node_spans, shift, fetch_end);
         let events: Vec<FetchEvent> = scratch
             .events
             .iter()
@@ -456,8 +498,10 @@ impl Tracer {
 /// Renumber attempt tags to 1, 2, ... by first appearance (dispatch order), so traces
 /// never leak the router's global tag counter — its value depends on how many batches
 /// a worker's router clone has served (scheduling), not on the query. Decision events
-/// (retry/promotion/degrade) keep their sentinel tag 0.
-fn normalize_tags(events: &mut [FetchEvent]) {
+/// (retry/promotion/degrade) keep their sentinel tag 0. Node-span records arrived with
+/// replies, so their raw tags are always in the map; they renumber through the same
+/// order so they still match their [`FetchSpan`] after normalization.
+fn normalize_tags(events: &mut [FetchEvent], node_spans: &mut [NodeSpanRecord]) {
     let mut order: Vec<u64> = Vec::new();
     for event in events.iter_mut() {
         if matches!(
@@ -476,12 +520,24 @@ fn normalize_tags(events: &mut [FetchEvent]) {
             };
         }
     }
+    for record in node_spans.iter_mut() {
+        if let Some(position) = order.iter().position(|&tag| tag == record.tag) {
+            record.tag = position as u64 + 1;
+        }
+    }
 }
 
 /// Build child spans from the raw event stream: dispatch/hedge events open a span,
 /// a reply or timeout with the same `(tag, shard)` closes it, and anything left open
-/// (abandoned hedge losers, stragglers) is closed at the fetch window's end.
-fn assemble_fetch_spans(events: &[FetchEvent], shift: f64, fetch_end_us: f64) -> Vec<FetchSpan> {
+/// (abandoned hedge losers, stragglers) is closed at the fetch window's end. Node
+/// spans shipped back with replies attach to the attempt that produced them by the
+/// same `(tag, shard)` key.
+fn assemble_fetch_spans(
+    events: &[FetchEvent],
+    node_spans: &[NodeSpanRecord],
+    shift: f64,
+    fetch_end_us: f64,
+) -> Vec<FetchSpan> {
     let mut spans: Vec<FetchSpan> = Vec::new();
     for event in events {
         match event.kind {
@@ -492,6 +548,7 @@ fn assemble_fetch_spans(events: &[FetchEvent], shift: f64, fetch_end_us: f64) ->
                 begin_us: event.at_us + shift,
                 end_us: fetch_end_us,
                 completed: false,
+                node: None,
             }),
             FetchEventKind::Reply | FetchEventKind::Timeout => {
                 if let Some(span) = spans.iter_mut().find(|span| {
@@ -502,6 +559,14 @@ fn assemble_fetch_spans(events: &[FetchEvent], shift: f64, fetch_end_us: f64) ->
                 }
             }
             _ => {}
+        }
+    }
+    for record in node_spans {
+        if let Some(span) = spans
+            .iter_mut()
+            .find(|span| span.tag == record.tag && span.shard == record.shard)
+        {
+            span.node = Some(record.span);
         }
     }
     spans
@@ -623,8 +688,15 @@ impl TraceLog {
                 ));
             }
             for fetch in &trace.fetch {
+                let node_args = match &fetch.node {
+                    Some(node) => format!(
+                        ",\"node_queue_wait_us\":{:.3},\"node_cache_probe_us\":{:.3},\"node_storage_read_us\":{:.3}",
+                        node.queue_wait_us, node.cache_probe_us, node.storage_read_us,
+                    ),
+                    None => String::new(),
+                };
                 events.push(format!(
-                    "{{\"name\":\"fetch shard {shard}\",\"cat\":\"fetch\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"shard\":{shard},\"tag\":{tag},\"hedge\":{hedge},\"completed\":{completed}}}}}",
+                    "{{\"name\":\"fetch shard {shard}\",\"cat\":\"fetch\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"shard\":{shard},\"tag\":{tag},\"hedge\":{hedge},\"completed\":{completed}{node_args}}}}}",
                     shard = fetch.shard,
                     ts = fetch.begin_us,
                     dur = (fetch.end_us - fetch.begin_us).max(0.0),
@@ -685,6 +757,12 @@ impl TraceLog {
                             if fetch.hedge { " (hedge)" } else { "" },
                             if fetch.completed { "" } else { " (abandoned)" },
                         ));
+                        if let Some(node) = &fetch.node {
+                            out.push_str(&format!(
+                                "         node: queue {:.3} us, cache probe {:.3} us, storage read {:.3} us\n",
+                                node.queue_wait_us, node.cache_probe_us, node.storage_read_us,
+                            ));
+                        }
                     }
                     for event in &trace.events {
                         out.push_str(&format!(
@@ -746,6 +824,11 @@ mod tests {
                 begin_us: start_us,
                 end_us,
                 completed: true,
+                node: Some(NodeSpan {
+                    queue_wait_us: 1.5,
+                    cache_probe_us: 0.25,
+                    storage_read_us: 2.0,
+                }),
             }],
             events: Vec::new(),
         }
@@ -880,6 +963,15 @@ mod tests {
                     at_us: 1020.0,
                 },
             ],
+            node_spans: vec![NodeSpanRecord {
+                shard: 0,
+                tag: 11,
+                span: NodeSpan {
+                    queue_wait_us: 3.0,
+                    cache_probe_us: 0.5,
+                    storage_read_us: 4.0,
+                },
+            }],
         });
         let mut stages = StageBreakdown::default();
         // Virtual timeline: arrival 40, trigger 50, service start 60, completion 120.
@@ -903,6 +995,14 @@ mod tests {
             "sub-request spans shift with the batch"
         );
         assert!(trace.fetch[0].completed);
+        assert_eq!(
+            trace.fetch[0].tag, 1,
+            "tags renumber from the global counter"
+        );
+        let node = trace.fetch[0].node.expect("the reply carried a node span");
+        assert_eq!(node.queue_wait_us, 3.0);
+        assert_eq!(node.cache_probe_us, 0.5);
+        assert_eq!(node.storage_read_us, 4.0);
         assert_eq!(stages.sampled, 1);
         assert_eq!(stages.cluster_fetch.count(), 1);
     }
@@ -929,12 +1029,34 @@ mod tests {
                 at_us: 20.0,
             },
         ];
-        let spans = assemble_fetch_spans(&events, 0.0, 30.0);
+        let node_spans = vec![NodeSpanRecord {
+            shard: 2,
+            tag: 2,
+            span: NodeSpan {
+                queue_wait_us: 1.0,
+                cache_probe_us: 0.0,
+                storage_read_us: 2.0,
+            },
+        }];
+        let spans = assemble_fetch_spans(&events, &node_spans, 0.0, 30.0);
         assert_eq!(spans.len(), 2);
         assert!(!spans[0].completed, "no reply: abandoned");
         assert_eq!(spans[0].end_us, 30.0);
+        assert!(
+            spans[0].node.is_none(),
+            "abandoned attempts carry no node span"
+        );
         assert!(spans[1].hedge);
         assert!(spans[1].completed);
         assert_eq!(spans[1].end_us, 20.0);
+        assert_eq!(
+            spans[1].node,
+            Some(NodeSpan {
+                queue_wait_us: 1.0,
+                cache_probe_us: 0.0,
+                storage_read_us: 2.0,
+            }),
+            "the hedge winner's reply attaches its node span"
+        );
     }
 }

@@ -18,13 +18,14 @@
 //! | kind | name | payload |
 //! |------|------|---------|
 //! | 1 | `LOAD` | `elem_bytes u32, dim u32, count u32`, then `count ×` (`row u32` + row bytes) |
-//! | 2 | `FETCH` | `count × row u32`; the response echoes the tag |
+//! | 2 | `FETCH` | `trace u8` (trace-context flag), then `count × row u32`; the response echoes the tag |
 //! | 3 | `ROWS` | requested rows' bytes concatenated in request order |
 //! | 4 | `ERROR` | UTF-8 description; the connection is considered poisoned |
 //! | 5 | `CHAOS` | `fault u8, fire_after u64, param u64` (fault-injection control) |
 //! | 6 | `SHUTDOWN` | empty; the node stops accepting and exits its accept loop |
 //! | 7 | `CACHE` | `capacity u64, policy u8`; arm the node's hot-row cache |
-//! | 8 | `STATS` | `hits, misses, insertions, evictions, rejections` (`u64` each): one fetch's node-cache counter deltas, sent after its `ROWS` frame |
+//! | 8 | `STATS` | `hits, misses, insertions, evictions, rejections` (`u64` each): one fetch's node-cache counter deltas, sent before its `ROWS` frame |
+//! | 9 | `NODE_SPAN` | `queue_wait, cache_probe, storage_read` (`f64` µs each): the node's server-side span for one traced fetch, sent before its `ROWS` frame |
 //!
 //! The shard node ([`run_shard_node`]) is type-agnostic: it stores rows as opaque byte
 //! blobs keyed by global row id (`elem_bytes` comes from the `LOAD` frame), so one node
@@ -53,6 +54,7 @@ use crate::cache::{CachePolicy, CacheStats, HotRowCache};
 use crate::cluster::{ClusterCounters, SubResponse};
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::Lane;
+use crate::trace::NodeSpan;
 
 /// `LOAD`: install a shard's resident rows.
 pub const KIND_LOAD: u8 = 1;
@@ -68,8 +70,10 @@ pub const KIND_CHAOS: u8 = 5;
 pub const KIND_SHUTDOWN: u8 = 6;
 /// `CACHE`: arm the node's hot-row cache (capacity + policy).
 pub const KIND_CACHE: u8 = 7;
-/// `STATS`: one fetch's node-cache counter deltas (follows its `ROWS` frame).
+/// `STATS`: one fetch's node-cache counter deltas (precedes its `ROWS` frame).
 pub const KIND_STATS: u8 = 8;
+/// `NODE_SPAN`: a traced fetch's server-side span (precedes its `ROWS` frame).
+pub const KIND_NODE_SPAN: u8 = 9;
 
 /// Upper bound on one frame's length field — a corrupt prefix must not allocate
 /// gigabytes. 256 MiB comfortably holds the largest catalogue partition the
@@ -165,9 +169,12 @@ pub(crate) fn encode_load<T: Lane>(
     .encode()
 }
 
-/// Encode a `FETCH` frame for `rows`.
-pub(crate) fn encode_fetch(shard: u32, tag: u64, rows: &[u32]) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(rows.len() * 4);
+/// Encode a `FETCH` frame for `rows`. When `traced` is set the node measures its
+/// server-side span (queue wait, cache probe, storage read) for this fetch and ships
+/// it back on a `NODE_SPAN` frame ahead of the `ROWS` frame — the UDS trace context.
+pub(crate) fn encode_fetch(shard: u32, tag: u64, rows: &[u32], traced: bool) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + rows.len() * 4);
+    payload.push(traced as u8);
     for &row in rows {
         payload.extend_from_slice(&row.to_le_bytes());
     }
@@ -230,6 +237,39 @@ fn encode_stats(shard: u32, tag: u64, delta: &CacheStats) -> Vec<u8> {
         payload,
     }
     .encode()
+}
+
+/// Encode a `NODE_SPAN` frame carrying one traced fetch's server-side span.
+fn encode_node_span(shard: u32, tag: u64, span: &NodeSpan) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(24);
+    for value in [
+        span.queue_wait_us,
+        span.cache_probe_us,
+        span.storage_read_us,
+    ] {
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    Frame {
+        kind: KIND_NODE_SPAN,
+        shard,
+        tag,
+        payload,
+    }
+    .encode()
+}
+
+/// Decode a `NODE_SPAN` payload back into a span (`None` when malformed).
+fn decode_node_span(payload: &[u8]) -> Option<NodeSpan> {
+    if payload.len() != 24 {
+        return None;
+    }
+    let field =
+        |i: usize| f64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    Some(NodeSpan {
+        queue_wait_us: field(0),
+        cache_probe_us: field(1),
+        storage_read_us: field(2),
+    })
 }
 
 /// Decode a `STATS` payload back into counter deltas (`None` when malformed).
@@ -420,24 +460,40 @@ fn serve_connection(
                     4 => continue, // drop the reply frame on the floor
                     _ => {}
                 }
+                // Leading trace-context flag byte; row ids follow. A traced fetch
+                // measures the node's own span (queue wait = time to the storage
+                // lock, cache probe, storage read) on its wall clock and ships it
+                // back on a `NODE_SPAN` frame ahead of the rows.
+                let traced = frame.payload.first().copied().unwrap_or(0) != 0;
+                let rows_payload = frame.payload.get(1..).unwrap_or(&[]);
+                let fetch_started = traced.then(std::time::Instant::now);
+                let mut span = NodeSpan::default();
                 let (response, stats_delta) = {
                     let storage = storage.lock().expect("node storage lock");
                     let mut node_cache = cache.lock().expect("node cache lock");
+                    if let Some(started) = fetch_started {
+                        span.queue_wait_us = started.elapsed().as_secs_f64() * 1e6;
+                    }
                     let mut cache = node_cache.armed(storage.row_bytes);
                     let before = cache.as_deref().map(|cache| cache.stats());
                     let mut payload =
-                        Vec::with_capacity(frame.payload.len() / 4 * storage.row_bytes);
+                        Vec::with_capacity(rows_payload.len() / 4 * storage.row_bytes);
                     let mut missing = false;
-                    for id in frame.payload.chunks_exact(4) {
+                    for id in rows_payload.chunks_exact(4) {
                         let row = u32::from_le_bytes(id.try_into().expect("4 bytes"));
+                        let probe_started = fetch_started.map(|_| std::time::Instant::now());
                         let cached = cache.as_deref_mut().and_then(|cache| {
                             cache
                                 .lookup(row)
                                 .map(|bytes| payload.extend_from_slice(bytes))
                         });
+                        if let Some(started) = probe_started {
+                            span.cache_probe_us += started.elapsed().as_secs_f64() * 1e6;
+                        }
                         if cached.is_some() {
                             continue;
                         }
+                        let read_started = fetch_started.map(|_| std::time::Instant::now());
                         match storage.rows.get(&row) {
                             Some(bytes) => {
                                 payload.extend_from_slice(bytes);
@@ -449,6 +505,9 @@ fn serve_connection(
                                 missing = true;
                                 break;
                             }
+                        }
+                        if let Some(started) = read_started {
+                            span.storage_read_us += started.elapsed().as_secs_f64() * 1e6;
                         }
                     }
                     let delta = before
@@ -487,6 +546,16 @@ fn serve_connection(
                     {
                         return;
                     }
+                }
+                // The span frame also precedes the rows, so a gathered reply's trace
+                // context is already stashed link-side when the response lands.
+                if traced
+                    && response.kind == KIND_ROWS
+                    && stream
+                        .write_all(&encode_node_span(frame.shard, frame.tag, &span))
+                        .is_err()
+                {
+                    return;
                 }
                 if stream.write_all(&response.encode()).is_err() {
                     return;
@@ -624,53 +693,69 @@ impl<T: Lane> SocketLink<T> {
             let write = write.clone();
             let closed = closed.clone();
             let counters = counters.clone();
-            std::thread::spawn(move || loop {
-                let frame = match Frame::read_from(&mut stream) {
-                    Ok(frame) => frame,
-                    Err(_) => {
-                        // EOF / reset: the node died or hung up. Flag the link; the
-                        // shared reply queue stays open for the healthy shards.
-                        closed.store(true, Ordering::SeqCst);
-                        write.close();
-                        return;
-                    }
-                };
-                match frame.kind {
-                    KIND_ROWS => {
-                        let mut data = Vec::with_capacity(frame.payload.len() / T::WIRE_BYTES);
-                        for element in frame.payload.chunks_exact(T::WIRE_BYTES) {
-                            data.push(T::from_wire(element));
+            std::thread::spawn(move || {
+                // Server-side spans arrive on `NODE_SPAN` frames ahead of their
+                // `ROWS` frame; stash them by tag and attach to the matching reply.
+                let mut pending_spans: HashMap<u64, NodeSpan> = HashMap::new();
+                loop {
+                    let frame = match Frame::read_from(&mut stream) {
+                        Ok(frame) => frame,
+                        Err(_) => {
+                            // EOF / reset: the node died or hung up. Flag the link; the
+                            // shared reply queue stays open for the healthy shards.
+                            closed.store(true, Ordering::SeqCst);
+                            write.close();
+                            return;
                         }
-                        let response = SubResponse {
-                            tag: frame.tag,
-                            shard: frame.shard as usize,
-                            data,
-                        };
-                        if reply.push(response).is_err() {
-                            return; // the router is gone; nothing left to deliver to
+                    };
+                    match frame.kind {
+                        KIND_ROWS => {
+                            let mut data = Vec::with_capacity(frame.payload.len() / T::WIRE_BYTES);
+                            for element in frame.payload.chunks_exact(T::WIRE_BYTES) {
+                                data.push(T::from_wire(element));
+                            }
+                            let response = SubResponse {
+                                tag: frame.tag,
+                                shard: frame.shard as usize,
+                                data,
+                                node_span: pending_spans.remove(&frame.tag),
+                            };
+                            if reply.push(response).is_err() {
+                                return; // the router is gone; nothing left to deliver to
+                            }
                         }
-                    }
-                    KIND_STATS => {
-                        // Node-cache counter deltas. A malformed payload is a protocol
-                        // violation like any other unexpected frame.
-                        match decode_stats(&frame.payload) {
-                            Some(delta) => {
-                                if let Some(counters) = &counters {
-                                    counters.record_node_cache(frame.shard as usize, &delta);
+                        KIND_STATS => {
+                            // Node-cache counter deltas. A malformed payload is a protocol
+                            // violation like any other unexpected frame.
+                            match decode_stats(&frame.payload) {
+                                Some(delta) => {
+                                    if let Some(counters) = &counters {
+                                        counters.record_node_cache(frame.shard as usize, &delta);
+                                    }
                                 }
+                                None => {
+                                    closed.store(true, Ordering::SeqCst);
+                                    write.close();
+                                    return;
+                                }
+                            }
+                        }
+                        KIND_NODE_SPAN => match decode_node_span(&frame.payload) {
+                            Some(span) => {
+                                pending_spans.insert(frame.tag, span);
                             }
                             None => {
                                 closed.store(true, Ordering::SeqCst);
                                 write.close();
                                 return;
                             }
+                        },
+                        _ => {
+                            // ERROR (or protocol violation): poison the link.
+                            closed.store(true, Ordering::SeqCst);
+                            write.close();
+                            return;
                         }
-                    }
-                    _ => {
-                        // ERROR (or protocol violation): poison the link.
-                        closed.store(true, Ordering::SeqCst);
-                        write.close();
-                        return;
                     }
                 }
             })
@@ -843,6 +928,18 @@ mod tests {
         let mut corrupt = empty.encode();
         corrupt[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(Frame::read_from(&mut &corrupt[..]).is_err());
+        // The node-span codec round-trips its three durations exactly.
+        let span = NodeSpan {
+            queue_wait_us: 12.5,
+            cache_probe_us: 0.75,
+            storage_read_us: 301.25,
+        };
+        let encoded = encode_node_span(4, 77, &span);
+        let decoded = Frame::read_from(&mut &encoded[..]).unwrap();
+        assert_eq!(decoded.kind, KIND_NODE_SPAN);
+        assert_eq!(decoded.tag, 77);
+        assert_eq!(decode_node_span(&decoded.payload), Some(span));
+        assert_eq!(decode_node_span(&decoded.payload[..16]), None);
     }
 
     #[test]
@@ -861,7 +958,8 @@ mod tests {
         let load = Arc::new(encode_load(0, &arena, &resident));
         let reply: Arc<BoundedQueue<SubResponse<f32>>> = Arc::new(BoundedQueue::new(8));
         let link = connect_when_up(0, &path, 4, load.clone(), reply.clone());
-        link.send_blocking(encode_fetch(0, 7, &[3, 1, 5])).unwrap();
+        link.send_blocking(encode_fetch(0, 7, &[3, 1, 5], true))
+            .unwrap();
         match reply.pop_timeout(Duration::from_secs(10)) {
             Pop::Item(response) => {
                 assert_eq!(response.tag, 7);
@@ -870,15 +968,26 @@ mod tests {
                 expected.extend_from_slice(&rows[1]);
                 expected.extend_from_slice(&rows[5]);
                 assert_eq!(response.data, expected, "bytes must round-trip exactly");
+                let span = response
+                    .node_span
+                    .expect("a traced fetch ships its server-side span");
+                assert!(span.queue_wait_us >= 0.0);
+                assert!(span.storage_read_us >= 0.0);
             }
             other => panic!("expected rows, got {other:?}"),
         }
-        // A second connection (a router clone) shares the loaded storage.
+        // A second connection (a router clone) shares the loaded storage. An
+        // untraced fetch must not carry a span.
         let reply2: Arc<BoundedQueue<SubResponse<f32>>> = Arc::new(BoundedQueue::new(8));
         let link2 = link.reconnect(reply2.clone()).unwrap();
-        link2.send_blocking(encode_fetch(0, 9, &[0])).unwrap();
+        link2
+            .send_blocking(encode_fetch(0, 9, &[0], false))
+            .unwrap();
         match reply2.pop_timeout(Duration::from_secs(10)) {
-            Pop::Item(response) => assert_eq!(response.data, rows[0]),
+            Pop::Item(response) => {
+                assert_eq!(response.data, rows[0]);
+                assert!(response.node_span.is_none(), "untraced fetches stay bare");
+            }
             other => panic!("expected rows, got {other:?}"),
         }
         link.send_shutdown();
@@ -902,7 +1011,7 @@ mod tests {
         let reply: Arc<BoundedQueue<SubResponse<i8>>> = Arc::new(BoundedQueue::new(4));
         let link = connect_when_up(1, &path, 2, load, reply.clone());
         assert!(!link.is_closed());
-        link.send_blocking(encode_fetch(1, 1, &[1])).unwrap();
+        link.send_blocking(encode_fetch(1, 1, &[1], false)).unwrap();
         let started = std::time::Instant::now();
         while !link.is_closed() {
             assert!(

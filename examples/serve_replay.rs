@@ -48,6 +48,12 @@
 //! `--slow-log <K>` each traced run also prints its K worst queries as span trees.
 //! If tracing was requested but no query got sampled, the run exits 1: an empty
 //! trace artifact green-lighting CI would exercise nothing.
+//!
+//! With `--metrics-out <path>` the metrics plane is armed on every run: each engine
+//! scrapes its counters into event-time windows (the report JSON gains a `metrics`
+//! time-series section), and a Prometheus-style text exposition — one
+//! `# == run: <name> ==` section per run, histogram exemplars linking tail buckets
+//! to retained trace ids when tracing is also on — is written to `<path>`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -57,10 +63,10 @@ use imars::recsys::dlrm::{Dlrm, DlrmConfig};
 use imars::recsys::EmbeddingTable;
 use imars::serve::transport::socket_path;
 use imars::serve::{
-    chrome_export, replay_threaded, run_shard_node, CachePlacement, CachePolicy, ChaosPlan,
-    ClusterConfig, ClusterOptions, FaultSpec, Placement, ReplayConfig, ReplayWorkload,
-    ResilienceConfig, RuntimeConfig, ServeConfig, ServeEngine, ThreadedReplayConfig, TraceConfig,
-    TraceLog,
+    chrome_export, exposition, replay_threaded, run_shard_node, CachePlacement, CachePolicy,
+    ChaosPlan, ClusterConfig, ClusterOptions, FaultSpec, Placement, ReplayConfig, ReplayWorkload,
+    ResilienceConfig, RuntimeConfig, ServeConfig, ServeEngine, ServeReport, Stage, StageExemplars,
+    ThreadedReplayConfig, TraceConfig, TraceLog,
 };
 
 const NUM_ITEMS: usize = 8192;
@@ -102,6 +108,47 @@ fn parse_count(args: &[String], flag: &str) -> usize {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// The observability lines of the human summary: tail attribution (with the exemplar
+/// trace to replay when tracing is on) and the top fault counters — previously these
+/// landed only in the JSON artifacts.
+fn print_observability(report: &ServeReport, log: Option<&TraceLog>) {
+    if let Some((stage, share)) = report.telemetry.stages.tail_attribution() {
+        let exemplar = log.map(StageExemplars::harvest).and_then(|exemplars| {
+            Stage::ALL
+                .iter()
+                .find(|s| s.name() == stage)
+                .and_then(|&s| exemplars.worst(s))
+        });
+        match exemplar {
+            Some((id, worst_us)) => println!(
+                "  tail: p99 is {:.0}% {stage}; worst retained sample is query {id} ({worst_us:.0}us — replay it via the slow-query log)",
+                share * 100.0
+            ),
+            None => println!("  tail: p99 is {:.0}% {stage}", share * 100.0),
+        }
+    }
+    if let Some(cluster) = &report.cluster {
+        let mut faults = [
+            ("timeouts", cluster.timeouts),
+            ("retries", cluster.retries),
+            ("hedges", cluster.hedges),
+            ("promotions", cluster.promotions),
+            ("missing_rows", cluster.missing_rows),
+        ];
+        faults.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        let top: Vec<String> = faults
+            .iter()
+            .filter(|(_, count)| *count > 0)
+            .map(|(name, count)| format!("{name} {count}"))
+            .collect();
+        if top.is_empty() {
+            println!("  faults: none");
+        } else {
+            println!("  faults: {}", top.join(", "));
+        }
     }
 }
 
@@ -194,6 +241,19 @@ fn main() {
             }
         },
     };
+    let metrics_out = match args.iter().position(|arg| arg == "--metrics-out") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(PathBuf::from(path)),
+            _ => {
+                eprintln!("serve_replay: --metrics-out needs a file path");
+                std::process::exit(2);
+            }
+        },
+    };
+    let metrics_on = metrics_out.is_some();
+    // One exposition section per run, concatenated into the --metrics-out artifact.
+    let mut metrics_sections: Vec<(String, String)> = Vec::new();
     // Either flag arms the tracer on every run; the Chrome export gets one trace
     // "process" per section so virtual-time and measured-time runs sit side by side.
     let tracing = trace_out.is_some() || slow_log.is_some();
@@ -270,11 +330,22 @@ fn main() {
     if tracing {
         cached_engine.enable_tracing(trace_config);
     }
+    if metrics_on {
+        cached_engine.enable_metrics(workload.metrics_config(50));
+    }
     let mut cached = cached_engine.replay(&workload).expect("replay succeeds");
     if tracing {
         trace_sections.push(("simulated".to_string(), std::mem::take(&mut cached.trace)));
     }
     print!("{}", cached.report.summary());
+    let section_log = trace_sections.last().map(|(_, log)| log);
+    print_observability(&cached.report, section_log);
+    if metrics_on {
+        metrics_sections.push((
+            "simulated".to_string(),
+            exposition(&cached.report, section_log),
+        ));
+    }
     match cached.report.write_json() {
         Ok(path) => println!("  telemetry JSON written to {}\n", path.display()),
         Err(error) => eprintln!("  warning: could not write telemetry: {error}\n"),
@@ -328,6 +399,9 @@ fn main() {
         if tracing {
             runtime_engine.enable_tracing(trace_config);
         }
+        if metrics_on {
+            runtime_engine.enable_metrics(workload.metrics_config(50));
+        }
         let config = ThreadedReplayConfig {
             runtime: RuntimeConfig::new(threads, 4096).expect("valid runtime config"),
             speedup: 1.0,
@@ -352,6 +426,11 @@ fn main() {
         let mut report = threaded.report;
         report.name = "serve_replay_threaded".to_string();
         print!("{}", report.summary());
+        let section_log = trace_sections.last().map(|(_, log)| log);
+        print_observability(&report, section_log);
+        if metrics_on {
+            metrics_sections.push(("threaded".to_string(), exposition(&report, section_log)));
+        }
         println!(
             "  all {} threaded predictions bit-identical to the simulated replay",
             by_id.len()
@@ -414,6 +493,9 @@ fn main() {
         if tracing {
             clustered.enable_tracing(trace_config);
         }
+        if metrics_on {
+            clustered.enable_metrics(sharded_workload.metrics_config(50));
+        }
         let mut outcome = clustered
             .replay(&sharded_workload)
             .expect("clustered replay succeeds");
@@ -432,6 +514,11 @@ fn main() {
         let mut report = outcome.report;
         report.name = format!("serve_replay_sharded_{}", placement.label());
         print!("{}", report.summary());
+        let section_log = trace_sections.last().map(|(_, log)| log);
+        print_observability(&report, section_log);
+        if metrics_on {
+            metrics_sections.push(("sharded".to_string(), exposition(&report, section_log)));
+        }
         println!(
             "  all {} clustered predictions bit-identical to the single-node engine",
             outcome.responses.len()
@@ -472,6 +559,14 @@ fn main() {
             let mut threaded_report = threaded.report;
             threaded_report.name = format!("serve_replay_sharded_{}_threaded", placement.label());
             print!("{}", threaded_report.summary());
+            let section_log = trace_sections.last().map(|(_, log)| log);
+            print_observability(&threaded_report, section_log);
+            if metrics_on {
+                metrics_sections.push((
+                    "sharded-threaded".to_string(),
+                    exposition(&threaded_report, section_log),
+                ));
+            }
             println!(
                 "  all {} threaded clustered predictions bit-identical to the single-node engine",
                 by_id.len()
@@ -525,6 +620,9 @@ fn main() {
             if tracing {
                 uds_engine.enable_tracing(trace_config);
             }
+            if metrics_on {
+                uds_engine.enable_metrics(sharded_workload.metrics_config(50));
+            }
             let mut uds_outcome = uds_engine
                 .replay(&sharded_workload)
                 .expect("uds replay succeeds");
@@ -544,6 +642,11 @@ fn main() {
             let mut uds_report = uds_outcome.report;
             uds_report.name = "serve_replay_uds".to_string();
             print!("{}", uds_report.summary());
+            let section_log = trace_sections.last().map(|(_, log)| log);
+            print_observability(&uds_report, section_log);
+            if metrics_on {
+                metrics_sections.push(("uds".to_string(), exposition(&uds_report, section_log)));
+            }
             println!(
                 "  all {} UDS predictions bit-identical to the in-process cluster",
                 uds_outcome.responses.len()
@@ -603,6 +706,9 @@ fn main() {
             if tracing {
                 chaos_engine.enable_tracing(trace_config);
             }
+            if metrics_on {
+                chaos_engine.enable_metrics(sharded_workload.metrics_config(50));
+            }
             let mut chaos_outcome = chaos_engine
                 .replay(&sharded_workload)
                 .expect("chaos replay completes");
@@ -631,6 +737,12 @@ fn main() {
             let mut chaos_report = chaos_outcome.report;
             chaos_report.name = "serve_replay_chaos".to_string();
             print!("{}", chaos_report.summary());
+            let section_log = trace_sections.last().map(|(_, log)| log);
+            print_observability(&chaos_report, section_log);
+            if metrics_on {
+                metrics_sections
+                    .push(("chaos".to_string(), exposition(&chaos_report, section_log)));
+            }
             let stats = chaos_report
                 .cluster
                 .as_ref()
@@ -660,7 +772,40 @@ fn main() {
         }
     }
 
-    // 7. Optional: the trace artifacts. A requested trace with zero sampled queries is
+    // 7. Optional: the metrics artifact. Every armed run contributed one exposition
+    //    section; a requested dump with no time-series windows anywhere would be the
+    //    same silent-green-light hazard as an empty trace, so that case exits loudly.
+    if let Some(path) = metrics_out {
+        let windowed = metrics_sections
+            .iter()
+            .filter(|(_, section)| section.contains("imars_window_qps{"))
+            .count();
+        if windowed == 0 {
+            eprintln!(
+                "serve_replay: --metrics-out was requested but no run produced a \
+                 time-series window; the scraper never saw an event"
+            );
+            std::process::exit(1);
+        }
+        let mut dump = String::new();
+        for (name, section) in &metrics_sections {
+            dump.push_str(&format!("# == run: {name} ==\n"));
+            dump.push_str(section);
+        }
+        match std::fs::write(&path, &dump) {
+            Ok(()) => println!(
+                "\nmetrics exposition ({} sections, {windowed} with time series) written to {}",
+                metrics_sections.len(),
+                path.display()
+            ),
+            Err(error) => {
+                eprintln!("serve_replay: could not write metrics to {path:?}: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // 8. Optional: the trace artifacts. A requested trace with zero sampled queries is
     //    a CI hazard — an empty-but-valid JSON would green-light a run that exercised
     //    nothing — so that case exits loudly instead.
     if tracing {
